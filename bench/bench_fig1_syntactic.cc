@@ -1,0 +1,147 @@
+// E1 — Figure 1: syntactic inclusion between dependency classes in
+// Skolemized form. Generates corpora from each class, prints the full
+// membership matrix (every lower class must be accepted by every upper
+// recognizer), then benchmarks classification throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "gen/generators.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+namespace {
+
+using bench::Workspace;
+
+struct CorpusRow {
+  const char* name;
+  int count = 0;
+  int tgd = 0, std_henkin = 0, henkin = 0, nested_shape = 0, plain = 0;
+};
+
+void Accumulate(const TermArena& arena, const SoTgd& so, CorpusRow* row) {
+  Figure1Membership m = ClassifyFigure1(arena, so);
+  row->count += 1;
+  row->tgd += m.tgd;
+  row->std_henkin += m.standard_henkin;
+  row->henkin += m.henkin;
+  row->nested_shape += m.normalized_nested_shape;
+  row->plain += m.plain_so;
+}
+
+void PrintMembershipMatrix() {
+  bench::Banner("E1 / Figure 1 — syntactic inclusion diagram",
+                "tgds < standard Henkin < Henkin < SO; "
+                "tgds < normalized nested < SO; all edges hold");
+  Rng rng(1001);
+  const int kPerClass = 200;
+
+  // Row 1: Skolemized tgds.
+  CorpusRow tgds{"tgds"};
+  {
+    Workspace ws;
+    auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+    for (int i = 0; i < kPerClass; ++i) {
+      Tgd tgd = GenerateTgd(&ws.arena, &ws.vocab, &rng, relations,
+                            TgdConfig{});
+      Accumulate(ws.arena, TgdToSo(&ws.arena, &ws.vocab, tgd), &tgds);
+    }
+  }
+  // Row 2: Skolemized Henkin tgds (mixed standard and general).
+  CorpusRow henkins{"Henkin tgds"};
+  CorpusRow std_henkins{"standard Henkin tgds"};
+  {
+    Workspace ws;
+    auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+    int produced = 0;
+    while (produced < kPerClass) {
+      HenkinTgd h = GenerateHenkinTgd(&ws.arena, &ws.vocab, &rng, relations,
+                                      TgdConfig{});
+      SoTgd so = HenkinToSo(&ws.arena, &ws.vocab, h);
+      Accumulate(ws.arena, so, &henkins);
+      if (h.IsStandard()) Accumulate(ws.arena, so, &std_henkins);
+      ++produced;
+    }
+  }
+  // Row 3: normalized nested tgds.
+  CorpusRow nesteds{"normalized nested tgds"};
+  {
+    Workspace ws;
+    auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+    for (int i = 0; i < kPerClass; ++i) {
+      NestedConfig config;
+      config.depth = 1 + static_cast<uint32_t>(rng.Below(3));
+      NestedTgd nested = GenerateNestedTgd(&ws.arena, &ws.vocab, &rng,
+                                           relations, config);
+      Accumulate(ws.arena, NestedToSo(&ws.arena, &ws.vocab, nested),
+                 &nesteds);
+    }
+  }
+
+  std::printf("\n%-24s %7s %6s %10s %7s %7s %6s\n", "corpus (Skolemized)",
+              "count", "tgd", "std-henkin", "henkin", "nested", "plain");
+  for (const CorpusRow* row :
+       {&tgds, &std_henkins, &henkins, &nesteds}) {
+    std::printf("%-24s %7d %6d %10d %7d %7d %6d\n", row->name, row->count,
+                row->tgd, row->std_henkin, row->henkin, row->nested_shape,
+                row->plain);
+  }
+  std::printf(
+      "\nexpected shape: tgd corpus is accepted by ALL recognizers (bottom\n"
+      "of the diagram); standard Henkin corpus fully accepted by henkin and\n"
+      "plain; Henkin corpus fully henkin+plain but only partially standard;\n"
+      "nested corpus fully nested-shape+plain but only partially henkin\n"
+      "(functions quantified over several parts fall outside Henkin tgds).\n");
+}
+
+void BM_ClassifyTgd(benchmark::State& state) {
+  Workspace ws;
+  Rng rng(77);
+  auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+  std::vector<SoTgd> corpus;
+  for (int i = 0; i < 64; ++i) {
+    corpus.push_back(TgdToSo(
+        &ws.arena, &ws.vocab,
+        GenerateTgd(&ws.arena, &ws.vocab, &rng, relations, TgdConfig{})));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ClassifyFigure1(ws.arena, corpus[i++ % corpus.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifyTgd);
+
+void BM_ClassifyNormalizedNested(benchmark::State& state) {
+  Workspace ws;
+  Rng rng(78);
+  auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+  std::vector<SoTgd> corpus;
+  for (int i = 0; i < 32; ++i) {
+    NestedConfig config;
+    config.depth = static_cast<uint32_t>(state.range(0));
+    corpus.push_back(NestedToSo(
+        &ws.arena, &ws.vocab,
+        GenerateNestedTgd(&ws.arena, &ws.vocab, &rng, relations, config)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ClassifyFigure1(ws.arena, corpus[i++ % corpus.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifyNormalizedNested)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace tgdkit
+
+int main(int argc, char** argv) {
+  tgdkit::PrintMembershipMatrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the experiment benchmarks. Each bench binary first
+// prints the deterministic "experiment table" that reproduces its paper
+// artifact (see DESIGN.md §4 and EXPERIMENTS.md), then runs
+// google-benchmark timings for the operations involved.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "base/rng.h"
+#include "data/instance.h"
+#include "dep/dependency.h"
+#include "term/term.h"
+
+namespace tgdkit::bench {
+
+/// One vocabulary + arena per benchmark workspace.
+struct Workspace {
+  Vocabulary vocab;
+  TermArena arena;
+};
+
+/// Builds a chain-shaped nested tgd of the given depth:
+///   In1(x1) -> ∃y1 Out1(x1,y1) ∧ [ In2(x2) -> ∃y2 Out2(x2,y2) ∧ [...] ].
+inline NestedTgd ChainNested(Workspace* ws, uint32_t depth,
+                             const std::string& tag = "") {
+  NestedTgd nested;
+  NestedNode* cursor = nullptr;
+  for (uint32_t level = 1; level <= depth; ++level) {
+    NestedNode node;
+    std::string i = tag + std::to_string(level);
+    VariableId x = ws->vocab.InternVariable("bx" + i);
+    VariableId y = ws->vocab.InternVariable("by" + i);
+    RelationId rin = ws->vocab.InternRelation("BIn" + i, 1);
+    RelationId rout = ws->vocab.InternRelation("BOut" + i, 2);
+    node.univ_vars = {x};
+    node.body = {Atom{rin, {ws->arena.MakeVariable(x)}}};
+    node.exist_vars = {y};
+    node.head_atoms = {
+        Atom{rout, {ws->arena.MakeVariable(x), ws->arena.MakeVariable(y)}}};
+    if (cursor == nullptr) {
+      nested.root = std::move(node);
+      cursor = &nested.root;
+    } else {
+      cursor->children.push_back(std::move(node));
+      cursor = &cursor->children[0];
+    }
+  }
+  return nested;
+}
+
+/// Section header for the experiment tables.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace tgdkit::bench

@@ -1,0 +1,81 @@
+// Schema-mapping composition: the reason SO tgds exist (Fagin et al.
+// 2005, cited by the paper as the origin of SO tgds). Composes two s-t
+// tgd mappings into one SO tgd and verifies the composed mapping agrees
+// with the two-step chase.
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "dep/skolem.h"
+#include "parse/parser.h"
+#include "query/query.h"
+#include "transform/composition.h"
+
+int main() {
+  using namespace tgdkit;
+
+  Vocabulary vocab;
+  TermArena arena;
+  Parser parser(&arena, &vocab);
+
+  std::printf("== Composing M12 and M23 ==\n\n");
+  auto p12 = parser.ParseDependencies(R"(
+    Emp(e) -> exists m . Rep(e, m) .
+  )");
+  auto p23 = parser.ParseDependencies(R"(
+    Rep(e, m) -> Mgr(e, m) .
+    Rep(e2, e2) -> SelfMgr(e2) .
+  )");
+  if (!p12.ok() || !p23.ok()) {
+    std::fprintf(stderr, "parse error\n");
+    return 1;
+  }
+  std::vector<Tgd> sigma12 = p12->Tgds();
+  std::vector<Tgd> sigma23 = p23->Tgds();
+
+  std::printf("M12:\n");
+  for (const Tgd& t : sigma12) {
+    std::printf("  %s\n", ToString(arena, vocab, t).c_str());
+  }
+  std::printf("M23:\n");
+  for (const Tgd& t : sigma23) {
+    std::printf("  %s\n", ToString(arena, vocab, t).c_str());
+  }
+
+  auto composed = ComposeMappings(&arena, &vocab, sigma12, sigma23);
+  if (!composed.ok()) {
+    std::fprintf(stderr, "%s\n", composed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nM12 o M23 as one SO tgd (note the equality — a feature\n"
+              "no set of tgds can express; this is the paper's self-manager\n"
+              "example from Section 2):\n  %s\n",
+              ToString(arena, vocab, *composed).c_str());
+  std::printf("plain: %d (equalities make it non-plain)\n\n",
+              composed->IsPlain(arena));
+
+  std::printf("== Agreement with the two-step chase ==\n\n");
+  Instance source(&vocab);
+  Status st = parser.ParseInstanceInto(
+      "Emp(alice). Emp(bob). Emp(carol).", &source);
+  if (!st.ok()) return 1;
+
+  SoTgd so12 = TgdsToSo(&arena, &vocab, sigma12);
+  SoTgd so23 = TgdsToSo(&arena, &vocab, sigma23);
+  ChaseResult step1 = Chase(&arena, &vocab, so12, source);
+  ChaseResult step2 = Chase(&arena, &vocab, so23, step1.instance);
+  ChaseResult direct = Chase(&arena, &vocab, *composed, source);
+
+  auto count = [&](const Instance& inst, const char* rel) {
+    RelationId id = vocab.FindRelation(rel);
+    return id == kInvalidSymbol ? size_t{0} : inst.NumTuples(id);
+  };
+  std::printf("two-step chase: Mgr=%zu SelfMgr=%zu facts\n",
+              count(step2.instance, "Mgr"), count(step2.instance, "SelfMgr"));
+  std::printf("composed chase: Mgr=%zu SelfMgr=%zu facts\n",
+              count(direct.instance, "Mgr"), count(direct.instance, "SelfMgr"));
+  std::printf("\ncomposed chase result:\n%s\n",
+              direct.instance.ToString().c_str());
+  std::printf("(no SelfMgr facts: under the free interpretation the\n"
+              " invented manager f(e) never equals the employee e)\n");
+  return 0;
+}

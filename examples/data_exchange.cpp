@@ -1,0 +1,77 @@
+// Data exchange with schema mappings — the application setting the
+// paper's dependency classes come from: materialize a universal solution,
+// shrink it to the core solution, answer target queries certainly, and
+// see how the choice of dependency class (tgd vs SO tgd) changes the
+// shape of the materialized nulls.
+#include <cstdio>
+
+#include "dep/skolem.h"
+#include "exchange/exchange.h"
+#include "parse/parser.h"
+
+int main() {
+  using namespace tgdkit;
+
+  Vocabulary vocab;
+  TermArena arena;
+  Parser parser(&arena, &vocab);
+
+  std::printf("== A schema mapping from HR to the org chart ==\n\n");
+  auto program = parser.ParseDependencies(R"(
+    // Every employee row yields a manager (fresh per employee: tgd).
+    per_emp: Emp(e, d) -> exists m . Mgr(e, m) .
+    // Department managers depend only on the department (SO tgd).
+    per_dept: so exists fdm { Emp(e, d) -> DeptMgr(e, fdm(d)) } .
+    // Departments are copied.
+    depts: Emp(e, d) -> Dept(d) .
+  )");
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  SchemaMapping mapping;
+  std::vector<Tgd> tgds = program->Tgds();
+  std::vector<SoTgd> pieces{TgdsToSo(&arena, &vocab, tgds),
+                            program->Sos()[0]};
+  mapping.rules = MergeSo(pieces);
+  mapping.source_relations = {vocab.FindRelation("Emp")};
+  mapping.target_relations = {vocab.FindRelation("Mgr"),
+                              vocab.FindRelation("DeptMgr"),
+                              vocab.FindRelation("Dept")};
+  Status st = ValidateSourceToTarget(mapping);
+  std::printf("mapping is source-to-target: %s\n\n",
+              st.ok() ? "yes" : st.ToString().c_str());
+
+  Instance source(&vocab);
+  st = parser.ParseInstanceInto(
+      "Emp(alice, cs). Emp(bob, cs). Emp(carol, math).", &source);
+  if (!st.ok()) return 1;
+  std::printf("source instance:\n%s\n", source.ToString().c_str());
+
+  ExchangeResult result = Solve(&arena, &vocab, mapping, source);
+  std::printf("universal solution (%s):\n%s\n",
+              result.IsUniversal() ? "chase reached a fixpoint"
+                                   : "truncated",
+              result.solution.ToString().c_str());
+  std::printf("note: Mgr nulls are per-employee (tgd Skolem term f(e, d)),\n"
+              "while DeptMgr shares one null per department (fdm(d)) —\n"
+              "the exact distinction the paper's introduction draws.\n\n");
+
+  Instance core = CoreSolution(&arena, &vocab, mapping, source);
+  std::printf("core solution: %zu facts (universal solution had %zu)\n\n",
+              core.NumFacts(), result.solution.NumFacts());
+
+  auto q1 = parser.ParseQuery("ans(d) :- Dept(d).");
+  auto q2 = parser.ParseQuery("ans(m) :- Mgr(e, m).");
+  if (!q1.ok() || !q2.ok()) return 1;
+  CertainAnswers depts =
+      TargetCertainAnswers(&arena, &vocab, mapping, source, *q1);
+  std::printf("certain departments: %zu (cs, math)\n", depts.answers.size());
+  CertainAnswers mgrs =
+      TargetCertainAnswers(&arena, &vocab, mapping, source, *q2);
+  std::printf("certain manager VALUES: %zu (all managers are invented "
+              "nulls — nothing is certain about who they are)\n",
+              mgrs.answers.size());
+  return 0;
+}

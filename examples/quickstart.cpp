@@ -1,0 +1,80 @@
+// Quickstart: parse dependencies and an instance, chase, and query.
+//
+// Demonstrates the core tgdkit pipeline on the paper's introductory
+// employee/department example.
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "dep/skolem.h"
+#include "parse/parser.h"
+#include "query/query.h"
+
+int main() {
+  using namespace tgdkit;
+
+  Vocabulary vocab;
+  TermArena arena;
+  Parser parser(&arena, &vocab);
+
+  // 1. Parse a dependency program: one tgd and one SO tgd.
+  auto program = parser.ParseDependencies(R"(
+    // Every employee has a manager (classic tgd).
+    every_emp: Emp(e, d) -> exists m . Mgr(e, m) .
+
+    // The department manager depends only on the department — the paper's
+    // motivating dependency, expressible as an SO tgd but not as a tgd.
+    dept_mgr: so exists fdm { Emp(e, d) -> DeptMgr(e, fdm(d)) } .
+  )");
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu dependencies\n", program->dependencies.size());
+  for (const ParsedDependency& dep : program->dependencies) {
+    if (dep.kind == ParsedDependency::Kind::kTgd) {
+      std::printf("  [%s] %s\n", dep.label.c_str(),
+                  ToString(arena, vocab, dep.tgd).c_str());
+    } else if (dep.kind == ParsedDependency::Kind::kSo) {
+      std::printf("  [%s] %s\n", dep.label.c_str(),
+                  ToString(arena, vocab, dep.so).c_str());
+    }
+  }
+
+  // 2. Parse a source instance.
+  Instance source(&vocab);
+  Status status = parser.ParseInstanceInto(R"(
+    Emp(alice, cs). Emp(bob, cs). Emp(carol, math).
+  )", &source);
+  if (!status.ok()) {
+    std::fprintf(stderr, "instance error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Skolemize everything into one executable rule set and chase.
+  std::vector<Tgd> tgds = program->Tgds();
+  SoTgd rules = TgdsToSo(&arena, &vocab, tgds);
+  std::vector<SoTgd> all{rules, program->Sos()[0]};
+  SoTgd merged = MergeSo(all);
+  ChaseResult result = Chase(&arena, &vocab, merged, source);
+  std::printf("\nchase: %s after %llu rounds, %llu facts created\n",
+              ToString(result.stop_reason),
+              static_cast<unsigned long long>(result.rounds),
+              static_cast<unsigned long long>(result.facts_created));
+  std::printf("%s\n", result.instance.ToString().c_str());
+
+  // Note: alice and bob share a department manager null (fdm depends only
+  // on d), but have distinct Mgr nulls (the tgd's Skolem term f(e, d)).
+
+  // 4. Ask queries. Certain answers keep only null-free tuples.
+  auto who_has_mgr = parser.ParseQuery("ans(e) :- Mgr(e, m).");
+  if (!who_has_mgr.ok()) return 1;
+  CertainAnswers answers = ComputeCertainAnswers(
+      &arena, &vocab, merged, source, *who_has_mgr);
+  std::printf("certain answers to 'who has a manager' (%s chase):\n",
+              answers.Complete() ? "complete" : "truncated");
+  for (const auto& row : answers.answers) {
+    std::printf("  %s\n", vocab.ConstantName(row[0].index()).c_str());
+  }
+  return 0;
+}

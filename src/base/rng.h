@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for generators, property
+// tests and benchmarks. splitmix64-based: tiny, fast, reproducible across
+// platforms (unlike std::mt19937 distributions).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tgdkit {
+
+/// Deterministic PRNG (splitmix64). Same seed => same sequence everywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive. Precondition: lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// True with probability `percent`/100.
+  bool Chance(uint32_t percent) { return Below(100) < percent; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Below(items.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      std::swap((*items)[i - 1], (*items)[Below(i)]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tgdkit

@@ -1,0 +1,54 @@
+// Small string helpers used by printers and error messages.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tgdkit {
+
+/// Joins the elements of `items` with `sep`, applying `render` to each.
+template <typename Container, typename Render>
+std::string JoinMapped(const Container& items, std::string_view sep,
+                       Render render) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    out += render(item);
+  }
+  return out;
+}
+
+/// Joins string-like elements with `sep`.
+template <typename Container>
+std::string Join(const Container& items, std::string_view sep) {
+  return JoinMapped(items, sep, [](const auto& s) { return std::string(s); });
+}
+
+/// Concatenates streamable arguments into a string (mini StrCat).
+template <typename... Args>
+std::string Cat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// 64-bit hash combiner (boost-style with a 64-bit golden-ratio constant).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a range of integral values.
+template <typename It>
+size_t HashRange(It begin, It end) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = begin; it != end; ++it) {
+    HashCombine(&seed, static_cast<size_t>(*it));
+  }
+  return seed;
+}
+
+}  // namespace tgdkit

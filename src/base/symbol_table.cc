@@ -1,0 +1,20 @@
+#include "base/symbol_table.h"
+
+namespace tgdkit {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kInvalidSymbol;
+  return it->second;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,42 @@
+// String interning: maps strings to dense 32-bit ids and back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tgdkit {
+
+/// Dense id of an interned string. Ids are assigned sequentially from 0 in
+/// insertion order, so they can index side tables (e.g. arities).
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+/// Bidirectional map between strings and dense SymbolIds.
+///
+/// Not thread-safe; each Vocabulary owns its own tables.
+class SymbolTable {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name`, or kInvalidSymbol when not interned.
+  SymbolId Find(std::string_view name) const;
+
+  /// Returns the string for an id. Precondition: id < size().
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidSymbol;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace tgdkit

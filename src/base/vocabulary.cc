@@ -1,0 +1,55 @@
+#include "base/vocabulary.h"
+
+#include <string>
+
+namespace tgdkit {
+
+RelationId Vocabulary::InternRelation(std::string_view name, uint32_t arity) {
+  RelationId id = relations_.Intern(name);
+  if (id == relation_arity_.size()) {
+    relation_arity_.push_back(arity);
+  } else {
+    assert(relation_arity_[id] == arity && "relation re-interned with a different arity");
+  }
+  return id;
+}
+
+FunctionId Vocabulary::InternFunction(std::string_view name, uint32_t arity) {
+  FunctionId id = functions_.Intern(name);
+  if (id == function_arity_.size()) {
+    function_arity_.push_back(arity);
+  } else {
+    assert(function_arity_[id] == arity && "function re-interned with a different arity");
+  }
+  return id;
+}
+
+ConstantId Vocabulary::InternConstant(std::string_view name) {
+  return constants_.Intern(name);
+}
+
+VariableId Vocabulary::InternVariable(std::string_view name) {
+  return variables_.Intern(name);
+}
+
+VariableId Vocabulary::FreshVariable(std::string_view prefix) {
+  for (;;) {
+    std::string candidate =
+        std::string(prefix) + "$" + std::to_string(fresh_counter_++);
+    if (!variables_.Contains(candidate)) {
+      return variables_.Intern(candidate);
+    }
+  }
+}
+
+FunctionId Vocabulary::FreshFunction(std::string_view prefix, uint32_t arity) {
+  for (;;) {
+    std::string candidate =
+        std::string(prefix) + "$" + std::to_string(fresh_counter_++);
+    if (!functions_.Contains(candidate)) {
+      return InternFunction(candidate, arity);
+    }
+  }
+}
+
+}  // namespace tgdkit

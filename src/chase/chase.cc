@@ -1,0 +1,294 @@
+#include "chase/chase.h"
+
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
+                         const SoTgd& rules, const Instance& input,
+                         ChaseLimits limits)
+    : arena_(arena),
+      vocab_(vocab),
+      rules_(rules),
+      limits_(limits),
+      instance_(&input.vocab()) {
+  CopyFacts(input, &instance_);
+  null_provenance_.assign(instance_.num_nulls(), kInvalidTerm);
+}
+
+TermId ChaseEngine::NullProvenance(uint32_t null_index) const {
+  if (null_index >= null_provenance_.size()) return kInvalidTerm;
+  return null_provenance_[null_index];
+}
+
+TermId ChaseEngine::ValueToTerm(Value v) {
+  if (v.is_constant()) return arena_->MakeConstant(v.index());
+  // Input nulls behave like opaque individuals: represent null i as the
+  // 0-ary function term @innull<i>().
+  TermId provenance = NullProvenance(v.index());
+  if (provenance != kInvalidTerm) return provenance;
+  FunctionId f = vocab_->InternFunction(Cat("@innull", v.index()), 0);
+  TermId t = arena_->MakeFunction(f, {});
+  term_to_value_.emplace(t, v);
+  if (v.index() < null_provenance_.size()) {
+    null_provenance_[v.index()] = t;
+  }
+  return t;
+}
+
+Value ChaseEngine::TermToValue(TermId t) {
+  if (arena_->IsConstant(t)) return Value::Constant(arena_->symbol(t));
+  assert(arena_->IsGround(t) && "chase head terms must ground under the trigger");
+  auto it = term_to_value_.find(t);
+  if (it != term_to_value_.end()) return it->second;
+  if (arena_->Depth(t) > limits_.max_term_depth) return Value();
+  Value null = instance_.FreshNull();
+  term_to_value_.emplace(t, null);
+  null_provenance_.push_back(t);
+  assert(null_provenance_.size() == instance_.num_nulls());
+  return null;
+}
+
+bool ChaseEngine::ProcessTrigger(const SoPart& part,
+                                 const Assignment& assignment,
+                                 std::vector<Fact>* pending) {
+  Substitution subst;
+  for (const auto& [var, value] : assignment) {
+    subst.Bind(var, ValueToTerm(value));
+  }
+  // Equalities: free interpretation — ground terms must coincide.
+  for (const SoEquality& eq : part.equalities) {
+    TermId lhs = subst.Apply(arena_, eq.lhs);
+    TermId rhs = subst.Apply(arena_, eq.rhs);
+    if (lhs != rhs) return true;  // trigger inactive
+  }
+  for (const Atom& atom : part.head) {
+    Fact fact;
+    fact.relation = atom.relation;
+    for (TermId t : atom.args) {
+      TermId ground = subst.Apply(arena_, t);
+      Value v = TermToValue(ground);
+      if (!v.valid()) {
+        stop_reason_ = ChaseStop::kDepthLimit;
+        done_ = true;
+        return false;
+      }
+      fact.args.push_back(v);
+    }
+    pending->push_back(std::move(fact));
+  }
+  return true;
+}
+
+bool ChaseEngine::FlushPending(const std::vector<Fact>& pending) {
+  bool added = false;
+  for (const Fact& fact : pending) {
+    if (instance_.NumFacts() >= limits_.max_facts) {
+      done_ = true;
+      stop_reason_ = ChaseStop::kFactLimit;
+      return added;
+    }
+    if (instance_.AddFact(fact)) {
+      added = true;
+      ++facts_created_;
+    }
+  }
+  return added;
+}
+
+bool ChaseEngine::FireRuleFull(const SoPart& part) {
+  Matcher matcher(arena_, &instance_, part.body);
+  // Collect new facts first: inserting while enumerating would let this
+  // round's conclusions re-trigger within the same round (still sound for
+  // the oblivious chase, but rounds would lose their meaning).
+  std::vector<Fact> pending;
+  matcher.ForEach({}, [&](const Assignment& assignment) {
+    return ProcessTrigger(part, assignment, &pending);
+  });
+  if (done_) return false;
+  return FlushPending(pending);
+}
+
+bool ChaseEngine::FireRuleDelta(const SoPart& part) {
+  Matcher matcher(arena_, &instance_, part.body);
+  std::vector<Fact> pending;
+
+  // For each body atom acting as the pivot, seed the matcher with each
+  // fact of the previous round's delta. Triggers touching no delta fact
+  // were already fired in an earlier round (Skolem-chase idempotence makes
+  // re-fired overlapping triggers harmless).
+  for (size_t pivot = 0; pivot < part.body.size() && !done_; ++pivot) {
+    const Atom& atom = part.body[pivot];
+    auto prev_it = rows_before_prev_round_.find(atom.relation);
+    size_t delta_begin =
+        prev_it == rows_before_prev_round_.end() ? 0 : prev_it->second;
+    auto cur_it = rows_before_current_round_.find(atom.relation);
+    size_t delta_end =
+        cur_it == rows_before_current_round_.end() ? 0 : cur_it->second;
+    for (size_t row = delta_begin; row < delta_end && !done_; ++row) {
+      std::span<const Value> tuple =
+          instance_.Tuple(atom.relation, static_cast<uint32_t>(row));
+      Assignment seed;
+      bool consistent = true;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        TermId t = atom.args[i];
+        if (arena_->IsConstant(t)) {
+          if (Value::Constant(arena_->symbol(t)) != tuple[i]) {
+            consistent = false;
+            break;
+          }
+        } else {
+          VariableId v = arena_->symbol(t);
+          auto [it, inserted] = seed.emplace(v, tuple[i]);
+          if (!inserted && it->second != tuple[i]) {
+            consistent = false;
+            break;
+          }
+        }
+      }
+      if (!consistent) continue;
+      matcher.ForEach(seed, [&](const Assignment& assignment) {
+        return ProcessTrigger(part, assignment, &pending);
+      });
+    }
+  }
+  if (done_) return false;
+  return FlushPending(pending);
+}
+
+bool ChaseEngine::Step() {
+  if (done_) return false;
+  if (rounds_ >= limits_.max_rounds) {
+    done_ = true;
+    stop_reason_ = ChaseStop::kRoundLimit;
+    return false;
+  }
+  ++rounds_;
+
+  bool use_delta = limits_.semi_naive && rounds_ > 1;
+  if (limits_.semi_naive) {
+    rows_before_prev_round_ = std::move(rows_before_current_round_);
+    rows_before_current_round_.clear();
+    for (RelationId rel : instance_.ActiveRelations()) {
+      rows_before_current_round_[rel] = instance_.NumTuples(rel);
+    }
+  }
+
+  bool any = false;
+  for (const SoPart& part : rules_.parts) {
+    bool fired = use_delta ? FireRuleDelta(part) : FireRuleFull(part);
+    if (fired) any = true;
+    if (done_) return false;
+  }
+  if (!any) {
+    done_ = true;
+    stop_reason_ = ChaseStop::kFixpoint;
+  }
+  return any;
+}
+
+void ChaseEngine::Run() {
+  while (Step()) {
+  }
+}
+
+std::string ChaseResult::ExplainValue(const TermArena& arena,
+                                      const Vocabulary& vocab,
+                                      Value v) const {
+  if (v.is_constant()) return instance.ValueToString(v);
+  if (v.index() < null_provenance.size() &&
+      null_provenance[v.index()] != kInvalidTerm) {
+    return arena.ToString(null_provenance[v.index()], vocab);
+  }
+  return instance.ValueToString(v);  // input null: opaque
+}
+
+ChaseResult Chase(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
+                  const Instance& input, ChaseLimits limits) {
+  ChaseEngine engine(arena, vocab, rules, input, limits);
+  engine.Run();
+  ChaseResult result{engine.TakeInstance(), engine.stop_reason(),
+                     engine.rounds(), engine.facts_created(), {}};
+  uint32_t num_nulls = result.instance.num_nulls();
+  result.null_provenance.reserve(num_nulls);
+  for (uint32_t i = 0; i < num_nulls; ++i) {
+    result.null_provenance.push_back(engine.NullProvenance(i));
+  }
+  return result;
+}
+
+ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
+                                std::span<const Tgd> tgds,
+                                const Instance& input, ChaseLimits limits) {
+  (void)vocab;
+  ChaseResult result{Instance(&input.vocab()), ChaseStop::kFixpoint, 0, 0};
+  CopyFacts(input, &result.instance);
+  Instance& j = result.instance;
+
+  for (;;) {
+    if (result.rounds >= limits.max_rounds) {
+      result.stop_reason = ChaseStop::kRoundLimit;
+      return result;
+    }
+    ++result.rounds;
+    bool any = false;
+    for (const Tgd& tgd : tgds) {
+      Matcher body_matcher(arena, &j, tgd.body);
+      Matcher head_matcher(arena, &j, tgd.head);
+      std::vector<Assignment> active;
+      body_matcher.ForEach({}, [&](const Assignment& assignment) {
+        // Restricted chase: fire only when no extension to the existential
+        // variables satisfies the head already.
+        if (!head_matcher.Exists(assignment)) active.push_back(assignment);
+        return true;
+      });
+      for (const Assignment& assignment : active) {
+        // Re-check: an earlier firing this round may have satisfied it.
+        if (head_matcher.Exists(assignment)) continue;
+        Assignment extended = assignment;
+        for (VariableId y : tgd.exist_vars) {
+          extended[y] = j.FreshNull();
+        }
+        for (const Atom& atom : tgd.head) {
+          Fact fact;
+          fact.relation = atom.relation;
+          for (TermId t : atom.args) {
+            if (arena->IsVariable(t)) {
+              fact.args.push_back(extended.at(arena->symbol(t)));
+            } else {
+              fact.args.push_back(Value::Constant(arena->symbol(t)));
+            }
+          }
+          if (j.NumFacts() >= limits.max_facts) {
+            result.stop_reason = ChaseStop::kFactLimit;
+            return result;
+          }
+          if (j.AddFact(fact)) ++result.facts_created;
+        }
+        any = true;
+      }
+    }
+    if (!any) {
+      result.stop_reason = ChaseStop::kFixpoint;
+      return result;
+    }
+  }
+}
+
+const char* ToString(ChaseStop stop) {
+  switch (stop) {
+    case ChaseStop::kFixpoint:
+      return "fixpoint";
+    case ChaseStop::kRoundLimit:
+      return "round-limit";
+    case ChaseStop::kFactLimit:
+      return "fact-limit";
+    case ChaseStop::kDepthLimit:
+      return "depth-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace tgdkit

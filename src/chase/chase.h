@@ -1,0 +1,147 @@
+// The chase: the universal-model construction underlying certain-answer
+// query answering for dependencies.
+//
+// Two engines are provided:
+//
+//  * ChaseEngine / Chase — the Skolem (oblivious) chase over SO tgds, the
+//    library's executable common form of all dependency classes (Figure 1).
+//    Every ground Skolem term is interned once and mapped to a canonical
+//    labeled null, so the result is deterministic and firing is idempotent.
+//    Equalities in rule bodies are evaluated under the free interpretation
+//    of function symbols (ground-term identity), the standard reading for
+//    Skolemized dependencies.
+//
+//  * RestrictedChaseTgds — the classical standard chase for first-order
+//    tgds, which fires a trigger only when the head is not already
+//    satisfiable by extension. Used for comparison and ablations.
+//
+// For weakly acyclic rule sets the chase terminates (Fagin et al. 2005;
+// the paper notes this lifts to SO tgds, Section 5). For the undecidable
+// encodings of Section 5 the chase is a semi-decision procedure, driven
+// round-by-round with resource limits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dep/dependency.h"
+#include "homo/matcher.h"
+
+namespace tgdkit {
+
+struct ChaseLimits {
+  uint64_t max_rounds = 10000;
+  uint64_t max_facts = 1000000;
+  /// Maximum nesting depth of ground Skolem terms; deeper terms abort the
+  /// run (semi-decision budget for non-terminating chases).
+  uint32_t max_term_depth = 256;
+  /// Semi-naive evaluation: from round two on, only fire triggers that
+  /// touch at least one fact created in the previous round. Produces the
+  /// same result as naive evaluation (the Skolem chase is idempotent);
+  /// disable only for the ablation benchmark.
+  bool semi_naive = true;
+};
+
+enum class ChaseStop {
+  kFixpoint,          // no rule can add any fact: a universal model
+  kRoundLimit,
+  kFactLimit,
+  kDepthLimit,
+};
+
+/// Round-by-round Skolem chase over one SO tgd (= rule set).
+class ChaseEngine {
+ public:
+  /// `input` is copied; `arena` receives ground Skolem terms; `vocab` is
+  /// used for null provenance labels.
+  ChaseEngine(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
+              const Instance& input, ChaseLimits limits = {});
+
+  /// Runs one full round (every rule, every trigger). Returns true if at
+  /// least one new fact was added and no limit was hit.
+  bool Step();
+
+  /// Runs rounds until fixpoint or a limit.
+  void Run();
+
+  const Instance& instance() const { return instance_; }
+  Instance&& TakeInstance() { return std::move(instance_); }
+
+  bool done() const { return done_; }
+  ChaseStop stop_reason() const { return stop_reason_; }
+  uint64_t rounds() const { return rounds_; }
+  uint64_t facts_created() const { return facts_created_; }
+
+  /// Provenance: the ground Skolem term a chase-created null stands for
+  /// (kInvalidTerm for nulls already present in the input).
+  TermId NullProvenance(uint32_t null_index) const;
+
+ private:
+  /// Maps a value to the ground term representing it.
+  TermId ValueToTerm(Value v);
+  /// Maps a ground term to a value, creating a canonical null if needed.
+  /// Returns an invalid Value when the depth limit is exceeded.
+  Value TermToValue(TermId t);
+
+  /// Processes one trigger (a complete body homomorphism): checks the
+  /// equalities and stages the head facts. Returns false on a limit.
+  bool ProcessTrigger(const SoPart& part, const Assignment& assignment,
+                      std::vector<Fact>* pending);
+  /// Fires all triggers of `part` (full evaluation).
+  bool FireRuleFull(const SoPart& part);
+  /// Fires only triggers touching a fact from the previous round's delta.
+  bool FireRuleDelta(const SoPart& part);
+  bool FlushPending(const std::vector<Fact>& pending);
+
+  TermArena* arena_;
+  Vocabulary* vocab_;
+  SoTgd rules_;
+  ChaseLimits limits_;
+  Instance instance_;
+  std::unordered_map<TermId, Value> term_to_value_;
+  std::vector<TermId> null_provenance_;  // null index -> ground term
+  // Semi-naive bookkeeping: per-relation row counts at the start of the
+  // previous and the current round.
+  std::unordered_map<RelationId, size_t> rows_before_prev_round_;
+  std::unordered_map<RelationId, size_t> rows_before_current_round_;
+  bool done_ = false;
+  ChaseStop stop_reason_ = ChaseStop::kFixpoint;
+  uint64_t rounds_ = 0;
+  uint64_t facts_created_ = 0;
+};
+
+struct ChaseResult {
+  Instance instance;
+  ChaseStop stop_reason;
+  uint64_t rounds;
+  uint64_t facts_created;
+  /// Provenance: for each null index, the ground Skolem term it stands
+  /// for (kInvalidTerm for input nulls).
+  std::vector<TermId> null_provenance;
+
+  bool Terminated() const { return stop_reason == ChaseStop::kFixpoint; }
+
+  /// Renders the Skolem term behind a chase-created null, e.g.
+  /// "sk_dm$0(\"cs\")". Input nulls and constants render as themselves.
+  std::string ExplainValue(const TermArena& arena, const Vocabulary& vocab,
+                           Value v) const;
+};
+
+/// Convenience wrapper: chases `input` under `rules` to fixpoint or limit.
+ChaseResult Chase(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
+                  const Instance& input, ChaseLimits limits = {});
+
+/// The classical restricted (standard) chase for first-order tgds: a
+/// trigger fires only if its head cannot be satisfied by any extension
+/// homomorphism; new nulls are fresh per firing. Non-deterministic in
+/// general; this implementation processes triggers in a fixed order.
+ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
+                                std::span<const Tgd> tgds,
+                                const Instance& input, ChaseLimits limits = {});
+
+/// Renders a stop reason for logs and experiment output.
+const char* ToString(ChaseStop stop);
+
+}  // namespace tgdkit

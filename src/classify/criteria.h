@@ -1,0 +1,102 @@
+// Syntactic decidability criteria for query answering (Figure 2 of the
+// paper): the acyclicity, guarded and sticky families. All criteria are
+// evaluated on dependencies in Skolemized form (SoTgd rule sets); as the
+// paper notes, "allowing plain SO tgds rather than ordinary tgds has no
+// effect on the definition of these restrictions".
+//
+//   finite-expansion / treewidth / unification sets are semantic classes
+//   and are represented by their syntactic members below:
+//
+//   acyclicity family:  full ⊂ weakly acyclic          (Fagin et al. 2005)
+//   guarded family:     linear ⊂ guarded ⊂ weakly guarded   (Calì et al.)
+//   sticky family:      sticky ⊂ sticky-join            (Calì et al. 2010)
+//
+// The sticky-join check here is the closure sticky ∨ linear — sound for
+// every inclusion edge of Figure 2 (see DESIGN.md §5 for the caveat).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "chase/chase.h"
+#include "dep/dependency.h"
+
+namespace tgdkit {
+
+/// A relation position (relation symbol, argument index).
+using Position = std::pair<RelationId, uint32_t>;
+
+/// Full: no function terms anywhere (no existential quantification).
+bool IsFull(const TermArena& arena, const SoTgd& so);
+
+/// Linear: every rule body is a single atom.
+bool IsLinear(const TermArena& arena, const SoTgd& so);
+
+/// Guarded: every rule body has an atom containing all its body variables.
+bool IsGuarded(const TermArena& arena, const SoTgd& so);
+
+/// Affected positions (Calì, Gottlob & Kifer): positions where labeled
+/// nulls can appear during the chase. Least fixpoint of
+///  (1) head positions carrying a functional term are affected;
+///  (2) if a body variable occurs only at affected positions, its head
+///      positions are affected.
+std::set<Position> AffectedPositions(const TermArena& arena, const SoTgd& so);
+
+/// Weakly guarded: every rule body has an atom containing all body
+/// variables that occur only at affected positions in the body.
+bool IsWeaklyGuarded(const TermArena& arena, const SoTgd& so);
+
+/// Weakly acyclic (Fagin et al. 2005): the position dependency graph —
+/// regular edges propagate a universal variable from a body position to a
+/// head position, special edges lead from a universal's body positions to
+/// every functional-term (existential) head position of the same rule —
+/// has no cycle through a special edge. Guarantees chase termination,
+/// hence decidable query answering even for SO tgds (paper Section 5).
+bool IsWeaklyAcyclic(const TermArena& arena, const SoTgd& so);
+
+/// Sticky (Calì, Gottlob & Pieris): the marking procedure — mark body
+/// variables missing from some head atom, propagate markings backwards
+/// through head positions — leaves no marked variable occurring in two
+/// body positions of one rule.
+bool IsSticky(const TermArena& arena, const SoTgd& so);
+
+/// Sticky-join, approximated as sticky ∨ linear (DESIGN.md §5).
+bool IsStickyJoin(const TermArena& arena, const SoTgd& so);
+
+/// Empirical termination check via the critical instance (Marnette 2009):
+/// the Skolem chase terminates on EVERY instance iff it terminates on the
+/// critical instance (one constant ⋆, every relation holding the all-⋆
+/// tuple). A semi-decision proxy for the paper's semantic "finite
+/// expansion set" class: `true` proves universal termination; `false`
+/// only means "no fixpoint within the limits".
+struct CriticalInstanceReport {
+  bool terminated = false;
+  uint64_t rounds = 0;
+  uint64_t facts = 0;
+};
+
+/// `relations` lists the schema (every relation a body may mention).
+CriticalInstanceReport TerminatesOnCriticalInstance(
+    TermArena* arena, Vocabulary* vocab, const SoTgd& so,
+    std::span<const RelationId> relations, ChaseLimits limits = {});
+
+/// Full membership row for Figure 2.
+struct Figure2Membership {
+  bool full = false;
+  bool weakly_acyclic = false;
+  bool linear = false;
+  bool guarded = false;
+  bool weakly_guarded = false;
+  bool sticky = false;
+  bool sticky_join = false;
+};
+
+Figure2Membership ClassifyFigure2(const TermArena& arena, const SoTgd& so);
+
+/// Renders a membership row, e.g. "linear,guarded,sticky".
+std::string ToString(const Figure2Membership& membership);
+
+}  // namespace tgdkit

@@ -1,0 +1,144 @@
+#include "classify/dot.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+namespace {
+
+std::string PositionName(const Vocabulary& vocab, const Position& p) {
+  return Cat(vocab.RelationName(p.first), ".", p.second);
+}
+
+/// Collects the body positions of each variable of a part (top level).
+std::map<VariableId, std::set<Position>> BodyPositionsOf(
+    const TermArena& arena, const SoPart& part) {
+  std::map<VariableId, std::set<Position>> out;
+  for (const Atom& atom : part.body) {
+    for (uint32_t i = 0; i < atom.args.size(); ++i) {
+      if (arena.IsVariable(atom.args[i])) {
+        out[arena.symbol(atom.args[i])].insert({atom.relation, i});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PositionGraphDot(const TermArena& arena, const Vocabulary& vocab,
+                             const SoTgd& so) {
+  std::set<Position> affected = AffectedPositions(arena, so);
+  std::set<Position> nodes;
+  // (from, to, special)
+  std::set<std::tuple<Position, Position, bool>> edges;
+
+  for (const SoPart& part : so.parts) {
+    auto body_positions = BodyPositionsOf(arena, part);
+    for (const auto& [var, positions] : body_positions) {
+      for (const Position& from : positions) {
+        nodes.insert(from);
+        for (const Atom& atom : part.head) {
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            TermId t = atom.args[i];
+            Position to{atom.relation, i};
+            if (arena.IsVariable(t) && arena.symbol(t) == var) {
+              nodes.insert(to);
+              edges.insert({from, to, false});
+            } else if (arena.IsFunction(t)) {
+              std::vector<VariableId> term_vars;
+              arena.CollectVariables(t, &term_vars);
+              for (VariableId tv : term_vars) {
+                if (tv == var) {
+                  nodes.insert(to);
+                  edges.insert({from, to, true});
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::string out = "digraph positions {\n  rankdir=LR;\n";
+  for (const Position& p : nodes) {
+    out += Cat("  \"", PositionName(vocab, p), "\"");
+    if (affected.count(p)) {
+      out += " [style=filled, fillcolor=lightgray]";
+    }
+    out += ";\n";
+  }
+  for (const auto& [from, to, special] : edges) {
+    out += Cat("  \"", PositionName(vocab, from), "\" -> \"",
+               PositionName(vocab, to), "\"");
+    if (special) out += " [style=dashed, label=\"*\"]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string QuantifierDot(const Vocabulary& vocab,
+                          const HenkinQuantifier& quantifier) {
+  std::string out = "digraph quantifier {\n";
+  for (VariableId x : quantifier.universals()) {
+    out += Cat("  \"", vocab.VariableName(x), "\" [shape=box];\n");
+  }
+  for (VariableId y : quantifier.existentials()) {
+    out += Cat("  \"", vocab.VariableName(y),
+               "\" [shape=ellipse, style=filled, fillcolor=lightblue];\n");
+  }
+  for (const auto& [a, b] : quantifier.order()) {
+    out += Cat("  \"", vocab.VariableName(a), "\" -> \"",
+               vocab.VariableName(b), "\";\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+void NestingNodeDot(const TermArena& arena, const Vocabulary& vocab,
+                    const NestedNode& node, int* counter, int parent,
+                    std::string* out) {
+  int id = (*counter)++;
+  std::string label = JoinMapped(node.body, " & ", [&](const Atom& a) {
+    return ToString(arena, vocab, a);
+  });
+  label += " ->";
+  if (!node.exist_vars.empty()) {
+    label += " exists ";
+    label += JoinMapped(node.exist_vars, ",", [&](VariableId v) {
+      return vocab.VariableName(v);
+    });
+  }
+  for (const Atom& atom : node.head_atoms) {
+    label += " ";
+    label += ToString(arena, vocab, atom);
+  }
+  *out += Cat("  n", id, " [shape=box, label=\"", label, "\"];\n");
+  if (parent >= 0) {
+    *out += Cat("  n", parent, " -> n", id, ";\n");
+  }
+  for (const NestedNode& child : node.children) {
+    NestingNodeDot(arena, vocab, child, counter, id, out);
+  }
+}
+
+}  // namespace
+
+std::string NestingTreeDot(const TermArena& arena, const Vocabulary& vocab,
+                           const NestedTgd& nested) {
+  std::string out = "digraph nesting {\n";
+  int counter = 0;
+  NestingNodeDot(arena, vocab, nested.root, &counter, -1, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tgdkit

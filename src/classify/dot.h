@@ -1,0 +1,31 @@
+// GraphViz (DOT) exports of the structures behind the paper's figures:
+// the position dependency graph of a rule set (weak acyclicity, Figure 2),
+// the order graph of a Henkin quantifier (Section 3.1), and the nesting
+// tree of a nested tgd. Render with `dot -Tpng`.
+#pragma once
+
+#include <string>
+
+#include "classify/criteria.h"
+#include "dep/dependency.h"
+
+namespace tgdkit {
+
+/// The position dependency graph of `so`: nodes are relation positions,
+/// solid edges are regular, dashed edges are special (they introduce
+/// nulls). Affected positions are shaded. A cycle through a dashed edge
+/// is exactly a weak-acyclicity violation.
+std::string PositionGraphDot(const TermArena& arena, const Vocabulary& vocab,
+                             const SoTgd& so);
+
+/// The order graph of a Henkin quantifier: universals as boxes,
+/// existentials as ellipses, one edge per generator pair.
+std::string QuantifierDot(const Vocabulary& vocab,
+                          const HenkinQuantifier& quantifier);
+
+/// The nesting tree of a nested tgd: one node per part, labeled with its
+/// body and direct head atoms.
+std::string NestingTreeDot(const TermArena& arena, const Vocabulary& vocab,
+                           const NestedTgd& nested);
+
+}  // namespace tgdkit

@@ -1,0 +1,490 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "base/strings.h"
+#include "chase/chase.h"
+#include "classify/criteria.h"
+#include "classify/dot.h"
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "mc/model_check.h"
+#include "exchange/exchange.h"
+#include "parse/parser.h"
+#include "query/query.h"
+#include "transform/composition.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: tgdkit COMMAND ARGS...\n"
+    "  classify  DEPS                 Figure 1 + Figure 2 membership\n"
+    "  chase     DEPS INSTANCE        chase to fixpoint/budget\n"
+    "  check     DEPS INSTANCE        model-check each dependency\n"
+    "  certain   DEPS INSTANCE QUERY  certain answers to a query\n"
+    "  normalize DEPS                 nested-to-so / nested-to-henkin\n"
+    "  dot       DEPS                 GraphViz position/quantifier graphs\n"
+    "  explain   DEPS INSTANCE        chase + provenance of every null\n"
+    "  compose   DEPS12 DEPS23 [...]  compose s-t tgd mappings -> SO tgd\n"
+    "  solve     DEPS INSTANCE        data exchange: universal + core\n"
+    "                                 solution (target = head relations)\n"
+    "options: --max-rounds N  --max-facts N  --max-depth N\n";
+
+struct CliContext {
+  Vocabulary vocab;
+  TermArena arena;
+  ChaseLimits limits;
+  std::vector<std::string> positional;
+};
+
+std::optional<std::string> ReadFile(const std::string& path,
+                                    std::ostream& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err << "tgdkit: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parses options into `ctx`; returns false on a malformed option.
+bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
+                  std::ostream& err) {
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto numeric = [&](uint64_t* slot) {
+      if (i + 1 >= args.size()) {
+        err << "tgdkit: missing value for " << arg << "\n";
+        return false;
+      }
+      *slot = std::stoull(args[++i]);
+      return true;
+    };
+    if (arg == "--max-rounds") {
+      if (!numeric(&ctx->limits.max_rounds)) return false;
+    } else if (arg == "--max-facts") {
+      if (!numeric(&ctx->limits.max_facts)) return false;
+    } else if (arg == "--max-depth") {
+      uint64_t depth = 0;
+      if (!numeric(&depth)) return false;
+      ctx->limits.max_term_depth = static_cast<uint32_t>(depth);
+    } else if (arg.rfind("--", 0) == 0) {
+      err << "tgdkit: unknown option " << arg << "\n";
+      return false;
+    } else {
+      ctx->positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+/// Loads and parses a dependency program.
+std::optional<DependencyProgram> LoadDependencies(CliContext* ctx,
+                                                  const std::string& path,
+                                                  std::ostream& err) {
+  std::optional<std::string> text = ReadFile(path, err);
+  if (!text.has_value()) return std::nullopt;
+  Parser parser(&ctx->arena, &ctx->vocab);
+  Result<DependencyProgram> program = parser.ParseDependencies(*text);
+  if (!program.ok()) {
+    err << "tgdkit: " << path << ": " << program.status().ToString() << "\n";
+    return std::nullopt;
+  }
+  return std::move(*program);
+}
+
+std::optional<Instance> LoadInstance(CliContext* ctx,
+                                     const std::string& path,
+                                     std::ostream& err) {
+  std::optional<std::string> text = ReadFile(path, err);
+  if (!text.has_value()) return std::nullopt;
+  Parser parser(&ctx->arena, &ctx->vocab);
+  Instance instance(&ctx->vocab);
+  Status status = parser.ParseInstanceInto(*text, &instance);
+  if (!status.ok()) {
+    err << "tgdkit: " << path << ": " << status.ToString() << "\n";
+    return std::nullopt;
+  }
+  return instance;
+}
+
+/// Skolemizes all dependencies of a program into one rule set.
+SoTgd ProgramRules(CliContext* ctx, const DependencyProgram& program) {
+  std::vector<SoTgd> pieces;
+  std::vector<Tgd> tgds = program.Tgds();
+  if (!tgds.empty()) {
+    pieces.push_back(TgdsToSo(&ctx->arena, &ctx->vocab, tgds));
+  }
+  std::vector<HenkinTgd> henkins = program.Henkins();
+  if (!henkins.empty()) {
+    pieces.push_back(HenkinsToSo(&ctx->arena, &ctx->vocab, henkins));
+  }
+  for (const NestedTgd& nested : program.Nesteds()) {
+    pieces.push_back(NestedToSo(&ctx->arena, &ctx->vocab, nested));
+  }
+  for (const SoTgd& so : program.Sos()) {
+    pieces.push_back(so);
+  }
+  return MergeSo(pieces);
+}
+
+std::string LabelOf(const ParsedDependency& dep, size_t index) {
+  return dep.label.empty() ? Cat("#", index + 1) : dep.label;
+}
+
+const char* KindName(ParsedDependency::Kind kind) {
+  switch (kind) {
+    case ParsedDependency::Kind::kTgd:
+      return "tgd";
+    case ParsedDependency::Kind::kSo:
+      return "so-tgd";
+    case ParsedDependency::Kind::kNested:
+      return "nested-tgd";
+    case ParsedDependency::Kind::kHenkin:
+      return "henkin-tgd";
+  }
+  return "?";
+}
+
+/// One dependency's Skolemized form (for classify/check).
+SoTgd SkolemizeOne(CliContext* ctx, const ParsedDependency& dep) {
+  switch (dep.kind) {
+    case ParsedDependency::Kind::kTgd:
+      return TgdToSo(&ctx->arena, &ctx->vocab, dep.tgd);
+    case ParsedDependency::Kind::kSo:
+      return dep.so;
+    case ParsedDependency::Kind::kNested:
+      return NestedToSo(&ctx->arena, &ctx->vocab, dep.nested);
+    case ParsedDependency::Kind::kHenkin:
+      return HenkinToSo(&ctx->arena, &ctx->vocab, dep.henkin);
+  }
+  return {};
+}
+
+int CmdClassify(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 1) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  for (size_t i = 0; i < program->dependencies.size(); ++i) {
+    const ParsedDependency& dep = program->dependencies[i];
+    SoTgd so = SkolemizeOne(ctx, dep);
+    out << LabelOf(dep, i) << " (" << KindName(dep.kind) << ")\n";
+    out << "  figure-1: " << ToString(ClassifyFigure1(ctx->arena, so))
+        << "\n";
+    out << "  figure-2: " << ToString(ClassifyFigure2(ctx->arena, so))
+        << "\n";
+  }
+  // Whole-program termination check via the critical instance.
+  SoTgd rules = ProgramRules(ctx, *program);
+  std::set<RelationId> schema;
+  for (const SoPart& part : rules.parts) {
+    for (const Atom& atom : part.body) schema.insert(atom.relation);
+    for (const Atom& atom : part.head) schema.insert(atom.relation);
+  }
+  std::vector<RelationId> relations(schema.begin(), schema.end());
+  ChaseLimits limits = ctx->limits;
+  limits.max_term_depth = std::min<uint32_t>(limits.max_term_depth, 32);
+  limits.max_facts = std::min<uint64_t>(limits.max_facts, 200000);
+  CriticalInstanceReport report = TerminatesOnCriticalInstance(
+      &ctx->arena, &ctx->vocab, rules, relations, limits);
+  out << "chase termination (critical instance): "
+      << (report.terminated ? "PROVEN for all inputs"
+                            : "no fixpoint within budget")
+      << " (" << report.rounds << " rounds, " << report.facts
+      << " facts)\n";
+  return 0;
+}
+
+int CmdChase(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 2) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  auto instance = LoadInstance(ctx, ctx->positional[1], err);
+  if (!instance.has_value()) return 2;
+  SoTgd rules = ProgramRules(ctx, *program);
+  ChaseResult result =
+      Chase(&ctx->arena, &ctx->vocab, rules, *instance, ctx->limits);
+  out << "# chase " << ToString(result.stop_reason) << " after "
+      << result.rounds << " rounds, " << result.facts_created
+      << " facts created\n";
+  out << result.instance.ToString();
+  return 0;
+}
+
+int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 2) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  auto instance = LoadInstance(ctx, ctx->positional[1], err);
+  if (!instance.has_value()) return 2;
+  bool all_ok = true;
+  for (size_t i = 0; i < program->dependencies.size(); ++i) {
+    const ParsedDependency& dep = program->dependencies[i];
+    std::string verdict;
+    switch (dep.kind) {
+      case ParsedDependency::Kind::kTgd: {
+        auto violation = FindTgdViolation(ctx->arena, *instance, dep.tgd);
+        if (violation.has_value()) {
+          verdict = Cat("VIOLATED at ",
+                        violation->ToString(ctx->vocab, *instance));
+        } else {
+          verdict = "satisfied";
+        }
+        break;
+      }
+      case ParsedDependency::Kind::kNested: {
+        auto violation =
+            FindNestedViolation(ctx->arena, *instance, dep.nested);
+        if (violation.has_value()) {
+          verdict = Cat("VIOLATED at ",
+                        violation->ToString(ctx->vocab, *instance));
+        } else {
+          verdict = "satisfied";
+        }
+        break;
+      }
+      case ParsedDependency::Kind::kHenkin: {
+        McResult result =
+            CheckHenkin(&ctx->arena, &ctx->vocab, *instance, dep.henkin);
+        verdict = result.budget_exceeded ? "UNKNOWN (budget)"
+                  : result.satisfied     ? "satisfied"
+                                         : "VIOLATED";
+        break;
+      }
+      case ParsedDependency::Kind::kSo: {
+        McResult result = CheckSo(ctx->arena, *instance, dep.so);
+        verdict = result.budget_exceeded ? "UNKNOWN (budget)"
+                  : result.satisfied     ? "satisfied"
+                                         : "VIOLATED";
+        break;
+      }
+    }
+    all_ok &= (verdict == "satisfied");
+    out << LabelOf(dep, i) << " (" << KindName(dep.kind)
+        << "): " << verdict << "\n";
+  }
+  return all_ok ? 0 : 3;
+}
+
+int CmdCertain(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 3) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  auto instance = LoadInstance(ctx, ctx->positional[1], err);
+  if (!instance.has_value()) return 2;
+  Parser parser(&ctx->arena, &ctx->vocab);
+  Result<ConjunctiveQuery> query = parser.ParseQuery(ctx->positional[2]);
+  if (!query.ok()) {
+    err << "tgdkit: query: " << query.status().ToString() << "\n";
+    return 2;
+  }
+  SoTgd rules = ProgramRules(ctx, *program);
+  CertainAnswers answers = ComputeCertainAnswers(
+      &ctx->arena, &ctx->vocab, rules, *instance, *query, ctx->limits);
+  out << "# " << (answers.Complete() ? "complete" : "TRUNCATED")
+      << " (chase " << answers.chase_rounds << " rounds)\n";
+  if (query->IsBoolean()) {
+    out << (answers.answers.empty() ? "false" : "true") << "\n";
+    return 0;
+  }
+  for (const auto& row : answers.answers) {
+    out << JoinMapped(row, ", ",
+                      [&](Value v) { return instance->ValueToString(v); })
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdNormalize(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 1) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  for (size_t i = 0; i < program->dependencies.size(); ++i) {
+    const ParsedDependency& dep = program->dependencies[i];
+    if (dep.kind != ParsedDependency::Kind::kNested) continue;
+    out << LabelOf(dep, i) << ":\n";
+    SoTgd so = NestedToSo(&ctx->arena, &ctx->vocab, dep.nested);
+    out << "  nested-to-so: " << ToString(ctx->arena, ctx->vocab, so)
+        << "\n";
+    bool overflow = false;
+    std::vector<HenkinTgd> henkins = NestedToHenkin(
+        &ctx->arena, &ctx->vocab, dep.nested, 1u << 12, &overflow);
+    if (overflow) {
+      out << "  nested-to-henkin: overflow ("
+          << NestedToHenkinRuleCount(dep.nested) << " rules)\n";
+      continue;
+    }
+    out << "  nested-to-henkin (" << henkins.size() << " rules):\n";
+    for (const HenkinTgd& henkin : henkins) {
+      out << "    " << ToString(ctx->arena, ctx->vocab, henkin) << "\n";
+    }
+  }
+  return 0;
+}
+
+int CmdExplain(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 2) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  auto instance = LoadInstance(ctx, ctx->positional[1], err);
+  if (!instance.has_value()) return 2;
+  SoTgd rules = ProgramRules(ctx, *program);
+  ChaseResult result =
+      Chase(&ctx->arena, &ctx->vocab, rules, *instance, ctx->limits);
+  out << "# chase " << ToString(result.stop_reason) << "; "
+      << result.instance.num_nulls() << " nulls\n";
+  for (uint32_t i = 0; i < result.instance.num_nulls(); ++i) {
+    Value null = Value::Null(i);
+    out << result.instance.ValueToString(null) << " = "
+        << result.ExplainValue(ctx->arena, ctx->vocab, null) << "\n";
+  }
+  return 0;
+}
+
+int CmdCompose(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() < 2) {
+    err << kUsage;
+    return 1;
+  }
+  std::vector<std::vector<Tgd>> chain;
+  for (const std::string& path : ctx->positional) {
+    auto program = LoadDependencies(ctx, path, err);
+    if (!program.has_value()) return 2;
+    std::vector<Tgd> tgds = program->Tgds();
+    if (tgds.empty()) {
+      err << "tgdkit: " << path << ": composition needs plain tgds\n";
+      return 2;
+    }
+    chain.push_back(std::move(tgds));
+  }
+  Result<SoTgd> composed =
+      chain.size() == 2
+          ? ComposeMappings(&ctx->arena, &ctx->vocab, chain[0], chain[1])
+          : ComposeChain(&ctx->arena, &ctx->vocab, chain);
+  if (!composed.ok()) {
+    err << "tgdkit: " << composed.status().ToString() << "\n";
+    return 2;
+  }
+  if (composed->parts.empty()) {
+    out << "// empty composition: the second mapping never fires\n";
+    return 0;
+  }
+  out << ToString(ctx->arena, ctx->vocab, *composed) << " .\n";
+  return 0;
+}
+
+int CmdSolve(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 2) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  auto instance = LoadInstance(ctx, ctx->positional[1], err);
+  if (!instance.has_value()) return 2;
+  SchemaMapping mapping;
+  mapping.rules = ProgramRules(ctx, *program);
+  // Infer the split: body relations are source, head relations target.
+  for (const SoPart& part : mapping.rules.parts) {
+    for (const Atom& atom : part.body) {
+      mapping.source_relations.insert(atom.relation);
+    }
+    for (const Atom& atom : part.head) {
+      mapping.target_relations.insert(atom.relation);
+    }
+  }
+  Status status = ValidateSourceToTarget(mapping);
+  if (!status.ok()) {
+    err << "tgdkit: mapping is not source-to-target: "
+        << status.ToString() << "\n";
+    return 2;
+  }
+  ExchangeResult result = Solve(&ctx->arena, &ctx->vocab, mapping,
+                                *instance, ctx->limits);
+  out << "# " << (result.IsUniversal() ? "universal" : "TRUNCATED")
+      << " solution (" << result.solution.NumFacts() << " facts)\n";
+  out << result.solution.ToString();
+  Instance core = CoreSolution(&ctx->arena, &ctx->vocab, mapping, *instance,
+                               ctx->limits);
+  out << "# core solution (" << core.NumFacts() << " facts)\n";
+  out << core.ToString();
+  return 0;
+}
+
+int CmdDot(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 1) {
+    err << kUsage;
+    return 1;
+  }
+  auto program = LoadDependencies(ctx, ctx->positional[0], err);
+  if (!program.has_value()) return 2;
+  SoTgd rules = ProgramRules(ctx, *program);
+  out << "// position dependency graph (dashed = special edges)\n";
+  out << PositionGraphDot(ctx->arena, ctx->vocab, rules);
+  for (size_t i = 0; i < program->dependencies.size(); ++i) {
+    const ParsedDependency& dep = program->dependencies[i];
+    if (dep.kind == ParsedDependency::Kind::kHenkin) {
+      out << "// quantifier order of " << LabelOf(dep, i) << "\n";
+      out << QuantifierDot(ctx->vocab, dep.henkin.quantifier);
+    } else if (dep.kind == ParsedDependency::Kind::kNested) {
+      out << "// nesting tree of " << LabelOf(dep, i) << "\n";
+      out << NestingTreeDot(ctx->arena, ctx->vocab, dep.nested);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 1;
+  }
+  CliContext ctx;
+  if (!ParseOptions(args, &ctx, err)) return 1;
+  const std::string& command = args[0];
+  // The command itself landed in positional[0]; drop it.
+  if (!ctx.positional.empty() && ctx.positional[0] == command) {
+    ctx.positional.erase(ctx.positional.begin());
+  }
+  if (command == "classify") return CmdClassify(&ctx, out, err);
+  if (command == "chase") return CmdChase(&ctx, out, err);
+  if (command == "check") return CmdCheck(&ctx, out, err);
+  if (command == "certain") return CmdCertain(&ctx, out, err);
+  if (command == "normalize") return CmdNormalize(&ctx, out, err);
+  if (command == "dot") return CmdDot(&ctx, out, err);
+  if (command == "explain") return CmdExplain(&ctx, out, err);
+  if (command == "compose") return CmdCompose(&ctx, out, err);
+  if (command == "solve") return CmdSolve(&ctx, out, err);
+  err << kUsage;
+  return 1;
+}
+
+}  // namespace tgdkit

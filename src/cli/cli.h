@@ -1,0 +1,27 @@
+// The tgdkit command-line driver, as a testable library. The `tgdkit`
+// binary (tools/tgdkit_main.cc) forwards straight into RunCli.
+//
+// Commands:
+//   tgdkit classify  DEPS                 Figure 1 + Figure 2 membership
+//   tgdkit chase     DEPS INSTANCE        chase to fixpoint/budget, print
+//   tgdkit check     DEPS INSTANCE        model-check each dependency
+//   tgdkit certain   DEPS INSTANCE QUERY  certain answers to a query
+//   tgdkit normalize DEPS                 Algorithm 1 + Algorithm 2 output
+//
+// DEPS/INSTANCE are file paths in the formats of parse/parser.h; QUERY is
+// a Datalog-style query string. Options:
+//   --max-rounds N --max-facts N --max-depth N   chase budgets
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tgdkit {
+
+/// Runs one CLI invocation. `args` excludes the program name. Returns the
+/// process exit code (0 success, 1 usage error, 2 input error).
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace tgdkit

@@ -1,0 +1,164 @@
+#include "data/instance.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+Instance::Instance(const Vocabulary* vocab) : vocab_(vocab) {}
+
+Instance::RelationData& Instance::GetOrCreate(RelationId relation) {
+  auto it = relations_.find(relation);
+  if (it != relations_.end()) return it->second;
+  RelationData& data = relations_[relation];
+  data.arity = vocab_->RelationArity(relation);
+  assert(data.arity >= 1 && "0-ary relations are not supported");
+  data.position_index.resize(data.arity);
+  active_relations_.push_back(relation);
+  return data;
+}
+
+size_t Instance::TupleHash(std::span<const Value> args) {
+  size_t seed = 0x9e3779b9u;
+  for (Value v : args) HashCombine(&seed, v.raw());
+  return seed;
+}
+
+bool Instance::AddFact(RelationId relation, std::span<const Value> args) {
+  RelationData& data = GetOrCreate(relation);
+  assert(args.size() == data.arity && "fact arity mismatch");
+  size_t h = TupleHash(args);
+  auto bucket_it = data.dedup.find(h);
+  if (bucket_it != data.dedup.end()) {
+    for (uint32_t row : bucket_it->second) {
+      const Value* tuple = data.flat.data() + size_t(row) * data.arity;
+      if (std::equal(args.begin(), args.end(), tuple)) return false;
+    }
+  }
+  uint32_t row = static_cast<uint32_t>(data.NumTuples());
+  data.flat.insert(data.flat.end(), args.begin(), args.end());
+  data.dedup[h].push_back(row);
+  for (uint32_t pos = 0; pos < data.arity; ++pos) {
+    data.position_index[pos][args[pos]].push_back(row);
+  }
+  return true;
+}
+
+bool Instance::Contains(RelationId relation,
+                        std::span<const Value> args) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return false;
+  const RelationData& data = it->second;
+  if (args.size() != data.arity) return false;
+  auto bucket_it = data.dedup.find(TupleHash(args));
+  if (bucket_it == data.dedup.end()) return false;
+  for (uint32_t row : bucket_it->second) {
+    const Value* tuple = data.flat.data() + size_t(row) * data.arity;
+    if (std::equal(args.begin(), args.end(), tuple)) return true;
+  }
+  return false;
+}
+
+Value Instance::FreshNull(std::string label) {
+  uint32_t index = static_cast<uint32_t>(null_labels_.size());
+  null_labels_.push_back(std::move(label));
+  return Value::Null(index);
+}
+
+void Instance::EnsureNulls(uint32_t count) {
+  while (null_labels_.size() < count) null_labels_.emplace_back();
+}
+
+size_t Instance::NumTuples(RelationId relation) const {
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? 0 : it->second.NumTuples();
+}
+
+size_t Instance::NumFacts() const {
+  size_t total = 0;
+  for (const auto& [rel, data] : relations_) total += data.NumTuples();
+  return total;
+}
+
+std::span<const Value> Instance::Tuple(RelationId relation,
+                                       uint32_t row) const {
+  const RelationData& data = relations_.at(relation);
+  return {data.flat.data() + size_t(row) * data.arity, data.arity};
+}
+
+const std::vector<uint32_t>& Instance::RowsWithValue(RelationId relation,
+                                                     uint32_t position,
+                                                     Value value) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return empty_rows_;
+  const RelationData& data = it->second;
+  assert(position < data.arity);
+  auto vit = data.position_index[position].find(value);
+  if (vit == data.position_index[position].end()) return empty_rows_;
+  return vit->second;
+}
+
+std::vector<Value> Instance::ActiveDomain() const {
+  std::unordered_set<uint32_t> seen;
+  std::vector<Value> out;
+  for (const auto& [rel, data] : relations_) {
+    for (Value v : data.flat) {
+      if (seen.insert(v.raw()).second) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Fact> Instance::AllFacts() const {
+  std::vector<Fact> out;
+  out.reserve(NumFacts());
+  for (RelationId rel : active_relations_) {
+    const RelationData& data = relations_.at(rel);
+    size_t n = data.NumTuples();
+    for (size_t row = 0; row < n; ++row) {
+      Fact f;
+      f.relation = rel;
+      const Value* tuple = data.flat.data() + row * data.arity;
+      f.args.assign(tuple, tuple + data.arity);
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+std::string Instance::ValueToString(Value v) const {
+  if (!v.valid()) return "<invalid>";
+  if (v.is_constant()) return vocab_->ConstantName(v.index());
+  const std::string& label = null_labels_[v.index()];
+  if (!label.empty()) return Cat("_", label);
+  return Cat("_N", v.index());
+}
+
+std::string Instance::ToString() const {
+  std::vector<std::string> lines;
+  for (const Fact& f : AllFacts()) {
+    std::string line = vocab_->RelationName(f.relation);
+    line += "(";
+    line += JoinMapped(f.args, ", ",
+                       [&](Value v) { return ValueToString(v); });
+    line += ")";
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+void CopyFacts(const Instance& src, Instance* dst) {
+  dst->EnsureNulls(src.num_nulls());
+  for (const Fact& f : src.AllFacts()) dst->AddFact(f);
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,125 @@
+// Database instances: finite relations over constants and labeled nulls,
+// with per-position value indexes to support homomorphism search and the
+// chase. Facts are deduplicated on insertion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "data/value.h"
+
+namespace tgdkit {
+
+/// A ground atom, used for convenient construction and iteration.
+struct Fact {
+  RelationId relation;
+  std::vector<Value> args;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation == b.relation && a.args == b.args;
+  }
+};
+
+/// A finite database instance over a Vocabulary's relations.
+///
+/// Tuples are stored row-major per relation; row ids are stable (facts are
+/// never removed in place — RemoveFacts rebuilds). Per-position indexes are
+/// maintained incrementally on insertion.
+class Instance {
+ public:
+  explicit Instance(const Vocabulary* vocab);
+
+  const Vocabulary& vocab() const { return *vocab_; }
+
+  /// Adds a fact; returns true iff it was not already present.
+  /// Precondition: args.size() == arity of `relation`.
+  bool AddFact(RelationId relation, std::span<const Value> args);
+  bool AddFact(const Fact& fact) { return AddFact(fact.relation, fact.args); }
+
+  bool Contains(RelationId relation, std::span<const Value> args) const;
+
+  /// Allocates a fresh labeled null (optionally with a debug label).
+  Value FreshNull(std::string label = "");
+  /// Ensures null indexes [0, count) exist (used by parsers).
+  void EnsureNulls(uint32_t count);
+
+  uint32_t num_nulls() const { return static_cast<uint32_t>(null_labels_.size()); }
+  const std::string& NullLabel(uint32_t null_index) const {
+    return null_labels_[null_index];
+  }
+
+  /// Number of tuples in `relation` (0 for relations never touched).
+  size_t NumTuples(RelationId relation) const;
+  /// Total number of facts in the instance.
+  size_t NumFacts() const;
+
+  /// The `row`-th tuple of `relation`.
+  std::span<const Value> Tuple(RelationId relation, uint32_t row) const;
+
+  /// Row ids of tuples in `relation` whose `position`-th entry equals
+  /// `value` (empty if none).
+  const std::vector<uint32_t>& RowsWithValue(RelationId relation,
+                                             uint32_t position,
+                                             Value value) const;
+
+  /// Relations with at least one tuple, in first-insertion order.
+  const std::vector<RelationId>& ActiveRelations() const {
+    return active_relations_;
+  }
+
+  /// All distinct values appearing anywhere in the instance.
+  std::vector<Value> ActiveDomain() const;
+
+  /// All facts, materialized (for tests and small instances).
+  std::vector<Fact> AllFacts() const;
+
+  /// Rebuilds this instance keeping only facts for which `keep` is true.
+  template <typename Pred>
+  void RemoveFacts(Pred keep) {
+    std::vector<Fact> kept;
+    for (const Fact& f : AllFacts()) {
+      if (keep(f)) kept.push_back(f);
+    }
+    relations_.clear();
+    active_relations_.clear();
+    for (const Fact& f : kept) AddFact(f);
+  }
+
+  /// Renders all facts sorted lexicographically, one per line.
+  std::string ToString() const;
+
+  /// Renders a single value ("name" for constants, label or _N<i> for nulls).
+  std::string ValueToString(Value v) const;
+
+ private:
+  struct RelationData {
+    uint32_t arity = 0;
+    std::vector<Value> flat;  // row-major tuples
+    // tuple hash -> row ids with that hash (dedup)
+    std::unordered_map<size_t, std::vector<uint32_t>> dedup;
+    // per position: value -> row ids
+    std::vector<std::unordered_map<Value, std::vector<uint32_t>, ValueHash>>
+        position_index;
+
+    size_t NumTuples() const { return flat.size() / arity; }
+  };
+
+  RelationData& GetOrCreate(RelationId relation);
+  static size_t TupleHash(std::span<const Value> args);
+
+  const Vocabulary* vocab_;
+  std::unordered_map<RelationId, RelationData> relations_;
+  std::vector<RelationId> active_relations_;
+  std::vector<std::string> null_labels_;
+  std::vector<uint32_t> empty_rows_;
+};
+
+/// Copies all facts of `src` into `dst` (vocabularies must match).
+void CopyFacts(const Instance& src, Instance* dst);
+
+}  // namespace tgdkit

@@ -1,0 +1,55 @@
+// Ground values appearing in database instances: constants and labeled
+// nulls. A Value is a tagged 32-bit id; constants index into the
+// Vocabulary's constant table, nulls index into the owning Instance's null
+// space.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "base/vocabulary.h"
+
+namespace tgdkit {
+
+/// A constant or a labeled null. Cheap to copy; compares by identity.
+class Value {
+ public:
+  Value() : raw_(kInvalidRaw) {}
+
+  static Value Constant(ConstantId c) { return Value(c); }
+  static Value Null(uint32_t null_index) { return Value(null_index | kNullBit); }
+
+  bool valid() const { return raw_ != kInvalidRaw; }
+  bool is_null() const { return (raw_ & kNullBit) != 0 && valid(); }
+  bool is_constant() const { return valid() && !is_null(); }
+
+  /// ConstantId for constants, null index for nulls.
+  uint32_t index() const { return raw_ & ~kNullBit; }
+
+  uint32_t raw() const { return raw_; }
+  static Value FromRaw(uint32_t raw) {
+    Value v;
+    v.raw_ = raw;
+    return v;
+  }
+
+  friend bool operator==(Value a, Value b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Value a, Value b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Value a, Value b) { return a.raw_ < b.raw_; }
+
+ private:
+  static constexpr uint32_t kNullBit = 0x80000000u;
+  static constexpr uint32_t kInvalidRaw = 0xffffffffu;
+
+  explicit Value(uint32_t raw) : raw_(raw) {}
+
+  uint32_t raw_;
+};
+
+struct ValueHash {
+  size_t operator()(Value v) const {
+    return std::hash<uint32_t>()(v.raw());
+  }
+};
+
+}  // namespace tgdkit

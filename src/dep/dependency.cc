@@ -1,0 +1,538 @@
+#include "dep/dependency.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+std::vector<VariableId> CollectAtomVariables(const TermArena& arena,
+                                             std::span<const Atom> atoms) {
+  std::vector<VariableId> out;
+  for (const Atom& atom : atoms) {
+    for (TermId t : atom.args) arena.CollectVariables(t, &out);
+  }
+  return out;
+}
+
+namespace {
+
+bool AtomsFunctionFree(const TermArena& arena, std::span<const Atom> atoms) {
+  for (const Atom& atom : atoms) {
+    for (TermId t : atom.args) {
+      if (!arena.IsVariable(t) && !arena.IsConstant(t)) return false;
+    }
+  }
+  return true;
+}
+
+std::unordered_set<VariableId> VarSet(const TermArena& arena,
+                                      std::span<const Atom> atoms) {
+  std::vector<VariableId> vars = CollectAtomVariables(arena, atoms);
+  return {vars.begin(), vars.end()};
+}
+
+}  // namespace
+
+Status ValidateTgd(const TermArena& arena, const Tgd& tgd) {
+  if (tgd.body.empty()) return Status::InvalidArgument("tgd has empty body");
+  if (tgd.head.empty()) return Status::InvalidArgument("tgd has empty head");
+  if (!AtomsFunctionFree(arena, tgd.body)) {
+    return Status::InvalidArgument("tgd body contains function terms");
+  }
+  if (!AtomsFunctionFree(arena, tgd.head)) {
+    return Status::InvalidArgument(
+        "tgd head contains function terms (use SoTgd for Skolemized rules)");
+  }
+  std::unordered_set<VariableId> body_vars = VarSet(arena, tgd.body);
+  std::unordered_set<VariableId> exist(tgd.exist_vars.begin(),
+                                       tgd.exist_vars.end());
+  for (VariableId v : tgd.exist_vars) {
+    if (body_vars.count(v)) {
+      return Status::InvalidArgument(
+          "existential variable occurs in tgd body");
+    }
+  }
+  for (VariableId v : CollectAtomVariables(arena, tgd.head)) {
+    if (!body_vars.count(v) && !exist.count(v)) {
+      return Status::InvalidArgument(
+          "head variable neither universal nor existential");
+    }
+  }
+  return Status::Ok();
+}
+
+bool SoTgd::IsPlain(const TermArena& arena) const {
+  for (const SoPart& part : parts) {
+    if (!part.equalities.empty()) return false;
+    for (const Atom& atom : part.head) {
+      for (TermId t : atom.args) {
+        if (arena.HasNestedFunction(t)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status ValidateSoTgd(const TermArena& arena, const SoTgd& so) {
+  if (so.parts.empty()) return Status::InvalidArgument("SO tgd has no parts");
+  std::unordered_set<FunctionId> declared(so.functions.begin(),
+                                          so.functions.end());
+  for (const SoPart& part : so.parts) {
+    if (part.body.empty()) {
+      return Status::InvalidArgument("SO tgd part has empty body");
+    }
+    if (part.head.empty()) {
+      return Status::InvalidArgument("SO tgd part has empty head");
+    }
+    if (!AtomsFunctionFree(arena, part.body)) {
+      return Status::InvalidArgument(
+          "SO tgd part body atoms contain function terms");
+    }
+    std::unordered_set<VariableId> body_vars = VarSet(arena, part.body);
+    auto check_term_functions = [&](TermId t, auto&& self) -> Status {
+      if (arena.IsFunction(t)) {
+        if (!declared.count(arena.symbol(t))) {
+          return Status::InvalidArgument(
+              "SO tgd uses undeclared function symbol");
+        }
+        for (TermId a : arena.args(t)) {
+          TGDKIT_RETURN_IF_ERROR(self(a, self));
+        }
+      }
+      return Status::Ok();
+    };
+    auto check_vars_in_body = [&](TermId t) -> Status {
+      std::vector<VariableId> vars;
+      arena.CollectVariables(t, &vars);
+      for (VariableId v : vars) {
+        if (!body_vars.count(v)) {
+          return Status::InvalidArgument(
+              "SO tgd variable does not occur in its part's body");
+        }
+      }
+      return Status::Ok();
+    };
+    for (const Atom& atom : part.head) {
+      for (TermId t : atom.args) {
+        TGDKIT_RETURN_IF_ERROR(check_term_functions(t, check_term_functions));
+        TGDKIT_RETURN_IF_ERROR(check_vars_in_body(t));
+      }
+    }
+    for (const SoEquality& eq : part.equalities) {
+      for (TermId t : {eq.lhs, eq.rhs}) {
+        TGDKIT_RETURN_IF_ERROR(check_term_functions(t, check_term_functions));
+        TGDKIT_RETURN_IF_ERROR(check_vars_in_body(t));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t NestedTgd::NumParts() const {
+  size_t count = 0;
+  auto visit = [&](const NestedNode& node, auto&& self) -> void {
+    ++count;
+    for (const NestedNode& child : node.children) self(child, self);
+  };
+  visit(root, visit);
+  return count;
+}
+
+size_t NestedTgd::Depth() const {
+  auto visit = [&](const NestedNode& node, auto&& self) -> size_t {
+    size_t best = 0;
+    for (const NestedNode& child : node.children) {
+      best = std::max(best, self(child, self));
+    }
+    return 1 + best;
+  };
+  return visit(root, visit);
+}
+
+namespace {
+
+Status ValidateNestedNode(const TermArena& arena, const NestedNode& node,
+                          std::unordered_set<VariableId> universal_scope,
+                          std::unordered_set<VariableId> full_scope,
+                          std::unordered_set<VariableId>* seen_exist) {
+  if (node.body.empty()) {
+    return Status::InvalidArgument("nested tgd part has empty body");
+  }
+  if (!AtomsFunctionFree(arena, node.body)) {
+    return Status::InvalidArgument("nested tgd body contains function terms");
+  }
+  std::unordered_set<VariableId> body_vars = VarSet(arena, node.body);
+  for (VariableId v : node.univ_vars) {
+    if (!body_vars.count(v)) {
+      return Status::InvalidArgument(
+          "nested tgd universal variable missing from its part's body");
+    }
+    universal_scope.insert(v);
+    full_scope.insert(v);
+  }
+  for (VariableId v : body_vars) {
+    // Grammar: each β_j contains only variables from X (universals of this
+    // part or an ancestor part) — never existentials.
+    if (!universal_scope.count(v)) {
+      return Status::InvalidArgument(
+          "nested tgd body variable is not a universal in scope");
+    }
+  }
+  for (VariableId v : node.exist_vars) {
+    if (!seen_exist->insert(v).second) {
+      return Status::InvalidArgument(
+          "nested tgd existential variables must be renamed apart");
+    }
+    if (full_scope.count(v)) {
+      return Status::InvalidArgument(
+          "nested tgd existential shadows an outer variable");
+    }
+    full_scope.insert(v);
+  }
+  for (VariableId v : CollectAtomVariables(arena, node.head_atoms)) {
+    if (!full_scope.count(v)) {
+      return Status::InvalidArgument(
+          "nested tgd head variable not in scope");
+    }
+  }
+  if (node.head_atoms.empty() && node.children.empty()) {
+    return Status::InvalidArgument("nested tgd part has empty conclusion");
+  }
+  for (const NestedNode& child : node.children) {
+    TGDKIT_RETURN_IF_ERROR(ValidateNestedNode(arena, child, universal_scope,
+                                              full_scope, seen_exist));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateNestedTgd(const TermArena& arena, const NestedTgd& nested) {
+  std::unordered_set<VariableId> seen_exist;
+  return ValidateNestedNode(arena, nested.root, {}, {}, &seen_exist);
+}
+
+HenkinQuantifier HenkinQuantifier::FromRows(const std::vector<Row>& rows) {
+  HenkinQuantifier q;
+  for (const Row& row : rows) {
+    // Each row is one chain: x1 ≺ x2 ≺ … ≺ y1 ≺ y2 ≺ …
+    std::vector<VariableId> chain;
+    for (VariableId v : row.universals) {
+      q.AddUniversal(v);
+      chain.push_back(v);
+    }
+    for (VariableId v : row.existentials) {
+      q.AddExistential(v);
+      chain.push_back(v);
+    }
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      q.AddOrder(chain[i], chain[i + 1]);
+    }
+  }
+  return q;
+}
+
+namespace {
+
+/// Transitive closure of the order as a map var -> set of strictly
+/// preceding vars.
+std::unordered_map<VariableId, std::set<VariableId>> ClosurePredecessors(
+    const HenkinQuantifier& q) {
+  std::unordered_map<VariableId, std::set<VariableId>> pred;
+  for (VariableId v : q.universals()) pred[v];
+  for (VariableId v : q.existentials()) pred[v];
+  for (const auto& [a, b] : q.order()) pred[b].insert(a);
+  // Floyd–Warshall style saturation (quantifier prefixes are small).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [v, ps] : pred) {
+      std::set<VariableId> add;
+      for (VariableId p : ps) {
+        for (VariableId pp : pred[p]) {
+          if (!ps.count(pp)) add.insert(pp);
+        }
+      }
+      if (!add.empty()) {
+        ps.insert(add.begin(), add.end());
+        changed = true;
+      }
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+std::vector<std::pair<VariableId, std::vector<VariableId>>>
+HenkinQuantifier::EssentialOrder() const {
+  auto pred = ClosurePredecessors(*this);
+  std::unordered_set<VariableId> universal_set(universals_.begin(),
+                                               universals_.end());
+  std::vector<std::pair<VariableId, std::vector<VariableId>>> out;
+  for (VariableId y : existentials_) {
+    std::vector<VariableId> deps;
+    for (VariableId x : universals_) {  // keep declaration order
+      if (pred[y].count(x)) deps.push_back(x);
+    }
+    out.emplace_back(y, std::move(deps));
+  }
+  return out;
+}
+
+Status HenkinQuantifier::Validate() const {
+  std::unordered_set<VariableId> declared(universals_.begin(),
+                                          universals_.end());
+  declared.insert(existentials_.begin(), existentials_.end());
+  if (declared.size() != universals_.size() + existentials_.size()) {
+    return Status::InvalidArgument("Henkin quantifier variables not distinct");
+  }
+  for (const auto& [a, b] : order_) {
+    if (!declared.count(a) || !declared.count(b)) {
+      return Status::InvalidArgument(
+          "Henkin order mentions undeclared variable");
+    }
+  }
+  auto pred = ClosurePredecessors(*this);
+  for (const auto& [v, ps] : pred) {
+    if (ps.count(v)) {
+      return Status::InvalidArgument("Henkin order is cyclic (not strict)");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Dependency sets of the essential order, as sets.
+std::vector<std::set<VariableId>> EssentialSets(const HenkinQuantifier& q) {
+  std::vector<std::set<VariableId>> sets;
+  for (const auto& [y, deps] : q.EssentialOrder()) {
+    sets.emplace_back(deps.begin(), deps.end());
+  }
+  return sets;
+}
+
+bool SetsDisjoint(const std::set<VariableId>& a,
+                  const std::set<VariableId>& b) {
+  for (VariableId v : a) {
+    if (b.count(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HenkinQuantifier::IsStandard() const {
+  // Only the essential order is semantically relevant (Walkoe 1970): a
+  // quantifier is expressible as a standard one (disjoint chains of
+  // universals followed by existentials) iff the dependency sets of its
+  // existentials are pairwise equal or disjoint.
+  std::vector<std::set<VariableId>> sets = EssentialSets(*this);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t j = i + 1; j < sets.size(); ++j) {
+      if (sets[i] != sets[j] && !SetsDisjoint(sets[i], sets[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool HenkinQuantifier::IsTree() const {
+  // Tree Henkin quantifiers: every connected component of the (undirected)
+  // Hasse graph of the given order is a tree. This is representation-
+  // sensitive by design — the paper defines the class on the quantifier's
+  // partial order. Chains (standard rows) and the output of Algorithm 2
+  // are trees; overlapping dependency lists given in consistent chain
+  // order are too.
+  auto pred = ClosurePredecessors(*this);
+  std::vector<VariableId> all = universals_;
+  all.insert(all.end(), existentials_.begin(), existentials_.end());
+  std::map<VariableId, size_t> index;
+  for (size_t i = 0; i < all.size(); ++i) index[all[i]] = i;
+
+  // Hasse (covering) edges of the closure: a ≺ b with no c between.
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (VariableId b : all) {
+    for (VariableId a : pred[b]) {
+      bool covering = true;
+      for (VariableId c : pred[b]) {
+        if (c != a && pred[c].count(a)) {
+          covering = false;
+          break;
+        }
+      }
+      if (covering) edges.emplace_back(index[a], index[b]);
+    }
+  }
+
+  // Union-find acyclicity check on the undirected Hasse graph.
+  std::vector<size_t> parent(all.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& [a, b] : edges) {
+    size_t ra = find(a), rb = find(b);
+    if (ra == rb) return false;
+    parent[ra] = rb;
+  }
+  return true;
+}
+
+Status ValidateHenkinTgd(const TermArena& arena, const HenkinTgd& henkin) {
+  TGDKIT_RETURN_IF_ERROR(henkin.quantifier.Validate());
+  if (henkin.body.empty()) {
+    return Status::InvalidArgument("Henkin tgd has empty body");
+  }
+  if (henkin.head.empty()) {
+    return Status::InvalidArgument("Henkin tgd has empty head");
+  }
+  if (!AtomsFunctionFree(arena, henkin.body) ||
+      !AtomsFunctionFree(arena, henkin.head)) {
+    return Status::InvalidArgument("Henkin tgd contains function terms");
+  }
+  std::unordered_set<VariableId> universals(
+      henkin.quantifier.universals().begin(),
+      henkin.quantifier.universals().end());
+  std::unordered_set<VariableId> existentials(
+      henkin.quantifier.existentials().begin(),
+      henkin.quantifier.existentials().end());
+  std::unordered_set<VariableId> body_vars = VarSet(arena, henkin.body);
+  for (VariableId v : body_vars) {
+    if (!universals.count(v)) {
+      return Status::InvalidArgument(
+          "Henkin tgd body variable is not a universal of the quantifier");
+    }
+  }
+  for (VariableId v : universals) {
+    if (!body_vars.count(v)) {
+      return Status::InvalidArgument(
+          "Henkin universal variable missing from body");
+    }
+  }
+  for (VariableId v : CollectAtomVariables(arena, henkin.head)) {
+    if (!universals.count(v) && !existentials.count(v)) {
+      return Status::InvalidArgument("Henkin head variable not quantified");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const Atom& atom) {
+  return Cat(vocab.RelationName(atom.relation), "(",
+             JoinMapped(atom.args, ", ",
+                        [&](TermId t) { return arena.ToString(t, vocab); }),
+             ")");
+}
+
+namespace {
+
+std::string AtomsToString(const TermArena& arena, const Vocabulary& vocab,
+                          std::span<const Atom> atoms) {
+  return JoinMapped(atoms, " & ", [&](const Atom& a) {
+    return ToString(arena, vocab, a);
+  });
+}
+
+std::string VarsToString(const Vocabulary& vocab,
+                         std::span<const VariableId> vars) {
+  return JoinMapped(vars, ", ",
+                    [&](VariableId v) { return vocab.VariableName(v); });
+}
+
+}  // namespace
+
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const Tgd& tgd) {
+  std::string out = AtomsToString(arena, vocab, tgd.body);
+  out += " -> ";
+  if (!tgd.exist_vars.empty()) {
+    out += Cat("exists ", VarsToString(vocab, tgd.exist_vars), " . ");
+  }
+  out += AtomsToString(arena, vocab, tgd.head);
+  return out;
+}
+
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const SoTgd& so) {
+  std::string out = "so";
+  if (!so.functions.empty()) {
+    out += " exists ";
+    out += JoinMapped(so.functions, ", ", [&](FunctionId f) {
+      return vocab.FunctionName(f);
+    });
+  }
+  out += " { ";
+  out += JoinMapped(so.parts, " ; ", [&](const SoPart& part) {
+    std::string p = AtomsToString(arena, vocab, part.body);
+    for (const SoEquality& eq : part.equalities) {
+      p += Cat(" & ", arena.ToString(eq.lhs, vocab), " = ",
+               arena.ToString(eq.rhs, vocab));
+    }
+    p += " -> ";
+    p += AtomsToString(arena, vocab, part.head);
+    return p;
+  });
+  out += " }";
+  return out;
+}
+
+namespace {
+
+std::string NestedNodeToString(const TermArena& arena,
+                               const Vocabulary& vocab,
+                               const NestedNode& node) {
+  std::string out;
+  if (!node.univ_vars.empty()) {
+    out += Cat("forall ", VarsToString(vocab, node.univ_vars), " ");
+  }
+  out += AtomsToString(arena, vocab, node.body);
+  out += " -> ";
+  if (!node.exist_vars.empty()) {
+    out += Cat("exists ", VarsToString(vocab, node.exist_vars), " . ");
+  }
+  std::vector<std::string> items;
+  for (const Atom& atom : node.head_atoms) {
+    items.push_back(ToString(arena, vocab, atom));
+  }
+  for (const NestedNode& child : node.children) {
+    items.push_back(Cat("[ ", NestedNodeToString(arena, vocab, child), " ]"));
+  }
+  out += Join(items, " & ");
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const NestedTgd& nested) {
+  return Cat("nested ", NestedNodeToString(arena, vocab, nested.root));
+}
+
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const HenkinTgd& henkin) {
+  std::string out = "henkin { forall ";
+  out += VarsToString(vocab, henkin.quantifier.universals());
+  auto essential = henkin.quantifier.EssentialOrder();
+  for (const auto& [y, deps] : essential) {
+    out += Cat(" ; exists ", vocab.VariableName(y), "(",
+               VarsToString(vocab, deps), ")");
+  }
+  out += " } ";
+  out += AtomsToString(arena, vocab, henkin.body);
+  out += " -> ";
+  out += AtomsToString(arena, vocab, henkin.head);
+  return out;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,210 @@
+// The four dependency families of Gottlob, Pichler & Sallinger (PODS'15):
+//
+//   * tgds                       ∀x̄ (ϕ(x̄) → ∃ȳ ψ(x̄, ȳ))
+//   * SO tgds (Fagin et al.'05)  ∃f̄ ⋀ᵢ ∀x̄ᵢ (ϕᵢ → ψᵢ), function terms and
+//                                equalities allowed in ϕᵢ, terms in ψᵢ
+//   * nested tgds (Clio)         recursively nested implications
+//   * Henkin tgds (this paper)   Q (ϕ(x̄) → ψ(x̄, ȳ)) for a Henkin
+//                                quantifier Q (strict partial order)
+//
+// The Skolemized, executable common form of all of them is the SO tgd
+// (Figure 1 of the paper); conversions live in dep/skolem.h and
+// transform/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "base/vocabulary.h"
+#include "homo/matcher.h"
+#include "term/term.h"
+
+namespace tgdkit {
+
+// ---------------------------------------------------------------------------
+// Tgds
+
+/// A tuple-generating dependency ∀x̄ (body → ∃ exist_vars. head).
+/// Universal variables are exactly the variables occurring in the body;
+/// `exist_vars` lists the existentially quantified head variables.
+struct Tgd {
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+  std::vector<VariableId> exist_vars;
+
+  /// A tgd is full when it has no existential variables.
+  bool IsFull() const { return exist_vars.empty(); }
+};
+
+/// The distinct variables occurring in `atoms`, in first-occurrence order.
+std::vector<VariableId> CollectAtomVariables(const TermArena& arena,
+                                             std::span<const Atom> atoms);
+
+/// Checks well-formedness: body/head non-empty, body atoms function-free,
+/// every head variable is either a body variable or listed in exist_vars,
+/// exist_vars do not occur in the body.
+Status ValidateTgd(const TermArena& arena, const Tgd& tgd);
+
+// ---------------------------------------------------------------------------
+// SO tgds
+
+/// An equality t = t' between terms (over part variables and functions).
+struct SoEquality {
+  TermId lhs;
+  TermId rhs;
+};
+
+/// One implication ∀x̄ᵢ (ϕᵢ → ψᵢ) of an SO tgd. Universal variables are the
+/// variables of the body atoms.
+struct SoPart {
+  std::vector<Atom> body;               // function-free relational atoms
+  std::vector<SoEquality> equalities;   // extra conjuncts of ϕᵢ
+  std::vector<Atom> head;               // atoms over terms
+};
+
+/// A second-order tgd ∃f̄ ⋀ parts. Also the library's executable rule-set
+/// form: every other class converts into this one (paper Figure 1).
+struct SoTgd {
+  std::vector<FunctionId> functions;
+  std::vector<SoPart> parts;
+
+  /// Plain SO tgds (Arenas et al. 2013): no nested terms, no equalities.
+  bool IsPlain(const TermArena& arena) const;
+};
+
+/// Checks well-formedness: parts non-empty with non-empty bodies and heads,
+/// body atoms function-free, every head/equality function symbol is
+/// declared in `functions`, every variable of a part occurs in its body.
+Status ValidateSoTgd(const TermArena& arena, const SoTgd& so);
+
+// ---------------------------------------------------------------------------
+// Nested tgds
+
+/// One part of a nested tgd:
+///   ∀ univ_vars (body → ∃ exist_vars (head_atoms ∧ children...)).
+/// In Skolemized form `exist_vars` is empty and head atoms carry function
+/// terms instead.
+struct NestedNode {
+  std::vector<VariableId> univ_vars;
+  std::vector<Atom> body;
+  std::vector<VariableId> exist_vars;
+  std::vector<Atom> head_atoms;
+  std::vector<NestedNode> children;
+};
+
+/// A nested tgd: the root implication of the recursive grammar
+///   χ ::= α | ∀x̄ (β₁ ∧ … ∧ βₖ → ∃ȳ (χ₁ ∧ … ∧ χₗ)).
+struct NestedTgd {
+  NestedNode root;
+
+  /// Number of parts (implications) in the tree.
+  size_t NumParts() const;
+  /// Maximum nesting depth (a non-nested tgd has depth 1).
+  size_t Depth() const;
+  /// A nested tgd is "simple" when its normalization has one part, i.e.
+  /// the tree is a single node (paper Section 3.2).
+  bool IsSimple() const { return root.children.empty(); }
+};
+
+/// Checks well-formedness: each part's universal variables all occur in its
+/// own body atoms; bodies function-free and non-empty; variable scopes
+/// (ancestor universals + existentials) cover all head-atom variables;
+/// existential variables are renamed apart across parts.
+Status ValidateNestedTgd(const TermArena& arena, const NestedTgd& nested);
+
+// ---------------------------------------------------------------------------
+// Henkin quantifiers and Henkin tgds
+
+/// A Henkin quantifier: first-order quantifiers (split into universals and
+/// existentials) plus a strict partial order between them, given by
+/// generator pairs "a before b". Semantics are via Skolemization: the
+/// Skolem term of an existential y collects all universals preceding y in
+/// the transitive closure (the "essential order", Walkoe 1970).
+class HenkinQuantifier {
+ public:
+  HenkinQuantifier() = default;
+
+  void AddUniversal(VariableId v) { universals_.push_back(v); }
+  void AddExistential(VariableId v) { existentials_.push_back(v); }
+  /// Declares `before` ≺ `after` in the partial order.
+  void AddOrder(VariableId before, VariableId after) {
+    order_.emplace_back(before, after);
+  }
+
+  /// Builds a standard Henkin quantifier from rows ∀x̄ᵢ ∃ȳᵢ (the classic
+  /// matrix notation); each row becomes one chain.
+  struct Row {
+    std::vector<VariableId> universals;
+    std::vector<VariableId> existentials;
+  };
+  static HenkinQuantifier FromRows(const std::vector<Row>& rows);
+
+  const std::vector<VariableId>& universals() const { return universals_; }
+  const std::vector<VariableId>& existentials() const { return existentials_; }
+  const std::vector<std::pair<VariableId, VariableId>>& order() const {
+    return order_;
+  }
+
+  /// The essential order: for each existential variable, the universals
+  /// preceding it (in `universals()` order). Entries exist for all
+  /// existentials, possibly with empty vectors.
+  std::vector<std::pair<VariableId, std::vector<VariableId>>> EssentialOrder()
+      const;
+
+  /// True iff the partial order is irreflexive after transitive closure
+  /// (i.e. a valid strict order) and mentions only declared variables.
+  Status Validate() const;
+
+  /// Standard (paper Section 3.1): expressible as a disjoint union of
+  /// chains, each consisting of universals followed by existentials.
+  /// Judged on the essential order (the only semantically relevant part):
+  /// dependency sets must be pairwise equal or disjoint.
+  bool IsStandard() const;
+
+  /// Tree (paper Definition 3.1 discussion): every connected component of
+  /// the undirected Hasse graph of the given order is a tree. Chains
+  /// (standard rows) are trees; Algorithm 2 (nested-to-henkin) produces
+  /// tree quantifiers. Representation-sensitive by design — supply
+  /// overlapping dependency lists in consistent chain order.
+  bool IsTree() const;
+
+ private:
+  std::vector<VariableId> universals_;
+  std::vector<VariableId> existentials_;
+  std::vector<std::pair<VariableId, VariableId>> order_;
+};
+
+/// A Henkin tgd Q (ϕ(x̄) → ψ(x̄, ȳ)): body/head are conjunctions of atoms;
+/// x̄ = the quantifier's universals, ȳ = its existentials.
+struct HenkinTgd {
+  HenkinQuantifier quantifier;
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+
+  bool IsStandard() const { return quantifier.IsStandard(); }
+  bool IsTree() const { return quantifier.IsTree(); }
+};
+
+/// Checks well-formedness: every universal occurs in the body, body is
+/// function-free and only uses universals, head uses only declared
+/// variables, existentials do not occur in the body.
+Status ValidateHenkinTgd(const TermArena& arena, const HenkinTgd& henkin);
+
+// ---------------------------------------------------------------------------
+// Printing
+
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const Atom& atom);
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const Tgd& tgd);
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const SoTgd& so);
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const NestedTgd& nested);
+std::string ToString(const TermArena& arena, const Vocabulary& vocab,
+                     const HenkinTgd& henkin);
+
+}  // namespace tgdkit

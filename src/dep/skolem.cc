@@ -1,0 +1,227 @@
+#include "dep/skolem.h"
+
+#include <unordered_map>
+
+#include "base/strings.h"
+#include "dep/syntactic.h"
+
+namespace tgdkit {
+
+namespace {
+
+/// Replaces variables by their Skolem terms in a list of atoms.
+std::vector<Atom> ApplyToAtoms(TermArena* arena, const Substitution& subst,
+                               std::span<const Atom> atoms) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    Atom mapped;
+    mapped.relation = atom.relation;
+    for (TermId t : atom.args) mapped.args.push_back(subst.Apply(arena, t));
+    out.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+TermId MakeSkolemTerm(TermArena* arena, Vocabulary* vocab, VariableId for_var,
+                      std::span<const VariableId> deps,
+                      std::vector<FunctionId>* functions) {
+  FunctionId f = vocab->FreshFunction(
+      Cat("sk_", vocab->VariableName(for_var)),
+      static_cast<uint32_t>(deps.size()));
+  functions->push_back(f);
+  std::vector<TermId> args;
+  args.reserve(deps.size());
+  for (VariableId v : deps) args.push_back(arena->MakeVariable(v));
+  return arena->MakeFunction(f, args);
+}
+
+}  // namespace
+
+SoTgd TgdToSo(TermArena* arena, Vocabulary* vocab, const Tgd& tgd) {
+  std::vector<VariableId> universals = CollectAtomVariables(*arena, tgd.body);
+  SoTgd so;
+  Substitution subst;
+  for (VariableId y : tgd.exist_vars) {
+    subst.Bind(y, MakeSkolemTerm(arena, vocab, y, universals, &so.functions));
+  }
+  SoPart part;
+  part.body = tgd.body;
+  part.head = ApplyToAtoms(arena, subst, tgd.head);
+  so.parts.push_back(std::move(part));
+  return so;
+}
+
+SoTgd TgdsToSo(TermArena* arena, Vocabulary* vocab,
+               std::span<const Tgd> tgds) {
+  SoTgd merged;
+  for (const Tgd& tgd : tgds) {
+    SoTgd one = TgdToSo(arena, vocab, tgd);
+    merged.functions.insert(merged.functions.end(), one.functions.begin(),
+                            one.functions.end());
+    merged.parts.insert(merged.parts.end(), one.parts.begin(),
+                        one.parts.end());
+  }
+  return merged;
+}
+
+SoTgd HenkinToSo(TermArena* arena, Vocabulary* vocab,
+                 const HenkinTgd& henkin) {
+  SoTgd so;
+  Substitution subst;
+  for (const auto& [y, deps] : henkin.quantifier.EssentialOrder()) {
+    subst.Bind(y, MakeSkolemTerm(arena, vocab, y, deps, &so.functions));
+  }
+  SoPart part;
+  part.body = henkin.body;
+  part.head = ApplyToAtoms(arena, subst, henkin.head);
+  so.parts.push_back(std::move(part));
+  return so;
+}
+
+SoTgd HenkinsToSo(TermArena* arena, Vocabulary* vocab,
+                  std::span<const HenkinTgd> henkins) {
+  SoTgd merged;
+  for (const HenkinTgd& henkin : henkins) {
+    SoTgd one = HenkinToSo(arena, vocab, henkin);
+    merged.functions.insert(merged.functions.end(), one.functions.begin(),
+                            one.functions.end());
+    merged.parts.insert(merged.parts.end(), one.parts.begin(),
+                        one.parts.end());
+  }
+  return merged;
+}
+
+namespace {
+
+NestedNode SkolemizeNode(TermArena* arena, Vocabulary* vocab,
+                         const NestedNode& node,
+                         std::vector<VariableId> ancestor_universals,
+                         Substitution* subst,
+                         std::vector<FunctionId>* functions) {
+  NestedNode out;
+  out.univ_vars = node.univ_vars;
+  out.body = node.body;
+  ancestor_universals.insert(ancestor_universals.end(),
+                             node.univ_vars.begin(), node.univ_vars.end());
+  for (VariableId y : node.exist_vars) {
+    subst->Bind(y, MakeSkolemTerm(arena, vocab, y, ancestor_universals,
+                                  functions));
+  }
+  // exist_vars stay empty in the Skolemized tree.
+  out.head_atoms = ApplyToAtoms(arena, *subst, node.head_atoms);
+  for (const NestedNode& child : node.children) {
+    out.children.push_back(SkolemizeNode(arena, vocab, child,
+                                         ancestor_universals, subst,
+                                         functions));
+  }
+  return out;
+}
+
+}  // namespace
+
+NestedTgd SkolemizeNested(TermArena* arena, Vocabulary* vocab,
+                          const NestedTgd& nested,
+                          std::vector<FunctionId>* functions) {
+  Substitution subst;
+  NestedTgd out;
+  out.root = SkolemizeNode(arena, vocab, nested.root, {}, &subst, functions);
+  return out;
+}
+
+namespace {
+
+/// Rewrites the head of one part, replacing each distinct Skolem function
+/// by a fresh variable. Returns the rewritten atoms; `fresh_vars` maps
+/// function -> variable, `order` records first-use order.
+std::vector<Atom> StripSkolemTerms(
+    TermArena* arena, Vocabulary* vocab, const SoPart& part,
+    std::unordered_map<FunctionId, VariableId>* fresh_vars,
+    std::vector<FunctionId>* order) {
+  auto strip = [&](TermId t, auto&& self) -> TermId {
+    if (!arena->IsFunction(t)) return t;
+    FunctionId f = arena->symbol(t);
+    auto it = fresh_vars->find(f);
+    if (it == fresh_vars->end()) {
+      VariableId y = vocab->FreshVariable(Cat("e_", vocab->FunctionName(f)));
+      it = fresh_vars->emplace(f, y).first;
+      order->push_back(f);
+    }
+    (void)self;
+    return arena->MakeVariable(it->second);
+  };
+  std::vector<Atom> out;
+  for (const Atom& atom : part.head) {
+    Atom mapped;
+    mapped.relation = atom.relation;
+    for (TermId t : atom.args) mapped.args.push_back(strip(t, strip));
+    out.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Tgd>> SoToTgds(TermArena* arena, Vocabulary* vocab,
+                                  const SoTgd& so) {
+  if (!IsSkolemizedTgd(*arena, so)) {
+    return Status::InvalidArgument(
+        "SO tgd is not the Skolemization of a set of tgds");
+  }
+  std::vector<Tgd> out;
+  for (const SoPart& part : so.parts) {
+    Tgd tgd;
+    tgd.body = part.body;
+    std::unordered_map<FunctionId, VariableId> fresh_vars;
+    std::vector<FunctionId> order;
+    tgd.head = StripSkolemTerms(arena, vocab, part, &fresh_vars, &order);
+    for (FunctionId f : order) tgd.exist_vars.push_back(fresh_vars.at(f));
+    out.push_back(std::move(tgd));
+  }
+  return out;
+}
+
+Result<std::vector<HenkinTgd>> SoToHenkins(TermArena* arena,
+                                           Vocabulary* vocab,
+                                           const SoTgd& so) {
+  if (!IsSkolemizedHenkin(*arena, so)) {
+    return Status::InvalidArgument(
+        "SO tgd is not the Skolemization of a set of Henkin tgds");
+  }
+  auto occurrences = CollectFunctionOccurrences(*arena, so);
+  std::vector<HenkinTgd> out;
+  for (const SoPart& part : so.parts) {
+    HenkinTgd henkin;
+    henkin.body = part.body;
+    for (VariableId v : CollectAtomVariables(*arena, part.body)) {
+      henkin.quantifier.AddUniversal(v);
+    }
+    std::unordered_map<FunctionId, VariableId> fresh_vars;
+    std::vector<FunctionId> order;
+    henkin.head = StripSkolemTerms(arena, vocab, part, &fresh_vars, &order);
+    for (FunctionId f : order) {
+      VariableId y = fresh_vars.at(f);
+      henkin.quantifier.AddExistential(y);
+      // The essential order mirrors the Skolem argument list (all
+      // occurrences share one list by the IsSkolemizedHenkin premise).
+      const FunctionOccurrence& occ = occurrences.at(f).front();
+      for (TermId arg : occ.args) {
+        henkin.quantifier.AddOrder(arena->symbol(arg), y);
+      }
+    }
+    out.push_back(std::move(henkin));
+  }
+  return out;
+}
+
+SoTgd MergeSo(std::span<const SoTgd> sos) {
+  SoTgd merged;
+  for (const SoTgd& so : sos) {
+    merged.functions.insert(merged.functions.end(), so.functions.begin(),
+                            so.functions.end());
+    merged.parts.insert(merged.parts.end(), so.parts.begin(), so.parts.end());
+  }
+  return merged;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,58 @@
+// Skolemization: embedding tgds and Henkin tgds into SO tgds (the library's
+// executable rule form), per Figure 1 of the paper. Nested tgds are handled
+// by transform/nested.h (Algorithms 1 and 2).
+#pragma once
+
+#include <span>
+
+#include "dep/dependency.h"
+
+namespace tgdkit {
+
+/// Skolemizes a tgd: every existential variable y becomes f_y(x̄) where x̄
+/// is the full list of universal (body) variables — the restrictive form
+/// that motivates the paper. Fresh function symbols are interned in `vocab`.
+SoTgd TgdToSo(TermArena* arena, Vocabulary* vocab, const Tgd& tgd);
+
+/// Skolemizes a set of tgds into one SO tgd (one part per tgd, functions
+/// renamed apart).
+SoTgd TgdsToSo(TermArena* arena, Vocabulary* vocab, std::span<const Tgd> tgds);
+
+/// Skolemizes a Henkin tgd: every existential y becomes f_y(deps(y)) where
+/// deps(y) is the essential order of the quantifier (paper Section 3.1).
+SoTgd HenkinToSo(TermArena* arena, Vocabulary* vocab, const HenkinTgd& henkin);
+
+/// Skolemizes a set of Henkin tgds into one SO tgd. Note the difference to
+/// a genuinely shared quantifier: each Henkin tgd's functions are
+/// quantified per-dependency, so they are renamed apart here (paper
+/// Section 4 discusses exactly this distinction).
+SoTgd HenkinsToSo(TermArena* arena, Vocabulary* vocab,
+                  std::span<const HenkinTgd> henkins);
+
+/// Skolemizes a nested tgd in place: existential variables are replaced by
+/// Skolem terms over the universal variables of their part and all ancestor
+/// parts. Returns the Skolemized tree; `functions` receives the fresh
+/// symbols.
+NestedTgd SkolemizeNested(TermArena* arena, Vocabulary* vocab,
+                          const NestedTgd& nested,
+                          std::vector<FunctionId>* functions);
+
+/// Merges several SO tgds into one (functions are assumed distinct).
+SoTgd MergeSo(std::span<const SoTgd> sos);
+
+/// De-Skolemization, the inverse direction of Figure 1's embeddings.
+///
+/// SoToTgds succeeds iff `so` is the Skolemization of a set of tgds
+/// (IsSkolemizedTgd); each part becomes one tgd with fresh existential
+/// variables replacing its Skolem terms.
+Result<std::vector<Tgd>> SoToTgds(TermArena* arena, Vocabulary* vocab,
+                                  const SoTgd& so);
+
+/// SoToHenkins succeeds iff `so` is the Skolemization of a set of Henkin
+/// tgds (IsSkolemizedHenkin); each part becomes one Henkin tgd whose
+/// essential order mirrors the Skolem argument lists.
+Result<std::vector<HenkinTgd>> SoToHenkins(TermArena* arena,
+                                           Vocabulary* vocab,
+                                           const SoTgd& so);
+
+}  // namespace tgdkit

@@ -1,0 +1,248 @@
+#include "dep/syntactic.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace tgdkit {
+
+namespace {
+
+void CollectFromTerm(const TermArena& arena, TermId t, size_t part_index,
+                     std::unordered_map<FunctionId,
+                                        std::vector<FunctionOccurrence>>* out) {
+  if (!arena.IsFunction(t)) return;
+  FunctionOccurrence occ;
+  occ.part_index = part_index;
+  auto args = arena.args(t);
+  occ.args.assign(args.begin(), args.end());
+  (*out)[arena.symbol(t)].push_back(std::move(occ));
+  for (TermId a : args) CollectFromTerm(arena, a, part_index, out);
+}
+
+/// Returns the set of argument variables if `args` is a list of pairwise
+/// distinct variables; nullopt otherwise.
+std::optional<std::set<VariableId>> DistinctVariableSet(
+    const TermArena& arena, const std::vector<TermId>& args) {
+  std::set<VariableId> vars;
+  for (TermId t : args) {
+    if (!arena.IsVariable(t)) return std::nullopt;
+    if (!vars.insert(arena.symbol(t)).second) return std::nullopt;
+  }
+  return vars;
+}
+
+std::set<VariableId> PartBodyVariables(const TermArena& arena,
+                                       const SoPart& part) {
+  std::vector<VariableId> vars = CollectAtomVariables(arena, part.body);
+  return {vars.begin(), vars.end()};
+}
+
+struct FunctionShape {
+  bool part_local = true;          // all occurrences in one part
+  bool consistent_args = true;     // identical TermId arg vectors everywhere
+  bool distinct_var_args = true;   // args are pairwise distinct variables
+  std::set<size_t> parts;          // parts where the function occurs
+  std::vector<TermId> args;        // the canonical arg vector (if consistent)
+  std::set<VariableId> arg_vars;   // its variable set (if distinct vars)
+};
+
+std::unordered_map<FunctionId, FunctionShape> ComputeShapes(
+    const TermArena& arena, const SoTgd& so) {
+  auto occurrences = CollectFunctionOccurrences(arena, so);
+  std::unordered_map<FunctionId, FunctionShape> shapes;
+  for (const auto& [f, occs] : occurrences) {
+    FunctionShape shape;
+    shape.args = occs.front().args;
+    for (const FunctionOccurrence& occ : occs) {
+      shape.parts.insert(occ.part_index);
+      if (occ.args != shape.args) shape.consistent_args = false;
+      auto vars = DistinctVariableSet(arena, occ.args);
+      if (!vars.has_value()) {
+        shape.distinct_var_args = false;
+      } else if (shape.arg_vars.empty() && occ.args == shape.args) {
+        shape.arg_vars = *vars;
+      }
+    }
+    shape.part_local = shape.parts.size() == 1;
+    shapes.emplace(f, std::move(shape));
+  }
+  return shapes;
+}
+
+}  // namespace
+
+std::unordered_map<FunctionId, std::vector<FunctionOccurrence>>
+CollectFunctionOccurrences(const TermArena& arena, const SoTgd& so) {
+  std::unordered_map<FunctionId, std::vector<FunctionOccurrence>> out;
+  for (size_t i = 0; i < so.parts.size(); ++i) {
+    const SoPart& part = so.parts[i];
+    for (const Atom& atom : part.head) {
+      for (TermId t : atom.args) CollectFromTerm(arena, t, i, &out);
+    }
+    for (const SoEquality& eq : part.equalities) {
+      CollectFromTerm(arena, eq.lhs, i, &out);
+      CollectFromTerm(arena, eq.rhs, i, &out);
+    }
+  }
+  return out;
+}
+
+bool IsPlainSo(const TermArena& arena, const SoTgd& so) {
+  return so.IsPlain(arena);
+}
+
+bool IsSkolemizedTgd(const TermArena& arena, const SoTgd& so) {
+  if (!IsPlainSo(arena, so)) return false;
+  auto shapes = ComputeShapes(arena, so);
+  for (const auto& [f, shape] : shapes) {
+    if (!shape.part_local || !shape.consistent_args ||
+        !shape.distinct_var_args) {
+      return false;
+    }
+    size_t part_index = *shape.parts.begin();
+    // The Skolem term of a tgd existential carries the *full* tuple of
+    // universal variables of the rule.
+    if (shape.arg_vars != PartBodyVariables(arena, so.parts[part_index])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsSkolemizedHenkin(const TermArena& arena, const SoTgd& so) {
+  if (!IsPlainSo(arena, so)) return false;
+  auto shapes = ComputeShapes(arena, so);
+  for (const auto& [f, shape] : shapes) {
+    if (!shape.part_local || !shape.consistent_args ||
+        !shape.distinct_var_args) {
+      return false;
+    }
+    size_t part_index = *shape.parts.begin();
+    std::set<VariableId> body_vars =
+        PartBodyVariables(arena, so.parts[part_index]);
+    // Henkin Skolem terms use any subset of the universals.
+    if (!std::includes(body_vars.begin(), body_vars.end(),
+                       shape.arg_vars.begin(), shape.arg_vars.end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsSkolemizedStandardHenkin(const TermArena& arena, const SoTgd& so) {
+  if (!IsSkolemizedHenkin(arena, so)) return false;
+  auto shapes = ComputeShapes(arena, so);
+  // For each part: the argument sets of the functions it uses must be
+  // pairwise equal or disjoint (one chain of universals per row).
+  for (size_t i = 0; i < so.parts.size(); ++i) {
+    std::vector<const std::set<VariableId>*> sets;
+    for (const auto& [f, shape] : shapes) {
+      if (shape.parts.count(i)) sets.push_back(&shape.arg_vars);
+    }
+    for (size_t a = 0; a < sets.size(); ++a) {
+      for (size_t b = a + 1; b < sets.size(); ++b) {
+        if (*sets[a] == *sets[b]) continue;
+        std::vector<VariableId> inter;
+        std::set_intersection(sets[a]->begin(), sets[a]->end(),
+                              sets[b]->begin(), sets[b]->end(),
+                              std::back_inserter(inter));
+        if (!inter.empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsHierarchicalSo(const TermArena& arena, const SoTgd& so) {
+  if (!IsPlainSo(arena, so)) return false;
+  auto shapes = ComputeShapes(arena, so);
+  std::vector<const FunctionShape*> all;
+  for (const auto& [f, shape] : shapes) {
+    // Functions may span parts (shared quantifier scope), but every
+    // occurrence must carry the same argument list of distinct variables.
+    if (!shape.consistent_args || !shape.distinct_var_args) return false;
+    all.push_back(&shape);
+    // Arguments must be body variables of every part the function occurs in.
+    for (size_t part_index : shape.parts) {
+      std::set<VariableId> body_vars =
+          PartBodyVariables(arena, so.parts[part_index]);
+      if (!std::includes(body_vars.begin(), body_vars.end(),
+                         shape.arg_vars.begin(), shape.arg_vars.end())) {
+        return false;
+      }
+    }
+  }
+  // Argument VECTORS must form a prefix-forest: nested-tgd Skolem terms
+  // carry the universals of their root-to-node path in order, so two arg
+  // vectors share a common prefix (the common ancestors) and must use
+  // disjoint variables after it (the branches diverge).
+  auto common_prefix = [](const std::vector<TermId>& u,
+                          const std::vector<TermId>& v) {
+    size_t p = 0;
+    while (p < u.size() && p < v.size() && u[p] == v[p]) ++p;
+    return p;
+  };
+  auto prefix_forest_pair = [&](const std::vector<TermId>& u,
+                                const std::vector<TermId>& v) {
+    size_t p = common_prefix(u, v);
+    std::set<TermId> u_rest(u.begin() + p, u.end());
+    for (size_t i = p; i < v.size(); ++i) {
+      if (u_rest.count(v[i])) return false;
+    }
+    return true;
+  };
+  auto is_prefix = [&](const std::vector<TermId>& u,
+                       const std::vector<TermId>& v) {
+    size_t p = common_prefix(u, v);
+    return p == u.size() || p == v.size();
+  };
+  for (size_t a = 0; a < all.size(); ++a) {
+    for (size_t b = a + 1; b < all.size(); ++b) {
+      if (!prefix_forest_pair(all[a]->args, all[b]->args)) return false;
+    }
+  }
+  // Within each part the used functions lie on one root-to-leaf path:
+  // their arg vectors are pairwise prefix-comparable.
+  for (size_t i = 0; i < so.parts.size(); ++i) {
+    std::vector<const FunctionShape*> used;
+    for (const FunctionShape* shape : all) {
+      if (shape->parts.count(i)) used.push_back(shape);
+    }
+    for (size_t a = 0; a < used.size(); ++a) {
+      for (size_t b = a + 1; b < used.size(); ++b) {
+        if (!is_prefix(used[a]->args, used[b]->args)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Figure1Membership ClassifyFigure1(const TermArena& arena, const SoTgd& so) {
+  Figure1Membership m;
+  m.so_tgd = true;
+  m.plain_so = IsPlainSo(arena, so);
+  m.henkin = IsSkolemizedHenkin(arena, so);
+  m.standard_henkin = IsSkolemizedStandardHenkin(arena, so);
+  m.normalized_nested_shape = IsHierarchicalSo(arena, so);
+  m.tgd = IsSkolemizedTgd(arena, so);
+  return m;
+}
+
+std::string ToString(const Figure1Membership& m) {
+  std::string out;
+  auto add = [&](bool flag, const char* name) {
+    if (!flag) return;
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  add(m.tgd, "tgd");
+  add(m.standard_henkin, "std-henkin");
+  add(m.henkin, "henkin");
+  add(m.normalized_nested_shape, "nested");
+  add(m.plain_so, "plain-so");
+  add(m.so_tgd, "so");
+  return out;
+}
+
+}  // namespace tgdkit

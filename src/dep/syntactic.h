@@ -1,0 +1,79 @@
+// Syntactic recognizers for Figure 1 of the paper: given a dependency in
+// Skolemized form (an SO tgd), decide which classes of the syntactic
+// inclusion diagram it belongs to.
+//
+//            SO tgds
+//           /        .
+//   normalized     Henkin tgds
+//   nested tgds         |
+//           .      standard Henkin tgds
+//            .        /
+//              tgds
+//
+// Each recognizer checks the defining restriction on how Skolem terms may
+// occur:
+//   * tgds: every function's argument list is the full tuple of universal
+//     variables of its (single) part;
+//   * Henkin tgds: per-part functions, each with one fixed argument list of
+//     distinct universal variables;
+//   * standard Henkin tgds: additionally the argument sets of distinct
+//     functions in a part are equal or disjoint (disjoint chains);
+//   * normalized nested tgds: functions may span parts, argument lists form
+//     a laminar family (the tree of the nesting structure) and the
+//     functions used inside one part are totally ordered by inclusion.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dep/dependency.h"
+
+namespace tgdkit {
+
+/// One occurrence of a function symbol inside an SO tgd.
+struct FunctionOccurrence {
+  size_t part_index;
+  std::vector<TermId> args;
+};
+
+/// Collects every occurrence of every function symbol in heads and
+/// equalities (outermost applications; arguments of nested applications are
+/// collected as their own occurrences too).
+std::unordered_map<FunctionId, std::vector<FunctionOccurrence>>
+CollectFunctionOccurrences(const TermArena& arena, const SoTgd& so);
+
+/// Plain SO tgd: no equalities, no nested terms (Arenas et al. 2013).
+bool IsPlainSo(const TermArena& arena, const SoTgd& so);
+
+/// Skolemization of a set of tgds.
+bool IsSkolemizedTgd(const TermArena& arena, const SoTgd& so);
+
+/// Skolemization of a set of Henkin tgds.
+bool IsSkolemizedHenkin(const TermArena& arena, const SoTgd& so);
+
+/// Skolemization of a set of standard Henkin tgds.
+bool IsSkolemizedStandardHenkin(const TermArena& arena, const SoTgd& so);
+
+/// Structural shape of a normalized nested tgd (output of Algorithm 1):
+/// hierarchical Skolem-term structure. This is the necessary structural
+/// condition the paper's separation proofs rely on ("argument lists of
+/// Skolem functions must form a tree").
+bool IsHierarchicalSo(const TermArena& arena, const SoTgd& so);
+
+/// Full membership row for Figure 1.
+struct Figure1Membership {
+  bool so_tgd = true;  // every valid SoTgd is an SO tgd
+  bool plain_so = false;
+  bool henkin = false;
+  bool standard_henkin = false;
+  bool normalized_nested_shape = false;
+  bool tgd = false;
+};
+
+Figure1Membership ClassifyFigure1(const TermArena& arena, const SoTgd& so);
+
+/// Renders a membership row, e.g. "tgd,std-henkin,henkin,nested,plain,so".
+std::string ToString(const Figure1Membership& membership);
+
+}  // namespace tgdkit

@@ -1,0 +1,305 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+std::vector<RelationId> GenerateSchema(Vocabulary* vocab, Rng* rng,
+                                       const SchemaConfig& config) {
+  std::vector<RelationId> relations;
+  for (uint32_t i = 0; i < config.num_relations; ++i) {
+    uint32_t arity = static_cast<uint32_t>(
+        rng->Range(config.min_arity, config.max_arity));
+    relations.push_back(vocab->InternRelation(Cat("G_R", i), arity));
+  }
+  return relations;
+}
+
+namespace {
+
+/// Builds an atom over `relation` drawing argument terms via `pick`.
+template <typename Pick>
+Atom MakeAtom(const Vocabulary& vocab, RelationId relation, Pick pick) {
+  Atom atom;
+  atom.relation = relation;
+  uint32_t arity = vocab.RelationArity(relation);
+  for (uint32_t i = 0; i < arity; ++i) atom.args.push_back(pick());
+  return atom;
+}
+
+std::vector<VariableId> MakeVariables(Vocabulary* vocab, uint32_t count,
+                                      const char* prefix) {
+  std::vector<VariableId> vars;
+  for (uint32_t i = 0; i < count; ++i) {
+    vars.push_back(vocab->InternVariable(Cat(prefix, i)));
+  }
+  return vars;
+}
+
+}  // namespace
+
+Tgd GenerateTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                const std::vector<RelationId>& relations,
+                const TgdConfig& config) {
+  std::vector<VariableId> universals =
+      MakeVariables(vocab, config.max_variables, "gu");
+  std::vector<VariableId> existentials =
+      MakeVariables(vocab, config.max_exist_vars, "ge");
+
+  Tgd tgd;
+  uint32_t body_atoms = 1 + static_cast<uint32_t>(
+                                rng->Below(config.max_body_atoms));
+  for (uint32_t i = 0; i < body_atoms; ++i) {
+    tgd.body.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+      return arena->MakeVariable(rng->Pick(universals));
+    }));
+  }
+  // Universals actually used.
+  std::vector<VariableId> used = CollectAtomVariables(*arena, tgd.body);
+
+  bool full = rng->Chance(config.full_percent);
+  std::set<VariableId> used_exist;
+  uint32_t head_atoms = 1 + static_cast<uint32_t>(
+                                rng->Below(config.max_head_atoms));
+  for (uint32_t i = 0; i < head_atoms; ++i) {
+    tgd.head.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+      if (!full && rng->Chance(35)) {
+        VariableId y = rng->Pick(existentials);
+        used_exist.insert(y);
+        return arena->MakeVariable(y);
+      }
+      return arena->MakeVariable(rng->Pick(used));
+    }));
+  }
+  tgd.exist_vars.assign(used_exist.begin(), used_exist.end());
+  return tgd;
+}
+
+HenkinTgd GenerateHenkinTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                            const std::vector<RelationId>& relations,
+                            const TgdConfig& config) {
+  std::vector<VariableId> universals =
+      MakeVariables(vocab, config.max_variables, "hu");
+  std::vector<VariableId> existentials =
+      MakeVariables(vocab, config.max_exist_vars, "he");
+
+  HenkinTgd henkin;
+  uint32_t body_atoms = 1 + static_cast<uint32_t>(
+                                rng->Below(config.max_body_atoms));
+  std::vector<Atom> body;
+  for (uint32_t i = 0; i < body_atoms; ++i) {
+    body.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+      return arena->MakeVariable(rng->Pick(universals));
+    }));
+  }
+  std::vector<VariableId> used = CollectAtomVariables(*arena, body);
+  henkin.body = std::move(body);
+  for (VariableId v : used) henkin.quantifier.AddUniversal(v);
+
+  std::set<VariableId> used_exist;
+  uint32_t head_atoms = 1 + static_cast<uint32_t>(
+                                rng->Below(config.max_head_atoms));
+  for (uint32_t i = 0; i < head_atoms; ++i) {
+    henkin.head.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+      if (rng->Chance(40)) {
+        VariableId y = rng->Pick(existentials);
+        used_exist.insert(y);
+        return arena->MakeVariable(y);
+      }
+      return arena->MakeVariable(rng->Pick(used));
+    }));
+  }
+  for (VariableId y : used_exist) {
+    henkin.quantifier.AddExistential(y);
+    // Random dependency set: each universal precedes y with 50% chance.
+    for (VariableId x : used) {
+      if (rng->Chance(50)) henkin.quantifier.AddOrder(x, y);
+    }
+  }
+  return henkin;
+}
+
+namespace {
+
+NestedNode GenerateNestedNode(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                              const std::vector<RelationId>& relations,
+                              const NestedConfig& config, uint32_t depth,
+                              uint32_t* counter,
+                              std::vector<VariableId> scope,
+                              std::vector<VariableId> head_scope) {
+  NestedNode node;
+  // One or two fresh universals with a body atom binding them.
+  uint32_t num_univ = 1 + static_cast<uint32_t>(rng->Below(2));
+  for (uint32_t i = 0; i < num_univ; ++i) {
+    node.univ_vars.push_back(vocab->InternVariable(Cat("nu", (*counter)++)));
+  }
+  // Body: one atom using all new universals (ensuring validity), possibly
+  // mixing in outer variables.
+  std::vector<VariableId> pool = scope;
+  pool.insert(pool.end(), node.univ_vars.begin(), node.univ_vars.end());
+  uint32_t next_univ = 0;
+  node.body.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+    if (next_univ < node.univ_vars.size()) {
+      return arena->MakeVariable(node.univ_vars[next_univ++]);
+    }
+    return arena->MakeVariable(rng->Pick(pool));
+  }));
+  // The chosen relation's arity might be smaller than num_univ; trim the
+  // unbound universals.
+  while (next_univ < node.univ_vars.size()) node.univ_vars.pop_back();
+  pool = scope;
+  pool.insert(pool.end(), node.univ_vars.begin(), node.univ_vars.end());
+
+  uint32_t num_exist = static_cast<uint32_t>(
+      rng->Below(config.max_exist_vars + 1));
+  if (depth == 1 && num_exist == 0) num_exist = 1;  // leaves conclude atoms
+  for (uint32_t i = 0; i < num_exist; ++i) {
+    node.exist_vars.push_back(vocab->InternVariable(Cat("ne", (*counter)++)));
+  }
+  // Heads may additionally use outer existentials and this part's own.
+  std::vector<VariableId> head_pool = head_scope;
+  head_pool.insert(head_pool.end(), node.univ_vars.begin(),
+                   node.univ_vars.end());
+  head_pool.insert(head_pool.end(), node.exist_vars.begin(),
+                   node.exist_vars.end());
+  node.head_atoms.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+    return arena->MakeVariable(rng->Pick(head_pool));
+  }));
+
+  if (depth > 1) {
+    uint32_t children = 1 + static_cast<uint32_t>(
+                                rng->Below(config.max_children));
+    for (uint32_t i = 0; i < children; ++i) {
+      // The first child continues to full depth; others get random depth.
+      uint32_t child_depth =
+          i == 0 ? depth - 1
+                 : 1 + static_cast<uint32_t>(rng->Below(depth - 1));
+      // Child bodies may use universals only (the grammar's X variables).
+      node.children.push_back(GenerateNestedNode(arena, vocab, rng,
+                                                 relations, config,
+                                                 child_depth, counter, pool,
+                                                 head_pool));
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+NestedTgd GenerateNestedTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                            const std::vector<RelationId>& relations,
+                            const NestedConfig& config) {
+  uint32_t counter = 0;
+  NestedTgd nested;
+  nested.root = GenerateNestedNode(arena, vocab, rng, relations, config,
+                                   std::max<uint32_t>(config.depth, 1),
+                                   &counter, {}, {});
+  return nested;
+}
+
+SoTgd GenerateSoTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                    const std::vector<RelationId>& relations,
+                    uint32_t num_parts, uint32_t num_functions) {
+  SoTgd so;
+  static uint32_t generation = 0;
+  ++generation;
+  for (uint32_t i = 0; i < num_functions; ++i) {
+    so.functions.push_back(
+        vocab->InternFunction(Cat("sg", generation, "_", i), 1));
+  }
+  for (uint32_t part_index = 0; part_index < num_parts; ++part_index) {
+    SoPart part;
+    std::vector<VariableId> vars =
+        MakeVariables(vocab, 3, Cat("sv", part_index, "_").c_str());
+    uint32_t body_atoms = 1 + static_cast<uint32_t>(rng->Below(2));
+    for (uint32_t i = 0; i < body_atoms; ++i) {
+      part.body.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+        return arena->MakeVariable(rng->Pick(vars));
+      }));
+    }
+    std::vector<VariableId> used = CollectAtomVariables(*arena, part.body);
+    part.head.push_back(MakeAtom(*vocab, rng->Pick(relations), [&] {
+      TermId base = arena->MakeVariable(rng->Pick(used));
+      if (rng->Chance(55)) {
+        return arena->MakeFunction(rng->Pick(so.functions),
+                                   std::vector<TermId>{base});
+      }
+      return base;
+    }));
+    so.parts.push_back(std::move(part));
+  }
+  return so;
+}
+
+void GenerateInstance(Vocabulary* vocab, Rng* rng,
+                      const std::vector<RelationId>& relations,
+                      uint32_t num_facts, uint32_t domain_size,
+                      uint32_t num_nulls, Instance* instance) {
+  std::vector<Value> domain;
+  for (uint32_t i = 0; i < domain_size; ++i) {
+    domain.push_back(Value::Constant(vocab->InternConstant(Cat("G_c", i))));
+  }
+  for (uint32_t i = 0; i < num_nulls; ++i) {
+    domain.push_back(instance->FreshNull());
+  }
+  for (uint32_t i = 0; i < num_facts; ++i) {
+    RelationId relation = rng->Pick(relations);
+    std::vector<Value> args;
+    for (uint32_t j = 0; j < vocab->RelationArity(relation); ++j) {
+      args.push_back(rng->Pick(domain));
+    }
+    instance->AddFact(relation, args);
+  }
+}
+
+Graph GenerateGraph(Rng* rng, uint32_t num_vertices, uint32_t edge_percent) {
+  Graph graph;
+  graph.num_vertices = num_vertices;
+  for (uint32_t a = 0; a < num_vertices; ++a) {
+    for (uint32_t b = a + 1; b < num_vertices; ++b) {
+      if (rng->Chance(edge_percent)) graph.edges.push_back({a, b});
+    }
+  }
+  return graph;
+}
+
+Qbf GenerateQbf(Rng* rng, uint32_t num_pairs, uint32_t num_clauses) {
+  Qbf qbf;
+  qbf.num_pairs = num_pairs;
+  for (uint32_t c = 0; c < num_clauses; ++c) {
+    std::array<QbfLiteral, 3> clause;
+    for (int l = 0; l < 3; ++l) {
+      clause[l].kind = rng->Chance(50) ? QbfLiteral::Kind::kUniversal
+                                       : QbfLiteral::Kind::kExistential;
+      clause[l].index = static_cast<uint32_t>(rng->Below(num_pairs));
+      clause[l].negated = rng->Chance(50);
+    }
+    qbf.clauses.push_back(clause);
+  }
+  return qbf;
+}
+
+PcpInstance GeneratePcp(Rng* rng, uint32_t alphabet_size, uint32_t num_pairs,
+                        uint32_t max_word_length) {
+  PcpInstance pcp;
+  pcp.alphabet_size = alphabet_size;
+  for (uint32_t i = 0; i < num_pairs; ++i) {
+    std::vector<uint32_t> w1, w2;
+    uint32_t len1 = static_cast<uint32_t>(rng->Range(0, max_word_length));
+    uint32_t len2 = static_cast<uint32_t>(rng->Range(0, max_word_length));
+    if (len1 == 0 && len2 == 0) len1 = 1;
+    for (uint32_t j = 0; j < len1; ++j) {
+      w1.push_back(1 + static_cast<uint32_t>(rng->Below(alphabet_size)));
+    }
+    for (uint32_t j = 0; j < len2; ++j) {
+      w2.push_back(1 + static_cast<uint32_t>(rng->Below(alphabet_size)));
+    }
+    pcp.pairs.push_back({std::move(w1), std::move(w2)});
+  }
+  return pcp;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,90 @@
+// Deterministic random generators for dependencies, instances, graphs,
+// QBFs and PCP instances — shared by the property tests and the benchmark
+// harness. All generators take an explicit Rng so corpora are reproducible
+// across platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "data/instance.h"
+#include "dep/dependency.h"
+#include "oracle/oracle.h"
+
+namespace tgdkit {
+
+/// Shape parameters for a generated relational schema.
+struct SchemaConfig {
+  uint32_t num_relations = 6;
+  uint32_t min_arity = 1;
+  uint32_t max_arity = 3;
+};
+
+/// A generated schema: relation ids with their arities interned in the
+/// vocabulary, named G_R0, G_R1, ….
+std::vector<RelationId> GenerateSchema(Vocabulary* vocab, Rng* rng,
+                                       const SchemaConfig& config);
+
+/// Shape parameters for generated tgds.
+struct TgdConfig {
+  uint32_t max_body_atoms = 3;
+  uint32_t max_head_atoms = 2;
+  uint32_t max_variables = 5;
+  uint32_t max_exist_vars = 2;
+  /// Percent chance that a tgd is full (no existentials).
+  uint32_t full_percent = 30;
+};
+
+/// Generates a valid tgd over `relations`.
+Tgd GenerateTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                const std::vector<RelationId>& relations,
+                const TgdConfig& config);
+
+/// Generates a valid Henkin tgd over `relations`; the quantifier assigns
+/// each existential a random subset of the universals, so standard, tree
+/// and general quantifiers all occur.
+HenkinTgd GenerateHenkinTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                            const std::vector<RelationId>& relations,
+                            const TgdConfig& config);
+
+/// Shape parameters for generated nested tgds.
+struct NestedConfig {
+  uint32_t depth = 3;
+  uint32_t max_children = 2;
+  uint32_t max_exist_vars = 1;
+};
+
+/// Generates a valid nested tgd over `relations` with exact nesting depth
+/// `config.depth` (along at least one branch).
+NestedTgd GenerateNestedTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                            const std::vector<RelationId>& relations,
+                            const NestedConfig& config);
+
+/// Generates a valid plain SO tgd with `num_parts` parts that SHARE the
+/// declared function symbols across parts (the feature separating SO tgds
+/// from sets of Henkin tgds). Functions are unary over body variables.
+SoTgd GenerateSoTgd(TermArena* arena, Vocabulary* vocab, Rng* rng,
+                    const std::vector<RelationId>& relations,
+                    uint32_t num_parts, uint32_t num_functions);
+
+/// Populates `instance` with `num_facts` random facts over `relations`
+/// drawing arguments from `domain_size` constants (named G_c0, G_c1, …)
+/// plus `num_nulls` fresh nulls.
+void GenerateInstance(Vocabulary* vocab, Rng* rng,
+                      const std::vector<RelationId>& relations,
+                      uint32_t num_facts, uint32_t domain_size,
+                      uint32_t num_nulls, Instance* instance);
+
+/// Erdős–Rényi random graph.
+Graph GenerateGraph(Rng* rng, uint32_t num_vertices, uint32_t edge_percent);
+
+/// Random QBF in the Theorem 6.3 shape.
+Qbf GenerateQbf(Rng* rng, uint32_t num_pairs, uint32_t num_clauses);
+
+/// Random PCP instance with `num_pairs` pairs of words of length
+/// ≤ max_word_length over an alphabet of `alphabet_size` symbols.
+PcpInstance GeneratePcp(Rng* rng, uint32_t alphabet_size, uint32_t num_pairs,
+                        uint32_t max_word_length);
+
+}  // namespace tgdkit

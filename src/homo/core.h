@@ -1,0 +1,43 @@
+// Instance-level homomorphisms, homomorphic equivalence, and cores
+// (minimal homomorphically-equivalent subinstances; unique up to
+// isomorphism, Hell & Nešetřil 1992).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "data/instance.h"
+#include "homo/matcher.h"
+#include "term/term.h"
+
+namespace tgdkit {
+
+/// A homomorphism between instances, represented as a map from the source
+/// instance's null indexes to target values (constants are fixed pointwise
+/// by definition).
+using NullMap = std::unordered_map<uint32_t, Value>;
+
+/// Finds a homomorphism from `from` to `to` (both over the same
+/// Vocabulary). Returns std::nullopt when none exists. `vocab` and `arena`
+/// are scratch spaces used to build the canonical query of `from`.
+std::optional<NullMap> FindHomomorphism(TermArena* arena, Vocabulary* vocab,
+                                        const Instance& from,
+                                        const Instance& to);
+
+/// True iff `from` maps homomorphically into `to`.
+bool HomomorphismExists(TermArena* arena, Vocabulary* vocab,
+                        const Instance& from, const Instance& to);
+
+/// True iff the instances are homomorphically equivalent (J1 <-> J2).
+bool HomomorphicallyEquivalent(TermArena* arena, Vocabulary* vocab,
+                               const Instance& a, const Instance& b);
+
+/// Applies a null map to an instance, producing its image.
+Instance ApplyNullMap(const Instance& source, const NullMap& map);
+
+/// Computes the core of `j`: repeatedly folds `j` into proper subinstances
+/// until no fact can be spared. Exponential worst case (the problem is
+/// NP-hard) but fast on the protected structures used in this library.
+Instance ComputeCore(TermArena* arena, Vocabulary* vocab, const Instance& j);
+
+}  // namespace tgdkit

@@ -1,0 +1,174 @@
+#include "homo/matcher.h"
+
+#include <cassert>
+#include <limits>
+
+namespace tgdkit {
+
+Matcher::Matcher(const TermArena* arena, const Instance* instance,
+                 std::span<const Atom> atoms)
+    : arena_(arena), instance_(instance) {
+  for (const Atom& atom : atoms) {
+    AtomPlan plan;
+    plan.relation = atom.relation;
+    for (TermId t : atom.args) {
+      ArgSlot slot;
+      if (arena_->IsVariable(t)) {
+        VariableId v = arena_->symbol(t);
+        auto [it, inserted] =
+            var_index_.emplace(v, static_cast<uint32_t>(variables_.size()));
+        if (inserted) variables_.push_back(v);
+        slot.is_variable = true;
+        slot.local_var = it->second;
+        slot.constant = Value();
+      } else {
+        assert(arena_->IsConstant(t) &&
+               "matcher atoms must be function-free");
+        slot.is_variable = false;
+        slot.local_var = 0;
+        slot.constant = Value::Constant(arena_->symbol(t));
+      }
+      plan.slots.push_back(slot);
+    }
+    plans_.push_back(std::move(plan));
+  }
+}
+
+int Matcher::PickNextAtom(const std::vector<Value>& binding,
+                          const std::vector<bool>& done) const {
+  int best = -1;
+  size_t best_cost = std::numeric_limits<size_t>::max();
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    if (done[i]) continue;
+    const AtomPlan& plan = plans_[i];
+    // Cost estimate: candidate rows through the most selective bound
+    // position, or the full relation when nothing is bound.
+    size_t cost = instance_->NumTuples(plan.relation);
+    for (size_t pos = 0; pos < plan.slots.size(); ++pos) {
+      const ArgSlot& slot = plan.slots[pos];
+      Value bound = slot.is_variable ? binding[slot.local_var] : slot.constant;
+      if (!bound.valid()) continue;
+      size_t rows =
+          instance_
+              ->RowsWithValue(plan.relation, static_cast<uint32_t>(pos), bound)
+              .size();
+      if (rows < cost) cost = rows;
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool Matcher::TryBindTuple(const AtomPlan& plan, std::span<const Value> tuple,
+                           std::vector<Value>* binding,
+                           std::vector<uint32_t>* trail) const {
+  for (size_t pos = 0; pos < plan.slots.size(); ++pos) {
+    const ArgSlot& slot = plan.slots[pos];
+    if (!slot.is_variable) {
+      if (slot.constant != tuple[pos]) return false;
+      continue;
+    }
+    Value& cell = (*binding)[slot.local_var];
+    if (cell.valid()) {
+      if (cell != tuple[pos]) return false;
+    } else {
+      cell = tuple[pos];
+      trail->push_back(slot.local_var);
+    }
+  }
+  return true;
+}
+
+bool Matcher::Search(
+    std::vector<Value>* binding, std::vector<bool>* done, size_t remaining,
+    const std::function<bool(const std::vector<Value>&)>& emit,
+    bool* stopped) const {
+  if (remaining == 0) {
+    if (!emit(*binding)) *stopped = true;
+    return true;
+  }
+  int idx = PickNextAtom(*binding, *done);
+  assert(idx >= 0);
+  const AtomPlan& plan = plans_[idx];
+  (*done)[idx] = true;
+
+  // Candidate rows: the most selective bound position's index, else a scan.
+  const std::vector<uint32_t>* rows = nullptr;
+  size_t best_rows = std::numeric_limits<size_t>::max();
+  for (size_t pos = 0; pos < plan.slots.size(); ++pos) {
+    const ArgSlot& slot = plan.slots[pos];
+    Value bound =
+        slot.is_variable ? (*binding)[slot.local_var] : slot.constant;
+    if (!bound.valid()) continue;
+    const std::vector<uint32_t>& candidate = instance_->RowsWithValue(
+        plan.relation, static_cast<uint32_t>(pos), bound);
+    if (candidate.size() < best_rows) {
+      best_rows = candidate.size();
+      rows = &candidate;
+    }
+  }
+
+  bool any = false;
+  std::vector<uint32_t> trail;
+  auto try_row = [&](uint32_t row) {
+    trail.clear();
+    std::span<const Value> tuple = instance_->Tuple(plan.relation, row);
+    if (TryBindTuple(plan, tuple, binding, &trail)) {
+      if (Search(binding, done, remaining - 1, emit, stopped)) any = true;
+    }
+    for (uint32_t var : trail) (*binding)[var] = Value();
+    return !*stopped;
+  };
+
+  if (rows != nullptr) {
+    for (uint32_t row : *rows) {
+      if (!try_row(row)) break;
+    }
+  } else {
+    size_t n = instance_->NumTuples(plan.relation);
+    for (uint32_t row = 0; row < n; ++row) {
+      if (!try_row(row)) break;
+    }
+  }
+
+  (*done)[idx] = false;
+  return any;
+}
+
+bool Matcher::FindOne(Assignment* seed) const {
+  bool found = false;
+  ForEach(*seed, [&](const Assignment& full) {
+    *seed = full;
+    found = true;
+    return false;  // stop at the first homomorphism
+  });
+  return found;
+}
+
+size_t Matcher::ForEach(
+    const Assignment& seed,
+    const std::function<bool(const Assignment&)>& callback) const {
+  std::vector<Value> binding(variables_.size(), Value());
+  for (const auto& [var, value] : seed) {
+    auto it = var_index_.find(var);
+    if (it != var_index_.end()) binding[it->second] = value;
+  }
+  std::vector<bool> done(plans_.size(), false);
+  size_t count = 0;
+  bool stopped = false;
+  auto emit = [&](const std::vector<Value>& full) {
+    Assignment out = seed;
+    for (size_t i = 0; i < variables_.size(); ++i) {
+      out[variables_[i]] = full[i];
+    }
+    ++count;
+    return callback(out);
+  };
+  Search(&binding, &done, plans_.size(), emit, &stopped);
+  return count;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,98 @@
+// Homomorphism search: finds assignments of query variables to instance
+// values such that every query atom maps to a fact. This is the shared
+// engine behind conjunctive-query evaluation, chase trigger enumeration,
+// tgd model checking and core computation.
+//
+// Query atoms may contain variables and constants only (function terms are
+// Skolemized away before matching; equalities are checked by callers after
+// grounding).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/instance.h"
+#include "term/term.h"
+
+namespace tgdkit {
+
+/// A relational atom whose arguments are terms (variables/constants for
+/// bodies and queries; arbitrary terms in rule heads).
+struct Atom {
+  RelationId relation;
+  std::vector<TermId> args;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.args == b.args;
+  }
+};
+
+/// Assignment of variables to instance values.
+using Assignment = std::unordered_map<VariableId, Value>;
+
+/// Backtracking matcher for a fixed list of atoms against one instance.
+///
+/// The matcher picks, at every depth, the pending atom with the most bound
+/// argument positions, and enumerates candidate rows through the instance's
+/// per-position indexes. Construction cost is linear in the query; the
+/// matcher can be reused for many searches against the same instance.
+class Matcher {
+ public:
+  /// `arena` must own all argument terms; `instance` and `arena` must
+  /// outlive the matcher. Atoms must contain only variables and constants.
+  Matcher(const TermArena* arena, const Instance* instance,
+          std::span<const Atom> atoms);
+
+  /// Finds one homomorphism extending `seed` (pre-bound variables are
+  /// respected). On success returns true and completes `seed` with bindings
+  /// for all query variables.
+  bool FindOne(Assignment* seed) const;
+
+  /// Enumerates all homomorphisms extending `seed`. The callback returns
+  /// false to stop enumeration early. Returns the number of callbacks made.
+  size_t ForEach(const Assignment& seed,
+                 const std::function<bool(const Assignment&)>& callback) const;
+
+  /// True iff at least one homomorphism extending `seed` exists.
+  bool Exists(const Assignment& seed) const {
+    Assignment copy = seed;
+    return FindOne(&copy);
+  }
+
+  /// The distinct variables of the query, in first-occurrence order.
+  const std::vector<VariableId>& variables() const { return variables_; }
+
+ private:
+  struct ArgSlot {
+    bool is_variable;
+    uint32_t local_var;  // index into variables_ when is_variable
+    Value constant;      // when !is_variable
+  };
+  struct AtomPlan {
+    RelationId relation;
+    std::vector<ArgSlot> slots;
+  };
+
+  bool Search(std::vector<Value>* binding, std::vector<bool>* done,
+              size_t remaining,
+              const std::function<bool(const std::vector<Value>&)>& emit,
+              bool* stopped) const;
+
+  int PickNextAtom(const std::vector<Value>& binding,
+                   const std::vector<bool>& done) const;
+
+  bool TryBindTuple(const AtomPlan& plan, std::span<const Value> tuple,
+                    std::vector<Value>* binding,
+                    std::vector<uint32_t>* trail) const;
+
+  const TermArena* arena_;
+  const Instance* instance_;
+  std::vector<AtomPlan> plans_;
+  std::vector<VariableId> variables_;
+  std::unordered_map<VariableId, uint32_t> var_index_;
+};
+
+}  // namespace tgdkit

@@ -1,0 +1,341 @@
+#include "mc/model_check.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "dep/skolem.h"
+#include "homo/matcher.h"
+
+namespace tgdkit {
+
+// ---------------------------------------------------------------------------
+// tgds
+
+bool CheckTgd(const TermArena& arena, const Instance& instance,
+              const Tgd& tgd) {
+  Matcher body(&arena, &instance, tgd.body);
+  Matcher head(&arena, &instance, tgd.head);
+  bool ok = true;
+  body.ForEach({}, [&](const Assignment& assignment) {
+    if (!head.Exists(assignment)) {
+      ok = false;
+      return false;
+    }
+    return true;
+  });
+  return ok;
+}
+
+std::string TgdViolation::ToString(const Vocabulary& vocab,
+                                   const Instance& instance) const {
+  std::string out;
+  // Deterministic order for readability.
+  std::map<std::string, Value> sorted;
+  for (const auto& [var, value] : trigger) {
+    sorted.emplace(vocab.VariableName(var), value);
+  }
+  for (const auto& [name, value] : sorted) {
+    if (!out.empty()) out += ", ";
+    out += name;
+    out += "=";
+    out += instance.ValueToString(value);
+  }
+  return out;
+}
+
+std::optional<TgdViolation> FindTgdViolation(const TermArena& arena,
+                                             const Instance& instance,
+                                             const Tgd& tgd) {
+  Matcher body(&arena, &instance, tgd.body);
+  Matcher head(&arena, &instance, tgd.head);
+  std::optional<TgdViolation> violation;
+  body.ForEach({}, [&](const Assignment& assignment) {
+    if (!head.Exists(assignment)) {
+      violation = TgdViolation{assignment};
+      return false;
+    }
+    return true;
+  });
+  return violation;
+}
+
+bool CheckTgds(const TermArena& arena, const Instance& instance,
+               std::span<const Tgd> tgds) {
+  for (const Tgd& tgd : tgds) {
+    if (!CheckTgd(arena, instance, tgd)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// nested tgds
+
+namespace {
+
+bool EvalNestedNode(const TermArena& arena, const Instance& instance,
+                    const NestedNode& node, const Assignment& assignment,
+                    const std::vector<Value>& domain);
+
+/// Checks one trigger of a nested node: given bindings for the node's
+/// body (and all outer variables), some choice of the existentials must
+/// satisfy the direct head atoms and, recursively, all children.
+bool EvalNestedConclusion(const TermArena& arena, const Instance& instance,
+                          const NestedNode& node,
+                          const Assignment& body_assignment,
+                          const std::vector<Value>& domain) {
+  const std::vector<VariableId>& exist = node.exist_vars;
+  std::function<bool(size_t, Assignment&)> choose =
+      [&](size_t index, Assignment& current) -> bool {
+    if (index == exist.size()) {
+      // All existentials chosen: direct head atoms must be facts.
+      Matcher head(&arena, &instance, node.head_atoms);
+      Assignment probe = current;
+      if (!node.head_atoms.empty() && !head.FindOne(&probe)) return false;
+      for (const NestedNode& child : node.children) {
+        if (!EvalNestedNode(arena, instance, child, current, domain)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    for (Value v : domain) {
+      current[exist[index]] = v;
+      if (choose(index + 1, current)) return true;
+    }
+    current.erase(exist[index]);
+    return false;
+  };
+  Assignment current = body_assignment;
+  return choose(0, current);
+}
+
+/// Evaluates a nested node under `assignment` (bindings for all outer
+/// variables): every homomorphism of the body must admit a satisfying
+/// choice of existentials.
+bool EvalNestedNode(const TermArena& arena, const Instance& instance,
+                    const NestedNode& node, const Assignment& assignment,
+                    const std::vector<Value>& domain) {
+  Matcher body(&arena, &instance, node.body);
+  bool ok = true;
+  body.ForEach(assignment, [&](const Assignment& body_assignment) {
+    if (!EvalNestedConclusion(arena, instance, node, body_assignment,
+                              domain)) {
+      ok = false;
+      return false;
+    }
+    return true;
+  });
+  return ok;
+}
+
+}  // namespace
+
+bool CheckNested(const TermArena& arena, const Instance& instance,
+                 const NestedTgd& nested) {
+  std::vector<Value> domain = instance.ActiveDomain();
+  return EvalNestedNode(arena, instance, nested.root, {}, domain);
+}
+
+std::optional<TgdViolation> FindNestedViolation(const TermArena& arena,
+                                                const Instance& instance,
+                                                const NestedTgd& nested) {
+  std::vector<Value> domain = instance.ActiveDomain();
+  Matcher body(&arena, &instance, nested.root.body);
+  std::optional<TgdViolation> violation;
+  body.ForEach({}, [&](const Assignment& body_assignment) {
+    if (!EvalNestedConclusion(arena, instance, nested.root, body_assignment,
+                              domain)) {
+      violation = TgdViolation{body_assignment};
+      return false;
+    }
+    return true;
+  });
+  return violation;
+}
+
+// ---------------------------------------------------------------------------
+// SO tgds: lazy second-order search
+
+namespace {
+
+/// Key of one function-table entry: function symbol + argument values.
+struct EntryKey {
+  FunctionId function;
+  std::vector<Value> args;
+
+  bool operator<(const EntryKey& other) const {
+    if (function != other.function) return function < other.function;
+    return args < other.args;
+  }
+};
+
+class SoSearcher {
+ public:
+  SoSearcher(const TermArena& arena, const Instance& instance,
+             const SoTgd& so, const McOptions& options)
+      : arena_(arena), instance_(instance), options_(options) {
+    domain_ = instance.ActiveDomain();
+    // Materialize all ground constraints: one per part per body
+    // homomorphism.
+    for (const SoPart& part : so.parts) {
+      Matcher body(&arena_, &instance_, part.body);
+      body.ForEach({}, [&](const Assignment& assignment) {
+        constraints_.push_back(Constraint{&part, assignment});
+        return true;
+      });
+    }
+  }
+
+  McResult Run() {
+    McResult result;
+    if (domain_.empty()) {
+      // No active domain: bodies cannot match (non-empty by definition),
+      // so there are no constraints and the SO tgd holds vacuously.
+      result.satisfied = constraints_.empty();
+      result.branches = 0;
+      return result;
+    }
+    bool ok = Satisfy(0);
+    result.satisfied = ok;
+    result.budget_exceeded = budget_exceeded_;
+    result.branches = branches_;
+    if (budget_exceeded_) result.satisfied = false;
+    return result;
+  }
+
+ private:
+  struct Constraint {
+    const SoPart* part;
+    Assignment assignment;
+  };
+
+  /// Evaluates a term under `assignment` and the current partial table.
+  /// Returns the value, or nullopt with `*blocked` set to the missing
+  /// entry.
+  std::optional<Value> Eval(TermId t, const Assignment& assignment,
+                            EntryKey* blocked) {
+    switch (arena_.kind(t)) {
+      case TermKind::kVariable:
+        return assignment.at(arena_.symbol(t));
+      case TermKind::kConstant:
+        return Value::Constant(arena_.symbol(t));
+      case TermKind::kFunction: {
+        EntryKey key;
+        key.function = arena_.symbol(t);
+        for (TermId a : arena_.args(t)) {
+          std::optional<Value> v = Eval(a, assignment, blocked);
+          if (!v.has_value()) return std::nullopt;
+          key.args.push_back(*v);
+        }
+        auto it = table_.find(key);
+        if (it == table_.end()) {
+          *blocked = std::move(key);
+          return std::nullopt;
+        }
+        return it->second;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Checks constraint `index` as far as possible. Returns:
+  ///   kSatisfied / kViolated, or kBlocked with the missing entry.
+  enum class Outcome { kSatisfied, kViolated, kBlocked };
+
+  Outcome Check(const Constraint& c, EntryKey* blocked) {
+    for (const SoEquality& eq : c.part->equalities) {
+      std::optional<Value> lhs = Eval(eq.lhs, c.assignment, blocked);
+      if (!lhs.has_value()) return Outcome::kBlocked;
+      std::optional<Value> rhs = Eval(eq.rhs, c.assignment, blocked);
+      if (!rhs.has_value()) return Outcome::kBlocked;
+      if (*lhs != *rhs) return Outcome::kSatisfied;  // antecedent false
+    }
+    for (const Atom& atom : c.part->head) {
+      std::vector<Value> args;
+      for (TermId t : atom.args) {
+        std::optional<Value> v = Eval(t, c.assignment, blocked);
+        if (!v.has_value()) return Outcome::kBlocked;
+        args.push_back(*v);
+      }
+      if (!instance_.Contains(atom.relation, args)) return Outcome::kViolated;
+    }
+    return Outcome::kSatisfied;
+  }
+
+  /// Satisfies constraints [index, end), branching on blocked entries.
+  bool Satisfy(size_t index) {
+    if (budget_exceeded_) return false;
+    if (index == constraints_.size()) return true;
+    EntryKey blocked;
+    switch (Check(constraints_[index], &blocked)) {
+      case Outcome::kSatisfied:
+        return Satisfy(index + 1);
+      case Outcome::kViolated:
+        return false;
+      case Outcome::kBlocked:
+        break;
+    }
+    for (Value v : domain_) {
+      if (++branches_ > options_.max_branches) {
+        budget_exceeded_ = true;
+        return false;
+      }
+      table_[blocked] = v;
+      // Re-check the same constraint; it may block on further entries.
+      if (Satisfy(index)) return true;
+      table_.erase(blocked);
+      if (budget_exceeded_) return false;
+    }
+    return false;
+  }
+
+  const TermArena& arena_;
+  const Instance& instance_;
+  McOptions options_;
+  std::vector<Value> domain_;
+  std::vector<Constraint> constraints_;
+  std::map<EntryKey, Value> table_;
+  uint64_t branches_ = 0;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace
+
+McResult CheckSo(const TermArena& arena, const Instance& instance,
+                 const SoTgd& so, const McOptions& options) {
+  SoSearcher searcher(arena, instance, so, options);
+  return searcher.Run();
+}
+
+McResult CheckHenkin(TermArena* arena, Vocabulary* vocab,
+                     const Instance& instance, const HenkinTgd& henkin,
+                     const McOptions& options) {
+  SoTgd so = HenkinToSo(arena, vocab, henkin);
+  return CheckSo(*arena, instance, so, options);
+}
+
+McResult CheckHenkins(TermArena* arena, Vocabulary* vocab,
+                      const Instance& instance,
+                      std::span<const HenkinTgd> henkins,
+                      const McOptions& options) {
+  McResult combined;
+  combined.satisfied = true;
+  for (const HenkinTgd& henkin : henkins) {
+    McResult one = CheckHenkin(arena, vocab, instance, henkin, options);
+    combined.branches += one.branches;
+    if (one.budget_exceeded) {
+      combined.budget_exceeded = true;
+      combined.satisfied = false;
+      return combined;
+    }
+    if (!one.satisfied) {
+      combined.satisfied = false;
+      return combined;
+    }
+  }
+  return combined;
+}
+
+}  // namespace tgdkit

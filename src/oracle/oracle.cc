@@ -1,0 +1,184 @@
+#include "oracle/oracle.h"
+
+#include <deque>
+#include <functional>
+#include <set>
+
+namespace tgdkit {
+
+bool ThreeColorable(const Graph& graph) {
+  if (graph.num_vertices == 0) return true;
+  std::vector<std::vector<uint32_t>> adjacency(graph.num_vertices);
+  for (const auto& [u, v] : graph.edges) {
+    if (u == v) return false;  // self-loop is never properly colorable
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  }
+  std::vector<int> color(graph.num_vertices, -1);
+  std::function<bool(uint32_t)> assign = [&](uint32_t v) -> bool {
+    if (v == graph.num_vertices) return true;
+    // Symmetry breaking: the first vertex gets color 0 only.
+    int limit = (v == 0) ? 1 : 3;
+    for (int c = 0; c < limit; ++c) {
+      bool clash = false;
+      for (uint32_t u : adjacency[v]) {
+        if (u < v && color[u] == c) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      color[v] = c;
+      if (assign(v + 1)) return true;
+      color[v] = -1;
+    }
+    return false;
+  };
+  return assign(0);
+}
+
+namespace {
+
+bool EvalQbfLiteral(const QbfLiteral& literal,
+                    const std::vector<bool>& x_values,
+                    const std::vector<bool>& y_values) {
+  bool value = literal.kind == QbfLiteral::Kind::kUniversal
+                   ? x_values[literal.index]
+                   : y_values[literal.index];
+  return literal.negated ? !value : value;
+}
+
+bool EvalQbfMatrix(const Qbf& qbf, const std::vector<bool>& x_values,
+                   const std::vector<bool>& y_values) {
+  for (const auto& clause : qbf.clauses) {
+    bool satisfied = false;
+    for (const QbfLiteral& literal : clause) {
+      if (EvalQbfLiteral(literal, x_values, y_values)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+bool EvalQbfFrom(const Qbf& qbf, uint32_t pair, std::vector<bool>* x_values,
+                 std::vector<bool>* y_values) {
+  if (pair == qbf.num_pairs) {
+    return EvalQbfMatrix(qbf, *x_values, *y_values);
+  }
+  // ∀x_pair ∃y_pair …
+  for (bool x : {false, true}) {
+    (*x_values)[pair] = x;
+    bool exists = false;
+    for (bool y : {false, true}) {
+      (*y_values)[pair] = y;
+      if (EvalQbfFrom(qbf, pair + 1, x_values, y_values)) {
+        exists = true;
+        break;
+      }
+    }
+    if (!exists) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EvaluateQbf(const Qbf& qbf) {
+  std::vector<bool> x_values(qbf.num_pairs, false);
+  std::vector<bool> y_values(qbf.num_pairs, false);
+  return EvalQbfFrom(qbf, 0, &x_values, &y_values);
+}
+
+namespace {
+
+/// A PCP search configuration: the outstanding overhang. `first_longer`
+/// tells which side the overhang belongs to.
+struct PcpConfig {
+  bool first_longer;
+  std::vector<uint32_t> overhang;
+  std::vector<uint32_t> sequence;
+
+  std::pair<bool, std::vector<uint32_t>> Key() const {
+    return {first_longer, overhang};
+  }
+};
+
+/// Appends `word` to the shorter side; returns false on mismatch.
+bool Extend(const PcpConfig& config, const std::vector<uint32_t>& w1,
+            const std::vector<uint32_t>& w2, PcpConfig* out) {
+  // Normalize: s1 = overhang of side 1 vs side 2.
+  std::vector<uint32_t> s1 = config.first_longer ? config.overhang
+                                                 : std::vector<uint32_t>{};
+  std::vector<uint32_t> s2 = config.first_longer ? std::vector<uint32_t>{}
+                                                 : config.overhang;
+  s1.insert(s1.end(), w1.begin(), w1.end());
+  s2.insert(s2.end(), w2.begin(), w2.end());
+  size_t common = std::min(s1.size(), s2.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (s1[i] != s2[i]) return false;
+  }
+  out->first_longer = s1.size() >= s2.size();
+  if (s1.size() >= s2.size()) {
+    out->overhang.assign(s1.begin() + common, s1.end());
+  } else {
+    out->overhang.assign(s2.begin() + common, s2.end());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<uint32_t>> SolvePcp(const PcpInstance& instance,
+                                              uint32_t max_sequence_length) {
+  std::deque<PcpConfig> queue;
+  std::set<std::pair<bool, std::vector<uint32_t>>> seen;
+
+  // First selections.
+  for (uint32_t i = 0; i < instance.pairs.size(); ++i) {
+    PcpConfig start{true, {}, {}};
+    PcpConfig next;
+    if (!Extend(start, instance.pairs[i].first, instance.pairs[i].second,
+                &next)) {
+      continue;
+    }
+    next.sequence = {i + 1};
+    if (next.overhang.empty()) return next.sequence;
+    if (seen.insert(next.Key()).second) queue.push_back(std::move(next));
+  }
+
+  while (!queue.empty()) {
+    PcpConfig config = std::move(queue.front());
+    queue.pop_front();
+    if (config.sequence.size() >= max_sequence_length) continue;
+    for (uint32_t i = 0; i < instance.pairs.size(); ++i) {
+      PcpConfig next;
+      if (!Extend(config, instance.pairs[i].first, instance.pairs[i].second,
+                  &next)) {
+        continue;
+      }
+      next.sequence = config.sequence;
+      next.sequence.push_back(i + 1);
+      if (next.overhang.empty()) return next.sequence;
+      if (seen.insert(next.Key()).second) queue.push_back(std::move(next));
+    }
+  }
+  return std::nullopt;
+}
+
+bool CheckPcpSolution(const PcpInstance& instance,
+                      const std::vector<uint32_t>& sequence) {
+  if (sequence.empty()) return false;
+  std::vector<uint32_t> s1, s2;
+  for (uint32_t index : sequence) {
+    if (index == 0 || index > instance.pairs.size()) return false;
+    const auto& [w1, w2] = instance.pairs[index - 1];
+    s1.insert(s1.end(), w1.begin(), w1.end());
+    s2.insert(s2.end(), w2.begin(), w2.end());
+  }
+  return s1 == s2;
+}
+
+}  // namespace tgdkit

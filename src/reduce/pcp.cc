@@ -1,0 +1,269 @@
+#include "reduce/pcp.h"
+
+#include <cassert>
+
+#include "base/strings.h"
+#include "dep/skolem.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+
+namespace {
+
+/// Bit width needed to encode values 0..count-1 (at least 1).
+uint32_t BitWidth(uint32_t count) {
+  uint32_t width = 1;
+  while ((1u << width) < count) ++width;
+  return width;
+}
+
+/// Builder holding the shared symbols of the construction.
+class PcpBuilder {
+ public:
+  PcpBuilder(TermArena* arena, Vocabulary* vocab, const PcpInstance& pcp)
+      : arena_(arena), vocab_(vocab), pcp_(pcp) {
+    r_rel_ = vocab->InternRelation("R", 3);
+    ap_rel_[0] = vocab->InternRelation("AP0", 3);
+    ap_rel_[1] = vocab->InternRelation("AP1", 3);
+    done_rel_ = vocab->InternRelation("Done", 3);
+    start_rel_ = vocab->InternRelation("Start", 1);
+    y_rel_ = vocab->InternRelation("Y", 1);
+    index_width_ = BitWidth(static_cast<uint32_t>(pcp.pairs.size()));
+    char_width_ = BitWidth(pcp.alphabet_size);
+    q_ = Var("q");
+    s_ = Var("s");
+    w_ = Var("w");
+    a_ = Var("a");
+    p_ = Var("p");
+  }
+
+  TermId Var(const char* name) {
+    return arena_->MakeVariable(vocab_->InternVariable(name));
+  }
+  TermId Const(const std::string& name) {
+    return arena_->MakeConstant(vocab_->InternConstant(name));
+  }
+
+  /// Bit t (0-based) of the fixed-width code of `value`.
+  static uint32_t Bit(uint32_t value, uint32_t t) {
+    return (value >> t) & 1u;
+  }
+
+  std::string BranchState(uint32_t b) { return Cat("B", b); }
+  std::string StartState(uint32_t b) { return Cat("S", b); }
+  std::string SelState(uint32_t b, uint32_t i, uint32_t t) {
+    return Cat("sel_", b, "_", i, "_", t);
+  }
+  std::string ChrState(uint32_t b, uint32_t i, uint32_t j, uint32_t t) {
+    return Cat("chr_", b, "_", i, "_", j, "_", t);
+  }
+
+  const std::vector<uint32_t>& Word(uint32_t b, uint32_t i) {
+    return b == 1 ? pcp_.pairs[i - 1].first : pcp_.pairs[i - 1].second;
+  }
+
+  /// Full tgd: From(q = from_state, x, y) -> To(q = to_state, x', y') where
+  /// the argument order of the head is given by swap.
+  Tgd Route(RelationId from_rel, const std::string& from_state,
+            RelationId to_rel, const std::string& to_state, bool swap) {
+    Tgd tgd;
+    tgd.body = {Atom{from_rel, {Const(from_state), a_, p_}}};
+    if (swap) {
+      tgd.head = {Atom{to_rel, {Const(to_state), p_, a_}}};
+    } else {
+      tgd.head = {Atom{to_rel, {Const(to_state), a_, p_}}};
+    }
+    return tgd;
+  }
+
+  /// The state/request the selection machine enters after applying bit t
+  /// of index i in branch b, plus which AP relation carries it.
+  void EmitSelectionRules(PcpEncoding* out) {
+    uint32_t n = static_cast<uint32_t>(pcp_.pairs.size());
+    for (uint32_t b = 1; b <= 2; ++b) {
+      for (uint32_t i = 1; i <= n; ++i) {
+        uint32_t code = i - 1;
+        // Kick off from both the start state and the branch-ready state.
+        for (const std::string& from :
+             {StartState(b), BranchState(b)}) {
+          out->full_rules.push_back(
+              Route(r_rel_, from, ap_rel_[Bit(code, 0)], SelState(b, i, 1),
+                    /*swap=*/false));
+        }
+        // Continue applying index bits.
+        for (uint32_t t = 1; t < index_width_; ++t) {
+          out->full_rules.push_back(
+              Route(done_rel_, SelState(b, i, t), ap_rel_[Bit(code, t)],
+                    SelState(b, i, t + 1), /*swap=*/false));
+        }
+        // Index applied; move to the word characters (active term becomes
+        // the string, hence the swap) or — for the empty word — return.
+        const std::vector<uint32_t>& word = Word(b, i);
+        if (word.empty()) {
+          out->full_rules.push_back(Route(done_rel_,
+                                          SelState(b, i, index_width_),
+                                          r_rel_, BranchState(b),
+                                          /*swap=*/false));
+        } else {
+          uint32_t c0 = word[0] - 1;
+          out->full_rules.push_back(
+              Route(done_rel_, SelState(b, i, index_width_),
+                    ap_rel_[Bit(c0, 0)], ChrState(b, i, 0, 1),
+                    /*swap=*/true));
+          EmitCharRules(out, b, i);
+        }
+      }
+    }
+  }
+
+  void EmitCharRules(PcpEncoding* out, uint32_t b, uint32_t i) {
+    const std::vector<uint32_t>& word = Word(b, i);
+    for (uint32_t j = 0; j < word.size(); ++j) {
+      uint32_t code = word[j] - 1;
+      for (uint32_t t = 1; t < char_width_; ++t) {
+        out->full_rules.push_back(Route(done_rel_, ChrState(b, i, j, t),
+                                        ap_rel_[Bit(code, t)],
+                                        ChrState(b, i, j, t + 1),
+                                        /*swap=*/false));
+      }
+      if (j + 1 < word.size()) {
+        uint32_t next = word[j + 1] - 1;
+        out->full_rules.push_back(Route(done_rel_, ChrState(b, i, j, char_width_),
+                                        ap_rel_[Bit(next, 0)],
+                                        ChrState(b, i, j + 1, 1),
+                                        /*swap=*/false));
+      } else {
+        // Word complete: back to the branch-ready state, swapping the
+        // string back into the w slot.
+        out->full_rules.push_back(Route(done_rel_,
+                                        ChrState(b, i, j, char_width_),
+                                        r_rel_, BranchState(b),
+                                        /*swap=*/true));
+      }
+    }
+  }
+
+  void EmitInit(PcpEncoding* out) {
+    Tgd init;
+    init.body = {Atom{start_rel_, {Var("z")}}};
+    init.head = {Atom{r_rel_, {Const(StartState(1)), Const("eps"),
+                               Const("eps")}},
+                 Atom{r_rel_, {Const(StartState(2)), Const("eps"),
+                               Const("eps")}}};
+    out->full_rules.push_back(std::move(init));
+  }
+
+  void EmitApplyRules(PcpEncoding* out) {
+    for (uint32_t bit = 0; bit <= 1; ++bit) {
+      // Standard Henkin tgd: AP<bit>(q, a, p) -> exists a2(a) Done(q, a2, p).
+      HenkinTgd henkin;
+      VariableId q = vocab_->InternVariable("q");
+      VariableId a = vocab_->InternVariable("a");
+      VariableId p = vocab_->InternVariable("p");
+      VariableId a2 = vocab_->InternVariable(Cat("a2_", bit));
+      henkin.quantifier = HenkinQuantifier::FromRows(
+          {{{a}, {a2}}, {{q, p}, {}}});
+      henkin.body = {Atom{ap_rel_[bit], {q_, a_, p_}}};
+      henkin.head = {Atom{done_rel_, {q_, arena_->MakeVariable(a2), p_}}};
+      out->henkin_rules.push_back(std::move(henkin));
+
+      // Nested variant (Idea 3⁺): Y(a) -> exists a2 [ AP(q,a,p) ->
+      // Done(q,a2,p) ], with a full Y-producer.
+      NestedTgd nested;
+      VariableId a3 = vocab_->InternVariable(Cat("a3_", bit));
+      nested.root.univ_vars = {a};
+      nested.root.body = {Atom{y_rel_, {a_}}};
+      nested.root.exist_vars = {a3};
+      NestedNode child;
+      child.univ_vars = {q, p};
+      child.body = {Atom{ap_rel_[bit], {q_, a_, p_}}};
+      child.head_atoms = {
+          Atom{done_rel_, {q_, arena_->MakeVariable(a3), p_}}};
+      nested.root.children.push_back(std::move(child));
+      out->nested_rules.push_back(std::move(nested));
+
+      Tgd producer;
+      producer.body = {Atom{ap_rel_[bit], {q_, a_, p_}}};
+      producer.head = {Atom{y_rel_, {a_}}};
+      out->nested_producers.push_back(std::move(producer));
+    }
+  }
+
+  void EmitGoal(PcpEncoding* out) {
+    out->goal.atoms = {Atom{r_rel_, {Const(BranchState(1)), s_, w_}},
+                       Atom{r_rel_, {Const(BranchState(2)), s_, w_}}};
+  }
+
+  void EmitSeed(PcpEncoding* out) {
+    out->seed.AddFact(start_rel_,
+                      std::vector<Value>{Value::Constant(
+                          vocab_->InternConstant("go"))});
+  }
+
+ private:
+  TermArena* arena_;
+  Vocabulary* vocab_;
+  const PcpInstance& pcp_;
+  RelationId r_rel_, done_rel_, start_rel_, y_rel_;
+  RelationId ap_rel_[2];
+  uint32_t index_width_, char_width_;
+  TermId q_, s_, w_, a_, p_;
+};
+
+}  // namespace
+
+PcpEncoding BuildPcpEncoding(TermArena* arena, Vocabulary* vocab,
+                             const PcpInstance& instance) {
+  assert(!instance.pairs.empty() && instance.alphabet_size >= 1);
+  PcpEncoding out(vocab);
+  PcpBuilder builder(arena, vocab, instance);
+  builder.EmitInit(&out);
+  builder.EmitSelectionRules(&out);
+  builder.EmitApplyRules(&out);
+  builder.EmitGoal(&out);
+  builder.EmitSeed(&out);
+  return out;
+}
+
+SoTgd PcpEncoding::HenkinRuleSet(TermArena* arena, Vocabulary* vocab) const {
+  SoTgd merged = TgdsToSo(arena, vocab, full_rules);
+  SoTgd henkin = HenkinsToSo(arena, vocab, henkin_rules);
+  std::vector<SoTgd> both{merged, henkin};
+  return MergeSo(both);
+}
+
+SoTgd PcpEncoding::NestedRuleSet(TermArena* arena, Vocabulary* vocab) const {
+  std::vector<SoTgd> pieces;
+  pieces.push_back(TgdsToSo(arena, vocab, full_rules));
+  pieces.push_back(TgdsToSo(arena, vocab, nested_producers));
+  for (const NestedTgd& nested : nested_rules) {
+    pieces.push_back(NestedToSo(arena, vocab, nested));
+  }
+  return MergeSo(pieces);
+}
+
+PcpChaseOutcome SemiDecidePcp(TermArena* arena, Vocabulary* vocab,
+                              const PcpEncoding& encoding, const SoTgd& rules,
+                              ChaseLimits limits) {
+  ChaseEngine engine(arena, vocab, rules, encoding.seed, limits);
+  PcpChaseOutcome outcome;
+  auto goal_reached = [&]() {
+    return EvaluateBoolean(*arena, engine.instance(), encoding.goal);
+  };
+  if (goal_reached()) {
+    outcome.solved = true;
+  } else {
+    while (engine.Step()) {
+      if (goal_reached()) {
+        outcome.solved = true;
+        break;
+      }
+    }
+  }
+  outcome.rounds = engine.rounds();
+  outcome.facts = engine.instance().NumFacts();
+  outcome.stop = engine.stop_reason();
+  return outcome;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,84 @@
+#include "reduce/qbf.h"
+
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+QbfReduction BuildQbfReduction(TermArena* arena, Vocabulary* vocab,
+                               const Qbf& qbf) {
+  assert(qbf.num_pairs >= 1);
+  RelationId p_rel = vocab->InternRelation("P", 2);
+  RelationId q_rel = vocab->InternRelation("Q", 2);
+  RelationId c_rel = vocab->InternRelation("C", 3);
+
+  // Variables x_i / x~_i (universal) and y_i / y~_i (existential); the
+  // tilde variable carries the complement value.
+  auto var = [&](const char* base, uint32_t i) {
+    return vocab->InternVariable(Cat(base, i));
+  };
+
+  // The literal-encoding l*: positive literals map to the plain variable,
+  // negative literals to its complement twin.
+  auto literal_term = [&](const QbfLiteral& literal) {
+    const char* base;
+    if (literal.kind == QbfLiteral::Kind::kUniversal) {
+      base = literal.negated ? "xc" : "x";
+    } else {
+      base = literal.negated ? "yc" : "y";
+    }
+    return arena->MakeVariable(var(base, literal.index));
+  };
+
+  // Build the nesting chain from the innermost level outward.
+  NestedTgd tau;
+  NestedNode* slot = nullptr;  // where the next deeper node goes
+  for (uint32_t i = 0; i < qbf.num_pairs; ++i) {
+    NestedNode node;
+    node.univ_vars = {var("x", i), var("xc", i)};
+    node.body = {Atom{p_rel,
+                      {arena->MakeVariable(var("x", i)),
+                       arena->MakeVariable(var("xc", i))}}};
+    node.exist_vars = {var("y", i), var("yc", i)};
+    node.head_atoms = {Atom{q_rel,
+                            {arena->MakeVariable(var("y", i)),
+                             arena->MakeVariable(var("yc", i))}}};
+    if (slot == nullptr) {
+      tau.root = std::move(node);
+      slot = &tau.root;
+    } else {
+      slot->children.push_back(std::move(node));
+      slot = &slot->children[0];
+    }
+  }
+  // Innermost level carries the clause atoms.
+  for (const auto& clause : qbf.clauses) {
+    slot->head_atoms.push_back(Atom{
+        c_rel,
+        {literal_term(clause[0]), literal_term(clause[1]),
+         literal_term(clause[2])}});
+  }
+
+  // Fixed instance: truth values with complements, and the OR table.
+  QbfReduction out{std::move(tau), Instance(vocab)};
+  Value zero = Value::Constant(vocab->InternConstant("0"));
+  Value one = Value::Constant(vocab->InternConstant("1"));
+  out.instance.AddFact(p_rel, std::vector<Value>{one, zero});
+  out.instance.AddFact(p_rel, std::vector<Value>{zero, one});
+  out.instance.AddFact(q_rel, std::vector<Value>{one, zero});
+  out.instance.AddFact(q_rel, std::vector<Value>{zero, one});
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        if (a == 0 && b == 0 && c == 0) continue;
+        out.instance.AddFact(
+            c_rel, std::vector<Value>{a ? one : zero, b ? one : zero,
+                                      c ? one : zero});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,31 @@
+// Theorem 6.3: PSPACE-hardness of nested tgd model checking in query
+// complexity, by reduction from QBF satisfiability. For
+//   ψ = ∀x₁∃y₁ … ∀xₙ∃yₙ (c₁ ∧ … ∧ c_m)
+// the construction produces the s-t simple nested tgd
+//
+//   τ: ∀x₁,x̃₁ P(x₁,x̃₁) → ∃y₁,ỹ₁ Q(y₁,ỹ₁) ∧
+//        [ ∀x₂,x̃₂ P(x₂,x̃₂) → ∃y₂,ỹ₂ Q(y₂,ỹ₂) ∧ [ … ∧ ⋀ᵢ C(lᵢ₁*,lᵢ₂*,lᵢ₃*) ]]
+//
+// over the fixed instance I = {P(1,0), P(0,1)},
+// J = {Q(1,0), Q(0,1)} ∪ ({0,1}³ \ {(0,0,0)}) as C-facts. Negation is
+// encoded by the complement variables x̃/ỹ, disjunction by the C relation.
+// Then ψ is true iff the instance satisfies τ.
+#pragma once
+
+#include "data/instance.h"
+#include "dep/dependency.h"
+#include "oracle/oracle.h"
+
+namespace tgdkit {
+
+struct QbfReduction {
+  NestedTgd tau;
+  Instance instance;
+};
+
+/// Builds the Theorem 6.3 model-checking instance for `qbf`.
+/// Precondition: qbf.num_pairs >= 1.
+QbfReduction BuildQbfReduction(TermArena* arena, Vocabulary* vocab,
+                               const Qbf& qbf);
+
+}  // namespace tgdkit

@@ -1,0 +1,119 @@
+#include "reduce/separation.h"
+
+#include <map>
+
+#include "base/strings.h"
+#include "dep/skolem.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+
+Theorem41Witness BuildTheorem41Witness(TermArena* arena, Vocabulary* vocab) {
+  Theorem41Witness out;
+  RelationId p = vocab->InternRelation("P", 2);
+  RelationId q = vocab->InternRelation("Q", 2);
+  RelationId r = vocab->InternRelation("R", 2);
+  RelationId s = vocab->InternRelation("S", 2);
+  RelationId q0 = vocab->InternRelation("Q0", 2);
+  RelationId r0 = vocab->InternRelation("R0", 2);
+  RelationId s0 = vocab->InternRelation("S0", 2);
+
+  VariableId x1 = vocab->InternVariable("x1");
+  VariableId x2 = vocab->InternVariable("x2");
+  VariableId u = vocab->InternVariable("u");
+  VariableId v = vocab->InternVariable("v");
+  auto var = [&](VariableId id) { return arena->MakeVariable(id); };
+
+  out.sigma1.quantifier =
+      HenkinQuantifier::FromRows({{{x1}, {u}}, {{x2}, {v}}});
+  out.sigma1.body = {Atom{p, {var(x1), var(x2)}}};
+  out.sigma1.head = {Atom{q, {var(x1), var(u)}},
+                     Atom{r, {var(u), var(v)}},
+                     Atom{s, {var(v), var(x2)}}};
+
+  auto copy = [&](RelationId from, RelationId to) {
+    Tgd tgd;
+    tgd.body = {Atom{from, {var(x1), var(x2)}}};
+    tgd.head = {Atom{to, {var(x1), var(x2)}}};
+    return tgd;
+  };
+  out.copies = {copy(q0, q), copy(r0, r), copy(s0, s)};
+
+  SoTgd henkin_part = HenkinToSo(arena, vocab, out.sigma1);
+  SoTgd copies_part = TgdsToSo(arena, vocab, out.copies);
+  std::vector<SoTgd> both{henkin_part, copies_part};
+  out.rules = MergeSo(both);
+  return out;
+}
+
+Instance BuildTheorem41Instance(Vocabulary* vocab, uint32_t n) {
+  Instance instance(vocab);
+  RelationId p = vocab->InternRelation("P", 2);
+  for (uint32_t i = 1; i <= n; ++i) {
+    Value a = Value::Constant(vocab->InternConstant(Cat("a", i)));
+    for (uint32_t j = 1; j <= n; ++j) {
+      Value b = Value::Constant(vocab->InternConstant(Cat("b", j)));
+      instance.AddFact(p, std::vector<Value>{a, b});
+    }
+  }
+  return instance;
+}
+
+SoTgd BuildTheorem44Witness(TermArena* arena, Vocabulary* vocab) {
+  RelationId emps = vocab->InternRelation("Emps", 2);
+  RelationId mgrs = vocab->InternRelation("Mgrs", 2);
+  FunctionId f = vocab->InternFunction("fmgr44", 1);
+  TermId e1 = arena->MakeVariable(vocab->InternVariable("e1"));
+  TermId e2 = arena->MakeVariable(vocab->InternVariable("e2"));
+  SoTgd so;
+  so.functions = {f};
+  SoPart part;
+  part.body = {Atom{emps, {e1, e2}}};
+  part.head = {Atom{mgrs,
+                    {arena->MakeFunction(f, std::vector<TermId>{e1}),
+                     arena->MakeFunction(f, std::vector<TermId>{e2})}}};
+  so.parts = {part};
+  return so;
+}
+
+Theorem42Witness BuildTheorem42Witness(TermArena* arena, Vocabulary* vocab) {
+  Theorem42Witness out;
+  RelationId y_rel = vocab->InternRelation("Y42", 1);
+  RelationId p_rel = vocab->InternRelation("P42", 2);
+  RelationId r_rel = vocab->InternRelation("R42", 3);
+  VariableId x = vocab->InternVariable("x");
+  VariableId y = vocab->InternVariable("y");
+  VariableId u = vocab->InternVariable("u42");
+  VariableId w = vocab->InternVariable("w42");
+  auto var = [&](VariableId id) { return arena->MakeVariable(id); };
+
+  out.tau.root.univ_vars = {x};
+  out.tau.root.body = {Atom{y_rel, {var(x)}}};
+  out.tau.root.exist_vars = {u};
+  NestedNode child;
+  child.univ_vars = {y};
+  child.body = {Atom{p_rel, {var(x), var(y)}}};
+  child.exist_vars = {w};
+  child.head_atoms = {Atom{r_rel, {var(u), var(w), var(y)}}};
+  out.tau.root.children.push_back(std::move(child));
+
+  // The root has no direct head atoms, so normalization yields one part:
+  // τ is a SIMPLE nested tgd.
+  out.normalized = NestedToSo(arena, vocab, out.tau);
+  return out;
+}
+
+bool FunctionalDependencyHolds(const Instance& instance, RelationId relation,
+                               uint32_t determinant, uint32_t dependent) {
+  std::map<Value, Value> mapping;
+  size_t n = instance.NumTuples(relation);
+  for (uint32_t row = 0; row < n; ++row) {
+    auto tuple = instance.Tuple(relation, row);
+    auto [it, inserted] = mapping.emplace(tuple[determinant],
+                                          tuple[dependent]);
+    if (!inserted && it->second != tuple[dependent]) return false;
+  }
+  return true;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,81 @@
+#include "reduce/three_col.h"
+
+#include <set>
+#include <string>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+ThreeColReduction BuildThreeColReduction(TermArena* arena, Vocabulary* vocab,
+                                         const Graph& graph) {
+  RelationId v_rel = vocab->InternRelation("V", 1);
+  RelationId t_rel = vocab->InternRelation("T", 4);
+
+  // σ: V(x) ∧ V(y) → T(x, y, cx, cy) with the standard Henkin quantifier
+  // (∀x ∃cx / ∀y ∃cy) — the Skolemized form is T(x, y, f(x), g(y)).
+  VariableId x = vocab->InternVariable("x");
+  VariableId y = vocab->InternVariable("y");
+  VariableId cx = vocab->InternVariable("cx");
+  VariableId cy = vocab->InternVariable("cy");
+  HenkinTgd sigma;
+  sigma.quantifier = HenkinQuantifier::FromRows({{{x}, {cx}}, {{y}, {cy}}});
+  sigma.body = {Atom{v_rel, {arena->MakeVariable(x)}},
+                Atom{v_rel, {arena->MakeVariable(y)}}};
+  sigma.head = {Atom{t_rel,
+                     {arena->MakeVariable(x), arena->MakeVariable(y),
+                      arena->MakeVariable(cx), arena->MakeVariable(cy)}}};
+
+  ThreeColReduction out{std::move(sigma), Instance(vocab)};
+  Instance& instance = out.instance;
+
+  std::vector<Value> vertex;
+  for (uint32_t i = 0; i < graph.num_vertices; ++i) {
+    vertex.push_back(
+        Value::Constant(vocab->InternConstant(Cat("v", i))));
+    instance.AddFact(v_rel, std::vector<Value>{vertex.back()});
+  }
+  const std::vector<Value> colors{
+      Value::Constant(vocab->InternConstant("r")),
+      Value::Constant(vocab->InternConstant("g")),
+      Value::Constant(vocab->InternConstant("b"))};
+
+  std::set<std::pair<uint32_t, uint32_t>> edge_set;
+  for (const auto& [a, b] : graph.edges) {
+    edge_set.insert({a, b});
+    edge_set.insert({b, a});
+  }
+
+  for (uint32_t a = 0; a < graph.num_vertices; ++a) {
+    for (uint32_t b = 0; b < graph.num_vertices; ++b) {
+      if (edge_set.count({a, b})) {
+        // Edge: endpoints must get different colors.
+        for (Value c1 : colors) {
+          for (Value c2 : colors) {
+            if (c1 != c2) {
+              instance.AddFact(
+                  t_rel, std::vector<Value>{vertex[a], vertex[b], c1, c2});
+            }
+          }
+        }
+      } else if (a == b) {
+        // Same vertex: forces f(v) = g(v).
+        for (Value c : colors) {
+          instance.AddFact(t_rel,
+                           std::vector<Value>{vertex[a], vertex[b], c, c});
+        }
+      } else {
+        // Distinct non-adjacent: unconstrained.
+        for (Value c1 : colors) {
+          for (Value c2 : colors) {
+            instance.AddFact(
+                t_rel, std::vector<Value>{vertex[a], vertex[b], c1, c2});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,28 @@
+// Theorem 6.1: NP-hardness of Henkin tgd model checking in data
+// complexity, by reduction from 3-colorability. For a graph G = (V, E) the
+// construction produces the single s-t standard Henkin tgd
+//
+//   σ:  V(x) ∧ V(y) → T(x, y, f(x), g(y))
+//
+// and the instance I ∪ J with I = V_G and T_J given by three groups of
+// facts: edges get differing color pairs, self-pairs get equal color pairs
+// (forcing f = g), and non-adjacent distinct pairs are unconstrained. Then
+// G is 3-colorable iff the instance satisfies σ.
+#pragma once
+
+#include "data/instance.h"
+#include "dep/dependency.h"
+#include "oracle/oracle.h"
+
+namespace tgdkit {
+
+struct ThreeColReduction {
+  HenkinTgd sigma;
+  Instance instance;
+};
+
+/// Builds the Theorem 6.1 model-checking instance for `graph`.
+ThreeColReduction BuildThreeColReduction(TermArena* arena, Vocabulary* vocab,
+                                         const Graph& graph);
+
+}  // namespace tgdkit

@@ -1,0 +1,167 @@
+#include "term/term.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+namespace {
+
+uint64_t NodeHash(TermKind kind, SymbolId symbol,
+                  std::span<const TermId> args) {
+  size_t seed = 0x100001b3ULL;
+  HashCombine(&seed, static_cast<size_t>(kind));
+  HashCombine(&seed, symbol);
+  for (TermId a : args) HashCombine(&seed, a);
+  return seed;
+}
+
+}  // namespace
+
+TermId TermArena::InternNode(TermKind kind, SymbolId symbol,
+                             std::span<const TermId> args) {
+  uint64_t h = NodeHash(kind, symbol, args);
+  std::vector<TermId>& bucket = buckets_[h];
+  for (TermId candidate : bucket) {
+    const Node& n = nodes_[candidate];
+    if (n.kind != kind || n.symbol != symbol || n.num_args != args.size()) {
+      continue;
+    }
+    if (std::equal(args.begin(), args.end(), args_.begin() + n.first_arg)) {
+      return candidate;
+    }
+  }
+  Node node;
+  node.kind = kind;
+  node.symbol = symbol;
+  node.first_arg = static_cast<uint32_t>(args_.size());
+  node.num_args = static_cast<uint32_t>(args.size());
+  args_.insert(args_.end(), args.begin(), args.end());
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(node);
+  bucket.push_back(id);
+  return id;
+}
+
+TermId TermArena::MakeVariable(VariableId v) {
+  return InternNode(TermKind::kVariable, v, {});
+}
+
+TermId TermArena::MakeConstant(ConstantId c) {
+  return InternNode(TermKind::kConstant, c, {});
+}
+
+TermId TermArena::MakeFunction(FunctionId f, std::span<const TermId> args) {
+  return InternNode(TermKind::kFunction, f, args);
+}
+
+uint32_t TermArena::Depth(TermId t) const {
+  const Node& n = nodes_[t];
+  if (n.kind != TermKind::kFunction) return 0;
+  uint32_t max_child = 0;
+  for (TermId a : args(t)) max_child = std::max(max_child, Depth(a));
+  return 1 + max_child;
+}
+
+uint64_t TermArena::Size(TermId t) const {
+  uint64_t total = 1;
+  for (TermId a : args(t)) total += Size(a);
+  return total;
+}
+
+bool TermArena::IsGround(TermId t) const {
+  if (IsVariable(t)) return false;
+  for (TermId a : args(t)) {
+    if (!IsGround(a)) return false;
+  }
+  return true;
+}
+
+bool TermArena::HasNestedFunction(TermId t) const {
+  if (!IsFunction(t)) return false;
+  for (TermId a : args(t)) {
+    if (IsFunction(a)) return true;
+    if (HasNestedFunction(a)) return true;
+  }
+  return false;
+}
+
+void TermArena::CollectVariables(TermId t,
+                                 std::vector<VariableId>* out) const {
+  if (IsVariable(t)) {
+    VariableId v = symbol(t);
+    if (std::find(out->begin(), out->end(), v) == out->end()) {
+      out->push_back(v);
+    }
+    return;
+  }
+  for (TermId a : args(t)) CollectVariables(a, out);
+}
+
+std::string TermArena::ToString(TermId t, const Vocabulary& vocab) const {
+  switch (kind(t)) {
+    case TermKind::kVariable:
+      return vocab.VariableName(symbol(t));
+    case TermKind::kConstant:
+      return Cat("\"", vocab.ConstantName(symbol(t)), "\"");
+    case TermKind::kFunction: {
+      std::string out = vocab.FunctionName(symbol(t));
+      out += "(";
+      out += JoinMapped(args(t), ", ", [&](TermId a) {
+        return ToString(a, vocab);
+      });
+      out += ")";
+      return out;
+    }
+  }
+  return "<bad-term>";
+}
+
+TermId Substitution::Apply(TermArena* arena, TermId t) const {
+  switch (arena->kind(t)) {
+    case TermKind::kVariable: {
+      TermId bound = Lookup(arena->symbol(t));
+      return bound == kInvalidTerm ? t : bound;
+    }
+    case TermKind::kConstant:
+      return t;
+    case TermKind::kFunction: {
+      std::span<const TermId> old_args = arena->args(t);
+      std::vector<TermId> new_args;
+      new_args.reserve(old_args.size());
+      bool changed = false;
+      for (TermId a : old_args) {
+        TermId na = Apply(arena, a);
+        changed |= (na != a);
+        new_args.push_back(na);
+      }
+      if (!changed) return t;
+      return arena->MakeFunction(arena->symbol(t), new_args);
+    }
+  }
+  return t;
+}
+
+bool MatchTerm(const TermArena& arena, TermId pattern, TermId target,
+               Substitution* subst) {
+  if (arena.IsVariable(pattern)) {
+    VariableId v = arena.symbol(pattern);
+    TermId bound = subst->Lookup(v);
+    if (bound != kInvalidTerm) return bound == target;
+    subst->Bind(v, target);
+    return true;
+  }
+  if (arena.kind(pattern) != arena.kind(target)) return false;
+  if (arena.symbol(pattern) != arena.symbol(target)) return false;
+  std::span<const TermId> pa = arena.args(pattern);
+  std::span<const TermId> ta = arena.args(target);
+  if (pa.size() != ta.size()) return false;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (!MatchTerm(arena, pa[i], ta[i], subst)) return false;
+  }
+  return true;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,126 @@
+// Hash-consed first-order terms: variables, constants and function
+// applications. Terms are immutable and deduplicated within a TermArena,
+// so structural equality is id equality and sub-term sharing is free.
+//
+// Two distinct uses share this representation:
+//  * symbolic terms inside dependencies (variables allowed), and
+//  * ground Skolem terms produced by the chase (no variables), whose
+//    arena doubles as the canonical labeled-null store.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/vocabulary.h"
+
+namespace tgdkit {
+
+/// Index of a term within its TermArena.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+enum class TermKind : uint8_t {
+  kVariable,
+  kConstant,
+  kFunction,
+};
+
+/// Arena of hash-consed terms. Append-only; TermIds stay valid forever.
+class TermArena {
+ public:
+  /// Returns the unique term id for variable `v`.
+  TermId MakeVariable(VariableId v);
+  /// Returns the unique term id for constant `c`.
+  TermId MakeConstant(ConstantId c);
+  /// Returns the unique term id for `f(args...)`.
+  TermId MakeFunction(FunctionId f, std::span<const TermId> args);
+
+  TermKind kind(TermId t) const { return nodes_[t].kind; }
+  bool IsVariable(TermId t) const { return kind(t) == TermKind::kVariable; }
+  bool IsConstant(TermId t) const { return kind(t) == TermKind::kConstant; }
+  bool IsFunction(TermId t) const { return kind(t) == TermKind::kFunction; }
+
+  /// The symbol id: VariableId / ConstantId / FunctionId depending on kind.
+  SymbolId symbol(TermId t) const { return nodes_[t].symbol; }
+
+  /// Arguments of a function term (empty span for variables/constants).
+  std::span<const TermId> args(TermId t) const {
+    const Node& n = nodes_[t];
+    return {args_.data() + n.first_arg, n.num_args};
+  }
+
+  /// Nesting depth: variables/constants have depth 0, f(t1..tk) has
+  /// depth 1 + max depth of arguments (f() has depth 1).
+  uint32_t Depth(TermId t) const;
+
+  /// Number of nodes in the term tree (with sharing expanded).
+  uint64_t Size(TermId t) const;
+
+  /// True iff the term contains no variables.
+  bool IsGround(TermId t) const;
+
+  /// True iff the term contains at least one function application nested
+  /// inside another function application ("nested term" in SO tgds).
+  bool HasNestedFunction(TermId t) const;
+
+  /// Collects the distinct variables of `t` in first-occurrence order.
+  void CollectVariables(TermId t, std::vector<VariableId>* out) const;
+
+  /// Renders the term, resolving symbol names through `vocab`.
+  std::string ToString(TermId t, const Vocabulary& vocab) const;
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    TermKind kind;
+    SymbolId symbol;
+    uint32_t first_arg;
+    uint32_t num_args;
+  };
+
+  TermId InternNode(TermKind kind, SymbolId symbol,
+                    std::span<const TermId> args);
+
+  std::vector<Node> nodes_;
+  std::vector<TermId> args_;
+  std::unordered_map<uint64_t, std::vector<TermId>> buckets_;
+};
+
+/// A mapping from variables to terms; applied recursively.
+class Substitution {
+ public:
+  /// Binds variable `v` to `t`, overwriting any previous binding.
+  void Bind(VariableId v, TermId t) { map_[v] = t; }
+
+  /// Returns the binding of `v`, or kInvalidTerm if unbound.
+  TermId Lookup(VariableId v) const {
+    auto it = map_.find(v);
+    return it == map_.end() ? kInvalidTerm : it->second;
+  }
+
+  bool Contains(VariableId v) const { return map_.count(v) > 0; }
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+  /// Applies the substitution to `t`, leaving unbound variables in place.
+  /// Result terms are interned in `arena` (which must own `t`).
+  TermId Apply(TermArena* arena, TermId t) const;
+
+  const std::unordered_map<VariableId, TermId>& map() const { return map_; }
+
+ private:
+  std::unordered_map<VariableId, TermId> map_;
+};
+
+/// Syntactic matching: finds a substitution s with s(pattern) == target.
+/// `target` is typically ground. Bindings already in `subst` are respected.
+/// Returns false and leaves `subst` in an unspecified state on mismatch.
+bool MatchTerm(const TermArena& arena, TermId pattern, TermId target,
+               Substitution* subst);
+
+}  // namespace tgdkit

@@ -1,0 +1,203 @@
+#include "transform/composition.h"
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "base/strings.h"
+#include "dep/skolem.h"
+
+namespace tgdkit {
+
+namespace {
+
+/// A Skolemized Σ12 rule: S1 body (+ equalities) and S2 head atoms with
+/// Skolem terms.
+struct SkolemizedRule {
+  std::vector<Atom> body;
+  std::vector<SoEquality> equalities;
+  std::vector<Atom> head;
+  std::vector<VariableId> universals;
+};
+
+/// A fresh copy of one Skolemized rule, universals renamed apart
+/// (function symbols stay shared — that is the essence of composition).
+SkolemizedRule FreshCopy(TermArena* arena, Vocabulary* vocab,
+                         const SkolemizedRule& rule) {
+  Substitution subst;
+  SkolemizedRule copy;
+  for (VariableId v : rule.universals) {
+    VariableId fresh = vocab->FreshVariable(vocab->VariableName(v));
+    subst.Bind(v, arena->MakeVariable(fresh));
+    copy.universals.push_back(fresh);
+  }
+  auto rename = [&](const std::vector<Atom>& atoms) {
+    std::vector<Atom> out;
+    for (const Atom& atom : atoms) {
+      Atom mapped;
+      mapped.relation = atom.relation;
+      for (TermId t : atom.args) mapped.args.push_back(subst.Apply(arena, t));
+      out.push_back(std::move(mapped));
+    }
+    return out;
+  };
+  copy.body = rename(rule.body);
+  copy.head = rename(rule.head);
+  for (const SoEquality& eq : rule.equalities) {
+    copy.equalities.push_back(
+        {subst.Apply(arena, eq.lhs), subst.Apply(arena, eq.rhs)});
+  }
+  return copy;
+}
+
+}  // namespace
+
+Result<SoTgd> ComposeSoWithTgds(TermArena* arena, Vocabulary* vocab,
+                                const SoTgd& sigma12,
+                                std::span<const Tgd> sigma23) {
+  TGDKIT_RETURN_IF_ERROR(ValidateSoTgd(*arena, sigma12));
+  for (const Tgd& tgd : sigma23) {
+    TGDKIT_RETURN_IF_ERROR(ValidateTgd(*arena, tgd));
+  }
+
+  SoTgd composed;
+  composed.functions = sigma12.functions;
+
+  std::vector<SkolemizedRule> rules12;
+  for (const SoPart& part : sigma12.parts) {
+    SkolemizedRule rule;
+    rule.body = part.body;
+    rule.equalities = part.equalities;
+    rule.head = part.head;
+    rule.universals = CollectAtomVariables(*arena, rule.body);
+    rules12.push_back(std::move(rule));
+  }
+
+  // Choices for each S2 atom: (rule index, head atom index).
+  auto choices_for = [&](RelationId relation) {
+    std::vector<std::pair<size_t, size_t>> choices;
+    for (size_t r = 0; r < rules12.size(); ++r) {
+      for (size_t h = 0; h < rules12[r].head.size(); ++h) {
+        if (rules12[r].head[h].relation == relation) choices.push_back({r, h});
+      }
+    }
+    return choices;
+  };
+
+  for (const Tgd& tgd23 : sigma23) {
+    // Enumerate all combinations of choices across the S2 body atoms.
+    std::vector<std::vector<std::pair<size_t, size_t>>> atom_choices;
+    bool feasible = true;
+    for (const Atom& atom : tgd23.body) {
+      atom_choices.push_back(choices_for(atom.relation));
+      if (atom_choices.back().empty()) feasible = false;
+    }
+    if (!feasible) continue;  // a body relation is never produced by Σ12
+
+    std::function<void(size_t, SoPart, Substitution)> expand =
+        [&](size_t atom_index, SoPart part, Substitution binding) {
+          if (atom_index == tgd23.body.size()) {
+            // All atoms resolved: emit the part. Skolemize σ23's
+            // existentials over its (now term-valued) universals.
+            std::vector<VariableId> universals23 =
+                CollectAtomVariables(*arena, tgd23.body);
+            for (VariableId z : tgd23.exist_vars) {
+              FunctionId h = vocab->FreshFunction(
+                  Cat("comp_", vocab->VariableName(z)),
+                  static_cast<uint32_t>(universals23.size()));
+              composed.functions.push_back(h);
+              std::vector<TermId> args;
+              for (VariableId y : universals23) {
+                TermId bound = binding.Lookup(y);
+                args.push_back(bound == kInvalidTerm
+                                   ? arena->MakeVariable(y)
+                                   : bound);
+              }
+              binding.Bind(z, arena->MakeFunction(h, args));
+            }
+            for (const Atom& atom : tgd23.head) {
+              Atom mapped;
+              mapped.relation = atom.relation;
+              for (TermId t : atom.args) {
+                mapped.args.push_back(binding.Apply(arena, t));
+              }
+              part.head.push_back(std::move(mapped));
+            }
+            if (!part.head.empty() && !part.body.empty()) {
+              composed.parts.push_back(std::move(part));
+            }
+            return;
+          }
+          const Atom& atom23 = tgd23.body[atom_index];
+          for (const auto& [rule_index, head_index] :
+               atom_choices[atom_index]) {
+            SkolemizedRule copy =
+                FreshCopy(arena, vocab, rules12[rule_index]);
+            SoPart next_part = part;
+            Substitution next_binding = binding;
+            next_part.body.insert(next_part.body.end(), copy.body.begin(),
+                                  copy.body.end());
+            next_part.equalities.insert(next_part.equalities.end(),
+                                        copy.equalities.begin(),
+                                        copy.equalities.end());
+            const Atom& head_atom = copy.head[head_index];
+            bool ok = true;
+            for (size_t pos = 0; pos < atom23.args.size(); ++pos) {
+              TermId arg23 = atom23.args[pos];
+              TermId term12 = head_atom.args[pos];
+              if (arena->IsConstant(arg23)) {
+                if (arena->IsConstant(term12)) {
+                  if (arg23 != term12) {
+                    ok = false;
+                    break;
+                  }
+                } else {
+                  // Tie the Σ12 head term to the constant.
+                  next_part.equalities.push_back({term12, arg23});
+                }
+                continue;
+              }
+              // arg23 is a σ23 variable.
+              VariableId y = arena->symbol(arg23);
+              TermId bound = next_binding.Lookup(y);
+              if (bound == kInvalidTerm) {
+                next_binding.Bind(y, term12);
+              } else if (bound != term12) {
+                next_part.equalities.push_back({bound, term12});
+              }
+            }
+            if (ok) expand(atom_index + 1, next_part, next_binding);
+          }
+        };
+    expand(0, SoPart{}, Substitution{});
+  }
+  return composed;
+}
+
+Result<SoTgd> ComposeMappings(TermArena* arena, Vocabulary* vocab,
+                              std::span<const Tgd> sigma12,
+                              std::span<const Tgd> sigma23) {
+  for (const Tgd& tgd : sigma12) {
+    TGDKIT_RETURN_IF_ERROR(ValidateTgd(*arena, tgd));
+  }
+  SoTgd so12 = TgdsToSo(arena, vocab, sigma12);
+  return ComposeSoWithTgds(arena, vocab, so12, sigma23);
+}
+
+Result<SoTgd> ComposeChain(TermArena* arena, Vocabulary* vocab,
+                           std::span<const std::vector<Tgd>> mappings) {
+  if (mappings.size() < 2) {
+    return Status::InvalidArgument("ComposeChain needs at least 2 mappings");
+  }
+  Result<SoTgd> acc =
+      ComposeMappings(arena, vocab, mappings[0], mappings[1]);
+  if (!acc.ok()) return acc.status();
+  for (size_t i = 2; i < mappings.size(); ++i) {
+    if (acc->parts.empty()) return acc;  // empty composition stays empty
+    acc = ComposeSoWithTgds(arena, vocab, *acc, mappings[i]);
+    if (!acc.ok()) return acc.status();
+  }
+  return acc;
+}
+
+}  // namespace tgdkit

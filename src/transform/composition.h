@@ -1,0 +1,43 @@
+// Composition of schema mappings (Fagin, Kolaitis, Popa & Tan 2005) — the
+// problem that motivated SO tgds, cited by the paper as their raison
+// d'être ("SO tgds are needed to specify the composition of an arbitrary
+// number of schema mappings based on s-t tgds").
+//
+// Given M12 = (S1, S2, Σ12) and M23 = (S2, S3, Σ23), both finite sets of
+// s-t tgds, ComposeMappings produces one SO tgd over S1 → S3 defining the
+// composition M12 ∘ M23: Σ12 is Skolemized, and every S2 body atom of a
+// Σ23 tgd is resolved against every (fresh copy of a) Σ12 head atom; the
+// resulting parts may contain nested terms and equalities — exactly the
+// features that distinguish SO tgds from tgds.
+#pragma once
+
+#include <span>
+
+#include "base/status.h"
+#include "dep/dependency.h"
+
+namespace tgdkit {
+
+/// Composes two s-t tgd mappings into an SO tgd.
+///
+/// Σ23 tgds whose body mentions a relation not produced by any Σ12 head
+/// contribute no parts (they can never fire over a chase of S1).
+/// Fails if a rule set is ill-formed.
+Result<SoTgd> ComposeMappings(TermArena* arena, Vocabulary* vocab,
+                              std::span<const Tgd> sigma12,
+                              std::span<const Tgd> sigma23);
+
+/// Composes an s-t SO tgd mapping with an s-t tgd mapping — SO tgds are
+/// closed under composition (Fagin et al.), which is how a CHAIN of n
+/// tgd mappings folds into one SO tgd (see ComposeChain). Σ12's
+/// equalities are carried into every derived part.
+Result<SoTgd> ComposeSoWithTgds(TermArena* arena, Vocabulary* vocab,
+                                const SoTgd& sigma12,
+                                std::span<const Tgd> sigma23);
+
+/// Folds a chain of s-t tgd mappings M1 ∘ M2 ∘ … ∘ Mn into one SO tgd.
+/// Precondition: at least two mappings.
+Result<SoTgd> ComposeChain(TermArena* arena, Vocabulary* vocab,
+                           std::span<const std::vector<Tgd>> mappings);
+
+}  // namespace tgdkit

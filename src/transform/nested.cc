@@ -1,0 +1,313 @@
+#include "transform/nested.h"
+
+#include <unordered_map>
+
+#include "base/strings.h"
+#include "dep/skolem.h"
+
+namespace tgdkit {
+
+namespace {
+
+/// Rewrites a term: applies a variable substitution and a function-symbol
+/// renaming simultaneously.
+TermId RenameTerm(TermArena* arena, TermId t,
+                  const Substitution& var_subst,
+                  const std::unordered_map<FunctionId, FunctionId>& func_map) {
+  switch (arena->kind(t)) {
+    case TermKind::kVariable: {
+      TermId bound = var_subst.Lookup(arena->symbol(t));
+      return bound == kInvalidTerm ? t : bound;
+    }
+    case TermKind::kConstant:
+      return t;
+    case TermKind::kFunction: {
+      std::vector<TermId> new_args;
+      for (TermId a : arena->args(t)) {
+        new_args.push_back(RenameTerm(arena, a, var_subst, func_map));
+      }
+      FunctionId f = arena->symbol(t);
+      auto it = func_map.find(f);
+      if (it != func_map.end()) f = it->second;
+      return arena->MakeFunction(f, new_args);
+    }
+  }
+  return t;
+}
+
+std::vector<Atom> RenameAtoms(TermArena* arena, std::span<const Atom> atoms,
+                              const Substitution& var_subst,
+                              const std::unordered_map<FunctionId, FunctionId>&
+                                  func_map) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    Atom renamed;
+    renamed.relation = atom.relation;
+    for (TermId t : atom.args) {
+      renamed.args.push_back(RenameTerm(arena, t, var_subst, func_map));
+    }
+    out.push_back(std::move(renamed));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: nested-to-so
+
+namespace {
+
+void FlattenNode(const NestedNode& node, std::vector<Atom> ancestor_body,
+                 SoTgd* out) {
+  ancestor_body.insert(ancestor_body.end(), node.body.begin(),
+                       node.body.end());
+  SoPart part;
+  part.body = ancestor_body;
+  part.head = node.head_atoms;
+  if (!part.head.empty()) {
+    out->parts.push_back(part);
+  }
+  for (const NestedNode& child : node.children) {
+    FlattenNode(child, ancestor_body, out);
+  }
+}
+
+}  // namespace
+
+SoTgd NestedToSo(TermArena* arena, Vocabulary* vocab,
+                 const NestedTgd& nested) {
+  std::vector<FunctionId> functions;
+  NestedTgd skolemized = SkolemizeNested(arena, vocab, nested, &functions);
+  SoTgd so;
+  so.functions = std::move(functions);
+  FlattenNode(skolemized.root, {}, &so);
+  return so;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: nested-to-henkin
+
+namespace {
+
+/// One intermediate rule during the bottom-up conversion. `inner_vars` and
+/// `inner_funcs` are the universals / Skolem functions introduced strictly
+/// inside the subtree this rule came from — exactly the symbols that must
+/// be renamed apart when the rule is combined into a parent subset.
+struct RuleDraft {
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+  std::vector<VariableId> inner_vars;
+  std::vector<FunctionId> inner_funcs;
+};
+
+struct HenkinBuilder {
+  TermArena* arena;
+  Vocabulary* vocab;
+  size_t max_rules;
+  bool overflow = false;
+
+  /// Fresh copy of a draft: inner universals and inner functions renamed.
+  RuleDraft FreshCopy(const RuleDraft& draft) {
+    Substitution var_subst;
+    RuleDraft copy;
+    for (VariableId v : draft.inner_vars) {
+      VariableId fresh = vocab->FreshVariable(vocab->VariableName(v));
+      var_subst.Bind(v, arena->MakeVariable(fresh));
+      copy.inner_vars.push_back(fresh);
+    }
+    std::unordered_map<FunctionId, FunctionId> func_map;
+    for (FunctionId f : draft.inner_funcs) {
+      FunctionId fresh = vocab->FreshFunction(vocab->FunctionName(f),
+                                              vocab->FunctionArity(f));
+      func_map.emplace(f, fresh);
+      copy.inner_funcs.push_back(fresh);
+    }
+    copy.body = RenameAtoms(arena, draft.body, var_subst, func_map);
+    copy.head = RenameAtoms(arena, draft.head, var_subst, func_map);
+    return copy;
+  }
+
+  /// Converts one node (already Skolemized via `subst` by the caller);
+  /// returns the rules of the rewritten subtree.
+  std::vector<RuleDraft> ConvertNode(const NestedNode& node,
+                                     std::vector<VariableId> ancestor_vars,
+                                     Substitution* subst) {
+    std::vector<VariableId> all_vars = ancestor_vars;
+    all_vars.insert(all_vars.end(), node.univ_vars.begin(),
+                    node.univ_vars.end());
+
+    // Skolemize this node's existentials over ancestors + own universals.
+    std::vector<FunctionId> own_funcs;
+    for (VariableId y : node.exist_vars) {
+      FunctionId f = vocab->FreshFunction(
+          Cat("hk_", vocab->VariableName(y)),
+          static_cast<uint32_t>(all_vars.size()));
+      own_funcs.push_back(f);
+      std::vector<TermId> args;
+      for (VariableId v : all_vars) args.push_back(arena->MakeVariable(v));
+      subst->Bind(y, arena->MakeFunction(f, args));
+    }
+
+    // Convert children first (innermost-to-outermost in the paper).
+    std::vector<RuleDraft> items;
+    for (const NestedNode& child : node.children) {
+      std::vector<RuleDraft> child_rules =
+          ConvertNode(child, all_vars, subst);
+      items.insert(items.end(),
+                   std::make_move_iterator(child_rules.begin()),
+                   std::make_move_iterator(child_rules.end()));
+      if (overflow) return {};
+    }
+
+    // Rewrite step: one rule per subset of the child items.
+    if (items.size() >= 8 * sizeof(size_t) ||
+        (size_t(1) << items.size()) > max_rules) {
+      overflow = true;
+      return {};
+    }
+    Substitution head_subst = *subst;
+    std::vector<Atom> own_head;
+    for (const Atom& atom : node.head_atoms) {
+      Atom mapped;
+      mapped.relation = atom.relation;
+      for (TermId t : atom.args) {
+        mapped.args.push_back(head_subst.Apply(arena, t));
+      }
+      own_head.push_back(std::move(mapped));
+    }
+
+    std::vector<RuleDraft> out;
+    size_t num_subsets = size_t(1) << items.size();
+    for (size_t mask = 0; mask < num_subsets; ++mask) {
+      RuleDraft rule;
+      rule.body = node.body;
+      rule.head = own_head;
+      rule.inner_vars = node.univ_vars;
+      rule.inner_funcs = own_funcs;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!(mask & (size_t(1) << i))) continue;
+        RuleDraft item = FreshCopy(items[i]);
+        rule.body.insert(rule.body.end(), item.body.begin(), item.body.end());
+        rule.head.insert(rule.head.end(), item.head.begin(), item.head.end());
+        rule.inner_vars.insert(rule.inner_vars.end(), item.inner_vars.begin(),
+                               item.inner_vars.end());
+        rule.inner_funcs.insert(rule.inner_funcs.end(),
+                                item.inner_funcs.begin(),
+                                item.inner_funcs.end());
+      }
+      if (rule.head.empty()) continue;  // no conclusion: tautological
+      out.push_back(std::move(rule));
+      if (out.size() > max_rules) {
+        overflow = true;
+        return {};
+      }
+    }
+    return out;
+  }
+};
+
+/// De-Skolemizes a final rule into a Henkin tgd: every distinct function
+/// term f(x̄) in the head becomes an existential variable depending on x̄.
+HenkinTgd DeskolemizeRule(TermArena* arena, Vocabulary* vocab,
+                          const RuleDraft& rule) {
+  HenkinTgd henkin;
+  henkin.body = rule.body;
+  for (VariableId v : CollectAtomVariables(*arena, rule.body)) {
+    henkin.quantifier.AddUniversal(v);
+  }
+  // Map each function symbol (one fixed argument list per symbol by
+  // construction) to a fresh existential variable.
+  std::unordered_map<FunctionId, TermId> replacement;
+  auto deskolemize_term = [&](TermId t, auto&& self) -> TermId {
+    if (!arena->IsFunction(t)) return t;
+    FunctionId f = arena->symbol(t);
+    auto it = replacement.find(f);
+    if (it != replacement.end()) return it->second;
+    VariableId y = vocab->FreshVariable(Cat("y_", vocab->FunctionName(f)));
+    henkin.quantifier.AddExistential(y);
+    // Arguments are universal variables in root-to-node order by
+    // construction; emit them as a chain so the quantifier order's Hasse
+    // graph is a tree (the class Theorem 4.3 promises).
+    VariableId previous = kInvalidSymbol;
+    for (TermId arg : arena->args(t)) {
+      TermId resolved = self(arg, self);
+      VariableId x = arena->symbol(resolved);
+      if (previous != kInvalidSymbol) {
+        henkin.quantifier.AddOrder(previous, x);
+      }
+      previous = x;
+    }
+    if (previous != kInvalidSymbol) {
+      henkin.quantifier.AddOrder(previous, y);
+    }
+    TermId var = arena->MakeVariable(y);
+    replacement.emplace(f, var);
+    return var;
+  };
+  for (const Atom& atom : rule.head) {
+    Atom mapped;
+    mapped.relation = atom.relation;
+    for (TermId t : atom.args) {
+      mapped.args.push_back(deskolemize_term(t, deskolemize_term));
+    }
+    henkin.head.push_back(std::move(mapped));
+  }
+  return henkin;
+}
+
+}  // namespace
+
+std::vector<HenkinTgd> NestedToHenkin(TermArena* arena, Vocabulary* vocab,
+                                      const NestedTgd& nested,
+                                      size_t max_rules, bool* overflow) {
+  HenkinBuilder builder{arena, vocab, max_rules};
+  Substitution subst;
+  std::vector<RuleDraft> rules =
+      builder.ConvertNode(nested.root, {}, &subst);
+  if (overflow != nullptr) *overflow = builder.overflow;
+  if (builder.overflow) return {};
+  std::vector<HenkinTgd> out;
+  out.reserve(rules.size());
+  for (const RuleDraft& rule : rules) {
+    out.push_back(DeskolemizeRule(arena, vocab, rule));
+  }
+  return out;
+}
+
+namespace {
+
+size_t SaturatingPow2(size_t exponent) {
+  if (exponent >= 8 * sizeof(size_t) - 1) return SIZE_MAX;
+  return size_t(1) << exponent;
+}
+
+size_t SaturatingAdd(size_t a, size_t b) {
+  size_t s = a + b;
+  return s < a ? SIZE_MAX : s;
+}
+
+/// Number of rules ConvertNode yields for `node` (rules with empty
+/// conclusions are dropped, matching the implementation).
+size_t CountNode(const NestedNode& node) {
+  size_t items = 0;
+  for (const NestedNode& child : node.children) {
+    items = SaturatingAdd(items, CountNode(child));
+  }
+  if (items >= 8 * sizeof(size_t) - 1) return SIZE_MAX;
+  size_t subsets = SaturatingPow2(items);
+  if (node.head_atoms.empty()) {
+    // The empty subset yields a rule with no conclusion, which is dropped.
+    subsets -= 1;
+  }
+  return subsets;
+}
+
+}  // namespace
+
+size_t NestedToHenkinRuleCount(const NestedTgd& nested) {
+  return CountNode(nested.root);
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,40 @@
+// The paper's two normalization algorithms for nested tgds:
+//
+//  * Algorithm 1, nested-to-so: removes nesting levels innermost-first via
+//    ϕ → (ψ ∧ [ϕ₁ → ψ₁])  ⇒  [ϕ → ψ] ∧ [ϕ ∧ ϕ₁ → ψ₁],
+//    producing a logically equivalent *plain SO tgd* with one part per
+//    nested part — a linear blow-up.
+//
+//  * Algorithm 2, nested-to-henkin: same recursion, but since Henkin tgds
+//    cannot share function quantifiers across parts, each level emits one
+//    rule per SUBSET of the already-converted child rules (universals and
+//    functions of each included child renamed apart). The result is a
+//    logically equivalent set of *tree Henkin tgds* (Theorem 4.3) whose
+//    size grows non-elementarily in the nesting depth.
+#pragma once
+
+#include <vector>
+
+#include "dep/dependency.h"
+
+namespace tgdkit {
+
+/// Algorithm 1. Returns the normalized form: a plain SO tgd logically
+/// equivalent to `nested`, with exactly NumParts() parts. Fresh Skolem
+/// functions are interned in `vocab`.
+SoTgd NestedToSo(TermArena* arena, Vocabulary* vocab, const NestedTgd& nested);
+
+/// Algorithm 2. Returns a set of tree Henkin tgds logically equivalent to
+/// `nested` (Theorem 4.3). May be non-elementarily larger than the input.
+/// `max_rules` aborts runaway conversions: if the output would exceed it,
+/// the returned vector is empty and `*overflow` (if given) is set.
+std::vector<HenkinTgd> NestedToHenkin(TermArena* arena, Vocabulary* vocab,
+                                      const NestedTgd& nested,
+                                      size_t max_rules = 1u << 20,
+                                      bool* overflow = nullptr);
+
+/// Size of the Algorithm 2 output without materializing it: the number of
+/// tree Henkin tgds nested-to-henkin would produce. Saturates at SIZE_MAX.
+size_t NestedToHenkinRuleCount(const NestedTgd& nested);
+
+}  // namespace tgdkit

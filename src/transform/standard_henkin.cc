@@ -1,0 +1,59 @@
+#include "transform/standard_henkin.h"
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+StandardizedHenkin StandardizeHenkin(TermArena* arena, Vocabulary* vocab,
+                                     const HenkinTgd& henkin) {
+  StandardizedHenkin out;
+  out.eq_relation = vocab->InternRelation("EqDom", 2);
+
+  HenkinTgd& standard = out.standard;
+  standard.body = henkin.body;
+
+  // Row 0: all original universals, as one chain of universals (no
+  // existentials). Chaining them keeps the quantifier a tree.
+  VariableId previous = kInvalidSymbol;
+  for (VariableId x : henkin.quantifier.universals()) {
+    standard.quantifier.AddUniversal(x);
+    if (previous != kInvalidSymbol) standard.quantifier.AddOrder(previous, x);
+    previous = x;
+  }
+
+  // One row per existential: fresh copies of its dependency set, tied to
+  // the originals through EqDom atoms in the body.
+  Substitution head_subst;
+  for (const auto& [y, deps] : henkin.quantifier.EssentialOrder()) {
+    standard.quantifier.AddExistential(y);
+    VariableId chain_prev = kInvalidSymbol;
+    for (VariableId x : deps) {
+      VariableId copy = vocab->FreshVariable(
+          Cat(vocab->VariableName(x), "_for_", vocab->VariableName(y)));
+      standard.quantifier.AddUniversal(copy);
+      standard.body.push_back(Atom{
+          out.eq_relation,
+          {arena->MakeVariable(x), arena->MakeVariable(copy)}});
+      if (chain_prev != kInvalidSymbol) {
+        standard.quantifier.AddOrder(chain_prev, copy);
+      }
+      chain_prev = copy;
+    }
+    if (chain_prev != kInvalidSymbol) {
+      standard.quantifier.AddOrder(chain_prev, y);
+    }
+    // y itself keeps its name in the head; no substitution needed. The
+    // Skolem function now takes the copies, which EqDom forces equal to
+    // the originals, so the essential dependence is unchanged.
+  }
+  standard.head = henkin.head;
+  return out;
+}
+
+void AddIdentityFacts(RelationId eq_relation, Instance* instance) {
+  for (Value v : instance->ActiveDomain()) {
+    instance->AddFact(eq_relation, std::vector<Value>{v, v});
+  }
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,42 @@
+// Standardization of Henkin quantifiers (paper Section 3.1 / Theorem 6.2).
+//
+// "In first-order logic (with equality), every positive occurrence of a
+// Henkin quantifier can be expressed by a standard Henkin quantifier":
+// give all occurrences of shared universal variables unique names and
+// associate them using equalities. Plain SO tgds do not allow equalities
+// in the antecedent, so — as in the Theorem 6.2 proof — we realize the
+// equalities through a schema extension instead: a binary relation EqDom
+// interpreted as the identity over the active domain.
+//
+// StandardizeHenkin rewrites a Henkin tgd h over schema R into a STANDARD
+// Henkin tgd h' over R ∪ {EqDom} such that for every R-instance I:
+//     I ⊨ h  ⟺  I ∪ id(EqDom) ⊨ h'
+// where id(EqDom) = {EqDom(v, v) | v in the active domain of I}
+// (materialized by AddIdentityFacts).
+//
+// Construction: every existential y with dependency set D gets its own
+// fresh copies D' of the universals in D, chained as one row ∀D' ∃y; the
+// copies are tied to the originals by EqDom body atoms. The original
+// universals form one further all-universal row.
+#pragma once
+
+#include "data/instance.h"
+#include "dep/dependency.h"
+
+namespace tgdkit {
+
+struct StandardizedHenkin {
+  HenkinTgd standard;
+  /// The identity relation used by the rewriting ("EqDom", arity 2).
+  RelationId eq_relation;
+};
+
+/// Rewrites `henkin` into an equivalent standard Henkin tgd over the
+/// extended schema (see file comment).
+StandardizedHenkin StandardizeHenkin(TermArena* arena, Vocabulary* vocab,
+                                     const HenkinTgd& henkin);
+
+/// Adds EqDom(v, v) for every active-domain value of `instance`.
+void AddIdentityFacts(RelationId eq_relation, Instance* instance);
+
+}  // namespace tgdkit

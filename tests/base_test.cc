@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "base/symbol_table.h"
+#include "base/vocabulary.h"
+
+namespace tgdkit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token ')'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token ')'");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(Status::Unsupported("x").code(), Status::Code::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("Emp");
+  SymbolId b = table.Intern("Dep");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("Emp"), a);
+  EXPECT_EQ(table.Name(a), "Emp");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, FindMissingReturnsInvalid) {
+  SymbolTable table;
+  EXPECT_EQ(table.Find("missing"), kInvalidSymbol);
+  table.Intern("present");
+  EXPECT_NE(table.Find("present"), kInvalidSymbol);
+  EXPECT_TRUE(table.Contains("present"));
+  EXPECT_FALSE(table.Contains("missing"));
+}
+
+TEST(SymbolTableTest, IdsAreDense) {
+  SymbolTable table;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Intern("sym" + std::to_string(i)),
+              static_cast<SymbolId>(i));
+  }
+}
+
+TEST(VocabularyTest, RelationArityIsRecorded) {
+  Vocabulary vocab;
+  RelationId emp = vocab.InternRelation("Emp", 2);
+  RelationId dep = vocab.InternRelation("Dep", 1);
+  EXPECT_EQ(vocab.RelationArity(emp), 2u);
+  EXPECT_EQ(vocab.RelationArity(dep), 1u);
+  EXPECT_EQ(vocab.RelationName(emp), "Emp");
+  EXPECT_EQ(vocab.InternRelation("Emp", 2), emp);
+}
+
+TEST(VocabularyTest, SymbolSpacesAreIndependent) {
+  Vocabulary vocab;
+  RelationId r = vocab.InternRelation("f", 2);
+  FunctionId f = vocab.InternFunction("f", 1);
+  ConstantId c = vocab.InternConstant("f");
+  VariableId v = vocab.InternVariable("f");
+  // Same name in four spaces; ids may coincide numerically but resolve
+  // independently.
+  EXPECT_EQ(vocab.RelationName(r), "f");
+  EXPECT_EQ(vocab.FunctionName(f), "f");
+  EXPECT_EQ(vocab.ConstantName(c), "f");
+  EXPECT_EQ(vocab.VariableName(v), "f");
+  EXPECT_EQ(vocab.RelationArity(r), 2u);
+  EXPECT_EQ(vocab.FunctionArity(f), 1u);
+}
+
+TEST(VocabularyTest, FreshVariableAvoidsCollisions) {
+  Vocabulary vocab;
+  VariableId x = vocab.InternVariable("x$0");
+  VariableId f1 = vocab.FreshVariable("x");
+  EXPECT_NE(f1, x);
+  VariableId f2 = vocab.FreshVariable("x");
+  EXPECT_NE(f1, f2);
+}
+
+TEST(VocabularyTest, FreshFunctionRegistersArity) {
+  Vocabulary vocab;
+  FunctionId f = vocab.FreshFunction("sk", 3);
+  EXPECT_EQ(vocab.FunctionArity(f), 3u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringsTest, Join) {
+  std::vector<std::string> items{"a", "b", "c"};
+  EXPECT_EQ(Join(items, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringsTest, JoinMapped) {
+  std::vector<int> items{1, 2, 3};
+  EXPECT_EQ(JoinMapped(items, "+", [](int i) { return std::to_string(i); }),
+            "1+2+3");
+}
+
+TEST(StringsTest, Cat) {
+  EXPECT_EQ(Cat("x=", 42, "!"), "x=42!");
+}
+
+TEST(StringsTest, HashRangeDiffers) {
+  std::vector<int> a{1, 2, 3}, b{3, 2, 1};
+  EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
+}
+
+}  // namespace
+}  // namespace tgdkit

@@ -1,0 +1,136 @@
+// Textbook rule sets from the Datalog± literature, classified end to end:
+// each row pins the exact Figure 2 membership of a known ontology shape.
+#include <gtest/gtest.h>
+
+#include "classify/criteria.h"
+#include "dep/skolem.h"
+#include "parse/parser.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class TextbookTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  SoTgd ParseRules(const std::string& text) {
+    Parser p(&ws_.arena, &ws_.vocab);
+    auto program = p.ParseDependencies(text);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    std::vector<SoTgd> pieces;
+    std::vector<Tgd> tgds = program->Tgds();
+    if (!tgds.empty()) pieces.push_back(TgdsToSo(&ws_.arena, &ws_.vocab, tgds));
+    for (const SoTgd& so : program->Sos()) pieces.push_back(so);
+    return MergeSo(pieces);
+  }
+};
+
+TEST_F(TextbookTest, LinearInclusionOntology) {
+  // Classic inclusion dependencies: linear, hence guarded and sticky-join.
+  SoTgd so = ParseRules(
+      "Professor(x) -> Faculty(x) .\n"
+      "Faculty(x) -> exists d . WorksIn(x, d) .\n"
+      "WorksIn(x, d) -> Dept(d) .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_TRUE(m.linear);
+  EXPECT_TRUE(m.guarded);
+  EXPECT_TRUE(m.weakly_guarded);
+  EXPECT_TRUE(m.sticky);
+  EXPECT_TRUE(m.sticky_join);
+  EXPECT_TRUE(m.weakly_acyclic);
+  EXPECT_FALSE(m.full);
+}
+
+TEST_F(TextbookTest, GuardedFamilyOntology) {
+  // The guard atom carries all variables; the side atoms refine.
+  SoTgd so = ParseRules(
+      "Supervises(x, y) & Employee(x) -> Manager(x) .\n"
+      "Supervises(x, y) & Manager(x) -> exists p . Project(x, y, p) .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_FALSE(m.linear);
+  EXPECT_TRUE(m.guarded);
+  EXPECT_TRUE(m.weakly_acyclic);
+}
+
+TEST_F(TextbookTest, StickyFamilyCartesianOntology) {
+  // The canonical sticky-but-unguarded shape: cartesian-style joins that
+  // keep the join variable everywhere.
+  SoTgd so = ParseRules(
+      "Elephant(x) & Herd(h) -> MemberOf(x, h, x) .\n"
+      "MemberOf(x, h, y) -> exists z . Leads(z, x, h) .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_TRUE(m.sticky);
+  EXPECT_FALSE(m.guarded);  // Elephant(x) & Herd(h) has no guard
+  EXPECT_TRUE(m.sticky_join);
+}
+
+TEST_F(TextbookTest, WeaklyAcyclicButNotAnythingElse) {
+  // Joins drop variables (not sticky), no guard, but nulls never cycle.
+  SoTgd so = ParseRules(
+      "A(x, y) & B(y, z) -> exists w . Cz(x, w) .\n"
+      "Cz(x, w) -> D(w) .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_TRUE(m.weakly_acyclic);
+  EXPECT_FALSE(m.sticky);   // y dropped from the head
+  EXPECT_FALSE(m.guarded);
+  EXPECT_FALSE(m.linear);
+}
+
+TEST_F(TextbookTest, WeaklyGuardedReachability) {
+  // Affected positions stay confined to one attribute; the guard only
+  // needs to cover variables living there.
+  SoTgd so = ParseRules(
+      "Node(x) -> exists y . Edge(x, y) .\n"
+      "Edge(x, y) & Node(x) -> Reach(y) .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_TRUE(m.weakly_guarded);
+  std::set<Position> affected = AffectedPositions(ws_.arena, so);
+  EXPECT_TRUE(affected.count({ws_.vocab.FindRelation("Edge"), 1}));
+  EXPECT_FALSE(affected.count({ws_.vocab.FindRelation("Edge"), 0}));
+  EXPECT_TRUE(affected.count({ws_.vocab.FindRelation("Reach"), 0}));
+}
+
+TEST_F(TextbookTest, OntologyWithAllCriteriaFailing) {
+  // Self-feeding existential joined over a dropped variable without a
+  // guard: outside every family of Figure 2.
+  SoTgd so = ParseRules(
+      "R(x, y) & R(y, z) -> exists w . R(z, w) .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_FALSE(m.full);
+  EXPECT_FALSE(m.weakly_acyclic);
+  EXPECT_FALSE(m.linear);
+  EXPECT_FALSE(m.guarded);
+  EXPECT_FALSE(m.weakly_guarded);
+  EXPECT_FALSE(m.sticky);
+  EXPECT_FALSE(m.sticky_join);
+}
+
+TEST_F(TextbookTest, FullDatalogProgram) {
+  SoTgd so = ParseRules(
+      "Parent(x, y) -> Anc(x, y) .\n"
+      "Parent(x, y) & Anc(y, z) -> Anc(x, z) .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_TRUE(m.full);
+  EXPECT_TRUE(m.weakly_acyclic);  // full programs always are
+  EXPECT_FALSE(m.sticky);         // y joined and dropped
+}
+
+TEST_F(TextbookTest, CriticalInstanceMatchesWeakAcyclicityOnTextbook) {
+  // For these finite-shape ontologies, the weakly acyclic ones must pass
+  // the critical-instance termination check.
+  SoTgd so = ParseRules(
+      "Professor2(x) -> Faculty2(x) .\n"
+      "Faculty2(x) -> exists d . WorksIn2(x, d) .\n"
+      "WorksIn2(x, d) -> Dept2(d) .");
+  ASSERT_TRUE(IsWeaklyAcyclic(ws_.arena, so));
+  std::vector<RelationId> relations{
+      ws_.vocab.FindRelation("Professor2"), ws_.vocab.FindRelation("Faculty2"),
+      ws_.vocab.FindRelation("WorksIn2"), ws_.vocab.FindRelation("Dept2")};
+  CriticalInstanceReport report = TerminatesOnCriticalInstance(
+      &ws_.arena, &ws_.vocab, so, relations);
+  EXPECT_TRUE(report.terminated);
+}
+
+}  // namespace
+}  // namespace tgdkit

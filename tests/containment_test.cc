@@ -1,0 +1,139 @@
+// Tests for CQ containment/equivalence and chase-based dependency
+// implication.
+#include <gtest/gtest.h>
+
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "parse/parser.h"
+#include "query/query.h"
+#include "reduce/separation.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  ConjunctiveQuery ParseQ(const std::string& text) {
+    Parser p(&ws_.arena, &ws_.vocab);
+    auto q = p.ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  std::vector<Tgd> ParseTgds(const std::string& text) {
+    Parser p(&ws_.arena, &ws_.vocab);
+    auto program = p.ParseDependencies(text);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return program->Tgds();
+  }
+};
+
+TEST_F(ContainmentTest, MoreAtomsContainedInFewer) {
+  ConjunctiveQuery tight = ParseQ("ans(x) :- R(x, y), S(y).");
+  ConjunctiveQuery loose = ParseQ("ans(x) :- R(x, y).");
+  EXPECT_TRUE(QueryContained(&ws_.arena, &ws_.vocab, tight, loose));
+  EXPECT_FALSE(QueryContained(&ws_.arena, &ws_.vocab, loose, tight));
+  EXPECT_FALSE(QueryEquivalent(&ws_.arena, &ws_.vocab, tight, loose));
+}
+
+TEST_F(ContainmentTest, RedundantAtomEquivalence) {
+  ConjunctiveQuery redundant = ParseQ("ans(x) :- R(x, y), R(x, z).");
+  ConjunctiveQuery minimal = ParseQ("ans(x) :- R(x, y).");
+  EXPECT_TRUE(QueryEquivalent(&ws_.arena, &ws_.vocab, redundant, minimal));
+}
+
+TEST_F(ContainmentTest, FreeVariablePositionsMatter) {
+  ConjunctiveQuery forward = ParseQ("ans(x) :- R(x, y).");
+  ConjunctiveQuery backward = ParseQ("ans(x) :- R(y, x).");
+  EXPECT_FALSE(QueryContained(&ws_.arena, &ws_.vocab, forward, backward));
+  EXPECT_FALSE(QueryContained(&ws_.arena, &ws_.vocab, backward, forward));
+}
+
+TEST_F(ContainmentTest, ConstantSpecializes) {
+  ConjunctiveQuery specific = ParseQ(R"(ans(x) :- Emp(x, "cs").)");
+  ConjunctiveQuery general = ParseQ("ans(x) :- Emp(x, d).");
+  EXPECT_TRUE(QueryContained(&ws_.arena, &ws_.vocab, specific, general));
+  EXPECT_FALSE(QueryContained(&ws_.arena, &ws_.vocab, general, specific));
+}
+
+TEST_F(ContainmentTest, BooleanPathContainment) {
+  ConjunctiveQuery path3 = ParseQ("ans() :- E(x, y), E(y, z), E(z, w).");
+  ConjunctiveQuery path2 = ParseQ("ans() :- E(a, b), E(b, c).");
+  // A 3-path contains a homomorphic image of a 2-path.
+  EXPECT_TRUE(QueryContained(&ws_.arena, &ws_.vocab, path3, path2));
+  EXPECT_FALSE(QueryContained(&ws_.arena, &ws_.vocab, path2, path3));
+}
+
+TEST_F(ContainmentTest, MinimizedQueryStaysEquivalent) {
+  ConjunctiveQuery q = ParseQ("ans(x) :- R(x, y), R(x, z), R(x, w).");
+  ConjunctiveQuery min = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+  EXPECT_EQ(min.atoms.size(), 1u);
+  EXPECT_TRUE(QueryEquivalent(&ws_.arena, &ws_.vocab, q, min));
+}
+
+TEST_F(ContainmentTest, TransitivityImpliesComposedEdge) {
+  std::vector<Tgd> tgds = ParseTgds("E(x, y) & E(y, z) -> E(x, z) .");
+  SoTgd rules = TgdsToSo(&ws_.arena, &ws_.vocab, tgds);
+  // E(a,b) & E(b,c) & E(c,d) -> E(a,d) is implied by transitivity.
+  std::vector<Tgd> candidate =
+      ParseTgds("E(a, b) & E(b, c) & E(c, d) -> E(a, d) .");
+  ImplicationResult result =
+      ImpliesTgd(&ws_.arena, &ws_.vocab, rules, candidate[0]);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.implied);
+  // ...but not the reversed edge.
+  std::vector<Tgd> reversed = ParseTgds("E(a, b) -> E(b, a) .");
+  ImplicationResult no =
+      ImpliesTgd(&ws_.arena, &ws_.vocab, rules, reversed[0]);
+  EXPECT_TRUE(no.complete);
+  EXPECT_FALSE(no.implied);
+}
+
+TEST_F(ContainmentTest, ExistentialHeadImplication) {
+  std::vector<Tgd> tgds = ParseTgds(
+      "Person(x) -> exists y . Parent(x, y) .\n"
+      "Parent(x, y) -> Anc(x, y) .");
+  SoTgd rules = TgdsToSo(&ws_.arena, &ws_.vocab, tgds);
+  std::vector<Tgd> candidate =
+      ParseTgds("Person(p) -> exists a . Anc(p, a) .");
+  ImplicationResult result =
+      ImpliesTgd(&ws_.arena, &ws_.vocab, rules, candidate[0]);
+  EXPECT_TRUE(result.implied);
+}
+
+TEST_F(ContainmentTest, NonTerminatingChaseStillSoundWhenImplied) {
+  // Rules with a non-terminating chase; the implication is found before
+  // any budget matters.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "so exists f { N(x) -> N(f(x)) & Pos(x) } .");
+  ASSERT_TRUE(program.ok());
+  std::vector<Tgd> candidate = ParseTgds("N(n) -> Pos(n) .");
+  ChaseLimits limits;
+  limits.max_term_depth = 5;
+  ImplicationResult result = ImpliesTgd(
+      &ws_.arena, &ws_.vocab, program->Sos()[0], candidate[0], limits);
+  EXPECT_TRUE(result.implied);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST_F(ContainmentTest, Theorem42WitnessShape) {
+  Theorem42Witness witness = BuildTheorem42Witness(&ws_.arena, &ws_.vocab);
+  ASSERT_TRUE(ValidateNestedTgd(ws_.arena, witness.tau).ok());
+  EXPECT_TRUE(witness.tau.IsSimple() || witness.tau.root.head_atoms.empty());
+  // The normalization has exactly one part: a SIMPLE nested tgd.
+  EXPECT_EQ(witness.normalized.parts.size(), 1u);
+  EXPECT_TRUE(ValidateSoTgd(ws_.arena, witness.normalized).ok());
+  // Its Skolem argument sets are nested ({x} ⊂ {x,y}): a (tree) Henkin
+  // Skolemization that is NOT standard — the syntactic footprint behind
+  // Theorem 4.2's separation from standard Henkin tgds.
+  EXPECT_TRUE(IsSkolemizedHenkin(ws_.arena, witness.normalized));
+  EXPECT_FALSE(IsSkolemizedStandardHenkin(ws_.arena, witness.normalized));
+  EXPECT_TRUE(IsHierarchicalSo(ws_.arena, witness.normalized));
+}
+
+}  // namespace
+}  // namespace tgdkit

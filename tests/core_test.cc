@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "homo/core.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+};
+
+TEST_F(CoreTest, HomomorphismFixesConstants) {
+  Instance a(&ws_.vocab), b(&ws_.vocab);
+  a.AddFact(ws_.Fc("R", {"c", "d"}));
+  b.AddFact(ws_.Fc("R", {"d", "c"}));
+  EXPECT_FALSE(HomomorphismExists(&ws_.arena, &ws_.vocab, a, b));
+  b.AddFact(ws_.Fc("R", {"c", "d"}));
+  EXPECT_TRUE(HomomorphismExists(&ws_.arena, &ws_.vocab, a, b));
+}
+
+TEST_F(CoreTest, NullMapsToAnything) {
+  Instance a(&ws_.vocab), b(&ws_.vocab);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  Value n = a.FreshNull();
+  a.AddFact(r, std::vector<Value>{ws_.Cv("c"), n});
+  b.AddFact(ws_.Fc("R", {"c", "d"}));
+  EXPECT_TRUE(HomomorphismExists(&ws_.arena, &ws_.vocab, a, b));
+  // Reverse direction fails: constant d cannot map to the null.
+  EXPECT_FALSE(HomomorphismExists(&ws_.arena, &ws_.vocab, b, a));
+}
+
+TEST_F(CoreTest, FindHomomorphismReturnsWitness) {
+  Instance a(&ws_.vocab), b(&ws_.vocab);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  Value n = a.FreshNull();
+  a.AddFact(r, std::vector<Value>{ws_.Cv("c"), n});
+  b.AddFact(ws_.Fc("R", {"c", "d"}));
+  auto hom = FindHomomorphism(&ws_.arena, &ws_.vocab, a, b);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->at(n.index()), ws_.Cv("d"));
+}
+
+TEST_F(CoreTest, HomEquivalenceIsSymmetricCheck) {
+  Instance a(&ws_.vocab), b(&ws_.vocab);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  Value na = a.FreshNull();
+  a.AddFact(r, std::vector<Value>{ws_.Cv("c"), na});
+  Value nb1 = b.FreshNull();
+  Value nb2 = b.FreshNull();
+  b.AddFact(r, std::vector<Value>{ws_.Cv("c"), nb1});
+  b.AddFact(r, std::vector<Value>{ws_.Cv("c"), nb2});
+  EXPECT_TRUE(HomomorphicallyEquivalent(&ws_.arena, &ws_.vocab, a, b));
+}
+
+TEST_F(CoreTest, ApplyNullMapRewritesFacts) {
+  Instance a(&ws_.vocab);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  Value n1 = a.FreshNull();
+  Value n2 = a.FreshNull();
+  a.AddFact(r, std::vector<Value>{n1, n2});
+  NullMap map{{n1.index(), ws_.Cv("c")}, {n2.index(), n1}};
+  Instance image = ApplyNullMap(a, map);
+  EXPECT_TRUE(image.Contains(r, std::vector<Value>{ws_.Cv("c"), n1}));
+  EXPECT_EQ(image.NumFacts(), 1u);
+}
+
+TEST_F(CoreTest, CoreCollapsesRedundantNulls) {
+  // R(c, n1), R(c, n2), R(c, d): core is R(c, d) alone.
+  Instance j(&ws_.vocab);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  Value n1 = j.FreshNull();
+  Value n2 = j.FreshNull();
+  j.AddFact(r, std::vector<Value>{ws_.Cv("c"), n1});
+  j.AddFact(r, std::vector<Value>{ws_.Cv("c"), n2});
+  j.AddFact(ws_.Fc("R", {"c", "d"}));
+  Instance core = ComputeCore(&ws_.arena, &ws_.vocab, j);
+  EXPECT_EQ(core.NumFacts(), 1u);
+  EXPECT_TRUE(core.Contains(r, std::vector<Value>{ws_.Cv("c"), ws_.Cv("d")}));
+}
+
+TEST_F(CoreTest, CoreKeepsProtectedNulls) {
+  // Q(a, u), R(u, v), S(v, b): u, v are "protected" by constants; the
+  // instance is already a core (the paper's Idea 2 structure).
+  Instance j(&ws_.vocab);
+  RelationId q = ws_.vocab.InternRelation("Q", 2);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  RelationId s = ws_.vocab.InternRelation("S", 2);
+  Value u = j.FreshNull();
+  Value v = j.FreshNull();
+  j.AddFact(q, std::vector<Value>{ws_.Cv("a"), u});
+  j.AddFact(r, std::vector<Value>{u, v});
+  j.AddFact(s, std::vector<Value>{v, ws_.Cv("b")});
+  Instance core = ComputeCore(&ws_.arena, &ws_.vocab, j);
+  EXPECT_EQ(core.NumFacts(), 3u);
+}
+
+TEST_F(CoreTest, CoreOfConstantInstanceIsItself) {
+  Instance j(&ws_.vocab);
+  j.AddFact(ws_.Fc("R", {"a", "b"}));
+  j.AddFact(ws_.Fc("R", {"b", "a"}));
+  Instance core = ComputeCore(&ws_.arena, &ws_.vocab, j);
+  EXPECT_EQ(core.NumFacts(), 2u);
+}
+
+TEST_F(CoreTest, CoreFoldsUnprotectedChain) {
+  // R(n1, n2), R(n2, n3): folds to a single loop-free fact? No — folding
+  // requires a target fact to map onto; R(n1,n2),R(n2,n1) has core of
+  // size... both facts fold onto nothing smaller without a loop. Use a
+  // clean case: R(n1, n2) and R(n1, n3) fold to one fact.
+  Instance j(&ws_.vocab);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  Value n1 = j.FreshNull();
+  Value n2 = j.FreshNull();
+  Value n3 = j.FreshNull();
+  j.AddFact(r, std::vector<Value>{n1, n2});
+  j.AddFact(r, std::vector<Value>{n1, n3});
+  Instance core = ComputeCore(&ws_.arena, &ws_.vocab, j);
+  EXPECT_EQ(core.NumFacts(), 1u);
+}
+
+TEST_F(CoreTest, CoreIsHomEquivalentToInput) {
+  Instance j(&ws_.vocab);
+  RelationId r = ws_.vocab.InternRelation("R", 2);
+  Value n1 = j.FreshNull();
+  Value n2 = j.FreshNull();
+  j.AddFact(r, std::vector<Value>{ws_.Cv("c"), n1});
+  j.AddFact(r, std::vector<Value>{n1, n2});
+  j.AddFact(ws_.Fc("R", {"c", "d"}));
+  Instance core = ComputeCore(&ws_.arena, &ws_.vocab, j);
+  EXPECT_TRUE(HomomorphicallyEquivalent(&ws_.arena, &ws_.vocab, j, core));
+  EXPECT_LE(core.NumFacts(), j.NumFacts());
+}
+
+}  // namespace
+}  // namespace tgdkit

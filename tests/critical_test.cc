@@ -1,0 +1,160 @@
+// Tests for the critical-instance termination check (empirical proxy for
+// the paper's finite-expansion-set class) and the lexer's edge cases.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "classify/criteria.h"
+#include "dep/skolem.h"
+#include "gen/generators.h"
+#include "parse/lexer.h"
+#include "parse/parser.h"
+#include "reduce/pcp.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class CriticalTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+};
+
+TEST_F(CriticalTest, WeaklyAcyclicRulesTerminate) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "Person(x) -> exists y . Parent(x, y) .\n"
+      "Parent(x, y) -> Anc(x, y) .\n"
+      "Anc(x, y) & Anc(y, z) -> Anc(x, z) .");
+  ASSERT_TRUE(program.ok());
+  std::vector<Tgd> tgds = program->Tgds();
+  SoTgd so = TgdsToSo(&ws_.arena, &ws_.vocab, tgds);
+  ASSERT_TRUE(IsWeaklyAcyclic(ws_.arena, so));
+  std::vector<RelationId> relations{ws_.vocab.FindRelation("Person"),
+                                    ws_.vocab.FindRelation("Parent"),
+                                    ws_.vocab.FindRelation("Anc")};
+  CriticalInstanceReport report = TerminatesOnCriticalInstance(
+      &ws_.arena, &ws_.vocab, so, relations);
+  EXPECT_TRUE(report.terminated);
+}
+
+TEST_F(CriticalTest, SelfFeedingRulesDoNotTerminate) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies("so exists f { P(x) -> P(f(x)) } .");
+  ASSERT_TRUE(program.ok());
+  std::vector<RelationId> relations{ws_.vocab.FindRelation("P")};
+  ChaseLimits limits;
+  limits.max_term_depth = 20;
+  CriticalInstanceReport report = TerminatesOnCriticalInstance(
+      &ws_.arena, &ws_.vocab, program->Sos()[0], relations, limits);
+  EXPECT_FALSE(report.terminated);
+}
+
+TEST_F(CriticalTest, PcpEncodingDoesNotTerminate) {
+  PcpInstance pcp{2, {{{1}, {2}}, {{2}, {1}}}};
+  PcpEncoding enc = BuildPcpEncoding(&ws_.arena, &ws_.vocab, pcp);
+  SoTgd rules = enc.HenkinRuleSet(&ws_.arena, &ws_.vocab);
+  std::vector<RelationId> relations;
+  for (const char* name : {"Start", "R", "AP0", "AP1", "Done"}) {
+    relations.push_back(ws_.vocab.FindRelation(name));
+  }
+  ChaseLimits limits;
+  limits.max_term_depth = 12;
+  limits.max_facts = 300000;
+  CriticalInstanceReport report = TerminatesOnCriticalInstance(
+      &ws_.arena, &ws_.vocab, rules, relations, limits);
+  EXPECT_FALSE(report.terminated);
+}
+
+TEST_F(CriticalTest, CriticalSubsumesRandomInstances) {
+  // If the chase terminates on the critical instance, it terminates on
+  // random instances over the same schema (Marnette's theorem, sampled).
+  Rng rng(777);
+  int witnesses = 0;
+  for (int trial = 0; trial < 30 && witnesses < 8; ++trial) {
+    TestWorkspace ws;
+    auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+    std::vector<Tgd> tgds;
+    for (int i = 0; i < 3; ++i) {
+      tgds.push_back(
+          GenerateTgd(&ws.arena, &ws.vocab, &rng, relations, TgdConfig{}));
+    }
+    SoTgd so = TgdsToSo(&ws.arena, &ws.vocab, tgds);
+    ChaseLimits limits;
+    limits.max_term_depth = 30;
+    limits.max_facts = 300000;
+    CriticalInstanceReport report = TerminatesOnCriticalInstance(
+        &ws.arena, &ws.vocab, so, relations, limits);
+    if (!report.terminated) continue;
+    ++witnesses;
+    Instance input(&ws.vocab);
+    GenerateInstance(&ws.vocab, &rng, relations, 12, 4, 0, &input);
+    ChaseResult result = Chase(&ws.arena, &ws.vocab, so, input, limits);
+    EXPECT_TRUE(result.Terminated()) << "trial " << trial;
+  }
+  EXPECT_GT(witnesses, 0);
+}
+
+TEST(LexerTest, TokenizesPunctuationAndArrow) {
+  auto tokens = Tokenize("( ) , . ; & = -> [ ] { } : :-");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 15u);  // 14 tokens + end
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kArrow);
+  EXPECT_EQ((*tokens)[13].kind, TokenKind::kColonDash);
+  EXPECT_EQ((*tokens)[14].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, TracksLinesAndColumns) {
+  auto tokens = Tokenize("ab\n  cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[0].column, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[1].column, 3u);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("a // rest of line\n# whole line\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, StringsCaptureContents) {
+  auto tokens = Tokenize(R"("hello world" "x")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello world");
+}
+
+TEST(LexerTest, UnterminatedStringRejected) {
+  auto tokens = Tokenize("\"oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(LexerTest, IllegalCharacterRejected) {
+  auto tokens = Tokenize("a ~ b");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(LexerTest, UnderscoreIdentifiers) {
+  auto tokens = Tokenize("_null_1 some_var");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "_null_1");
+  EXPECT_EQ((*tokens)[1].text, "some_var");
+}
+
+TEST(LexerTest, NumbersAreIntTokens) {
+  auto tokens = Tokenize("42 x7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+}
+
+}  // namespace
+}  // namespace tgdkit

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "dep/dependency.h"
+#include "dep/skolem.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  /// The paper's introductory tgd: Emp(e, d) -> exists dm . Mgr(e, dm).
+  Tgd MakeEmpTgd() {
+    Tgd tgd;
+    tgd.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+    tgd.head = {ws_.A("Mgr", {ws_.V("e"), ws_.V("dm")})};
+    tgd.exist_vars = {ws_.Vid("dm")};
+    return tgd;
+  }
+};
+
+TEST_F(DependencyTest, ValidTgdPasses) {
+  Tgd tgd = MakeEmpTgd();
+  EXPECT_TRUE(ValidateTgd(ws_.arena, tgd).ok());
+  EXPECT_FALSE(tgd.IsFull());
+}
+
+TEST_F(DependencyTest, FullTgdHasNoExistentials) {
+  Tgd tgd;
+  tgd.body = {ws_.A("Q0", {ws_.V("x"), ws_.V("y")})};
+  tgd.head = {ws_.A("Q", {ws_.V("x"), ws_.V("y")})};
+  EXPECT_TRUE(ValidateTgd(ws_.arena, tgd).ok());
+  EXPECT_TRUE(tgd.IsFull());
+}
+
+TEST_F(DependencyTest, TgdRejectsUnquantifiedHeadVariable) {
+  Tgd tgd;
+  tgd.body = {ws_.A("P", {ws_.V("x")})};
+  tgd.head = {ws_.A("R", {ws_.V("x"), ws_.V("y")})};
+  // y neither universal nor listed existential.
+  EXPECT_FALSE(ValidateTgd(ws_.arena, tgd).ok());
+  tgd.exist_vars = {ws_.Vid("y")};
+  EXPECT_TRUE(ValidateTgd(ws_.arena, tgd).ok());
+}
+
+TEST_F(DependencyTest, TgdRejectsExistentialInBody) {
+  Tgd tgd;
+  tgd.body = {ws_.A("P", {ws_.V("x"), ws_.V("y")})};
+  tgd.head = {ws_.A("R", {ws_.V("y")})};
+  tgd.exist_vars = {ws_.Vid("y")};
+  EXPECT_FALSE(ValidateTgd(ws_.arena, tgd).ok());
+}
+
+TEST_F(DependencyTest, TgdRejectsFunctionTerms) {
+  Tgd tgd;
+  tgd.body = {ws_.A("P", {ws_.V("x")})};
+  tgd.head = {ws_.A("R", {ws_.F("f", {ws_.V("x")})})};
+  EXPECT_FALSE(ValidateTgd(ws_.arena, tgd).ok());
+}
+
+TEST_F(DependencyTest, TgdRejectsEmptyBodyOrHead) {
+  Tgd no_body;
+  no_body.head = {ws_.A("R", {ws_.V("x")})};
+  EXPECT_FALSE(ValidateTgd(ws_.arena, no_body).ok());
+  Tgd no_head;
+  no_head.body = {ws_.A("R", {ws_.V("x")})};
+  EXPECT_FALSE(ValidateTgd(ws_.arena, no_head).ok());
+}
+
+TEST_F(DependencyTest, TgdSkolemizationUsesAllUniversals) {
+  // Emp(e, d) -> Mgr(e, f(e, d)): the Skolem term carries both universals —
+  // exactly the restriction the paper's introduction highlights.
+  SoTgd so = TgdToSo(&ws_.arena, &ws_.vocab, MakeEmpTgd());
+  ASSERT_EQ(so.parts.size(), 1u);
+  ASSERT_EQ(so.functions.size(), 1u);
+  const Atom& mgr = so.parts[0].head[0];
+  TermId skolem = mgr.args[1];
+  ASSERT_TRUE(ws_.arena.IsFunction(skolem));
+  EXPECT_EQ(ws_.arena.args(skolem).size(), 2u);
+  EXPECT_TRUE(ValidateSoTgd(ws_.arena, so).ok());
+  EXPECT_TRUE(so.IsPlain(ws_.arena));
+}
+
+TEST_F(DependencyTest, SoTgdWithEqualityIsNotPlain) {
+  // The paper's self-manager SO tgd:
+  //   Emp(e) -> Mgr(e, f(e));  Emp(e) & e = f(e) -> SelfMgr(e).
+  FunctionId f = ws_.vocab.InternFunction("fmgr", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart p1;
+  p1.body = {ws_.A("Emp", {ws_.V("e")})};
+  p1.head = {ws_.A("Mgr", {ws_.V("e"), ws_.F("fmgr", {ws_.V("e")})})};
+  SoPart p2;
+  p2.body = {ws_.A("Emp", {ws_.V("e")})};
+  p2.equalities = {{ws_.V("e"), ws_.F("fmgr", {ws_.V("e")})}};
+  p2.head = {ws_.A("SelfMgr", {ws_.V("e")})};
+  so.parts = {p1, p2};
+  EXPECT_TRUE(ValidateSoTgd(ws_.arena, so).ok());
+  EXPECT_FALSE(so.IsPlain(ws_.arena));
+}
+
+TEST_F(DependencyTest, SoTgdNestedTermIsNotPlain) {
+  FunctionId f = ws_.vocab.InternFunction("f", 1);
+  FunctionId g = ws_.vocab.InternFunction("g", 1);
+  SoTgd so;
+  so.functions = {f, g};
+  SoPart p;
+  p.body = {ws_.A("P", {ws_.V("x")})};
+  p.head = {ws_.A("R", {ws_.F("f", {ws_.F("g", {ws_.V("x")})})})};
+  so.parts = {p};
+  EXPECT_TRUE(ValidateSoTgd(ws_.arena, so).ok());
+  EXPECT_FALSE(so.IsPlain(ws_.arena));
+}
+
+TEST_F(DependencyTest, SoTgdRejectsUndeclaredFunction) {
+  SoTgd so;
+  SoPart p;
+  p.body = {ws_.A("P", {ws_.V("x")})};
+  p.head = {ws_.A("R", {ws_.F("mystery", {ws_.V("x")})})};
+  so.parts = {p};
+  EXPECT_FALSE(ValidateSoTgd(ws_.arena, so).ok());
+}
+
+TEST_F(DependencyTest, SoTgdRejectsHeadVariableNotInBody) {
+  SoTgd so;
+  SoPart p;
+  p.body = {ws_.A("P", {ws_.V("x")})};
+  p.head = {ws_.A("R", {ws_.V("z")})};
+  so.parts = {p};
+  EXPECT_FALSE(ValidateSoTgd(ws_.arena, so).ok());
+}
+
+TEST_F(DependencyTest, NestedTgdStructure) {
+  // The paper's three-level Dep/Grp/Emp nested tgd τ.
+  NestedTgd tau;
+  tau.root.univ_vars = {ws_.Vid("d")};
+  tau.root.body = {ws_.A("Dep", {ws_.V("d")})};
+  tau.root.exist_vars = {ws_.Vid("d2")};
+  tau.root.head_atoms = {ws_.A("Dep2", {ws_.V("d2")})};
+  NestedNode grp;
+  grp.univ_vars = {ws_.Vid("g")};
+  grp.body = {ws_.A("Grp", {ws_.V("d"), ws_.V("g")})};
+  grp.exist_vars = {ws_.Vid("g2")};
+  grp.head_atoms = {ws_.A("Grp2", {ws_.V("d2"), ws_.V("g2")})};
+  NestedNode emp;
+  emp.univ_vars = {ws_.Vid("e")};
+  emp.body = {ws_.A("Emp", {ws_.V("d"), ws_.V("g"), ws_.V("e")})};
+  emp.head_atoms = {ws_.A("Emp2", {ws_.V("d2"), ws_.V("g2"), ws_.V("e")})};
+  grp.children.push_back(emp);
+  tau.root.children.push_back(grp);
+
+  EXPECT_TRUE(ValidateNestedTgd(ws_.arena, tau).ok());
+  EXPECT_EQ(tau.NumParts(), 3u);
+  EXPECT_EQ(tau.Depth(), 3u);
+  EXPECT_FALSE(tau.IsSimple());
+}
+
+TEST_F(DependencyTest, NestedTgdRejectsOutOfScopeVariable) {
+  NestedTgd bad;
+  bad.root.univ_vars = {ws_.Vid("d")};
+  bad.root.body = {ws_.A("Dep", {ws_.V("d")})};
+  bad.root.head_atoms = {ws_.A("R", {ws_.V("w")})};  // w unbound
+  EXPECT_FALSE(ValidateNestedTgd(ws_.arena, bad).ok());
+}
+
+TEST_F(DependencyTest, NestedTgdRequiresUniversalsInOwnBody) {
+  NestedTgd bad;
+  bad.root.univ_vars = {ws_.Vid("d"), ws_.Vid("z")};
+  bad.root.body = {ws_.A("Dep", {ws_.V("d")})};  // z missing
+  bad.root.head_atoms = {ws_.A("R", {ws_.V("d")})};
+  EXPECT_FALSE(ValidateNestedTgd(ws_.arena, bad).ok());
+}
+
+TEST_F(DependencyTest, NestedTgdRequiresExistentialsRenamedApart) {
+  NestedTgd bad;
+  bad.root.univ_vars = {ws_.Vid("d")};
+  bad.root.body = {ws_.A("Dep", {ws_.V("d")})};
+  bad.root.exist_vars = {ws_.Vid("y")};
+  bad.root.head_atoms = {ws_.A("R", {ws_.V("y")})};
+  NestedNode child;
+  child.univ_vars = {ws_.Vid("e")};
+  child.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+  child.exist_vars = {ws_.Vid("y")};  // reused!
+  child.head_atoms = {ws_.A("S", {ws_.V("y")})};
+  bad.root.children.push_back(child);
+  EXPECT_FALSE(ValidateNestedTgd(ws_.arena, bad).ok());
+}
+
+TEST_F(DependencyTest, SimpleNestedTgd) {
+  NestedTgd simple;
+  simple.root.univ_vars = {ws_.Vid("x")};
+  simple.root.body = {ws_.A("P", {ws_.V("x")})};
+  simple.root.exist_vars = {ws_.Vid("y")};
+  simple.root.head_atoms = {ws_.A("R", {ws_.V("x"), ws_.V("y")})};
+  EXPECT_TRUE(ValidateNestedTgd(ws_.arena, simple).ok());
+  EXPECT_TRUE(simple.IsSimple());
+  EXPECT_EQ(simple.Depth(), 1u);
+}
+
+TEST_F(DependencyTest, ToStringRendersTgd) {
+  Tgd tgd = MakeEmpTgd();
+  EXPECT_EQ(ToString(ws_.arena, ws_.vocab, tgd),
+            "Emp(e, d) -> exists dm . Mgr(e, dm)");
+}
+
+}  // namespace
+}  // namespace tgdkit

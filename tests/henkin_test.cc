@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dep/dependency.h"
+#include "dep/skolem.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class HenkinTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  /// The paper's employee-ID standard Henkin tgd:
+  ///   (forall d exists dm / forall e exists eid)
+  ///     Emp(e, d) -> Mgr(eid, dm).
+  HenkinTgd MakeEmpHenkin() {
+    HenkinTgd h;
+    h.quantifier = HenkinQuantifier::FromRows(
+        {{{ws_.Vid("d")}, {ws_.Vid("dm")}}, {{ws_.Vid("e")}, {ws_.Vid("eid")}}});
+    h.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+    h.head = {ws_.A("Mgr", {ws_.V("eid"), ws_.V("dm")})};
+    return h;
+  }
+};
+
+TEST_F(HenkinTest, RowsBuildStandardQuantifier) {
+  HenkinTgd h = MakeEmpHenkin();
+  EXPECT_TRUE(h.quantifier.Validate().ok());
+  EXPECT_TRUE(h.IsStandard());
+  EXPECT_TRUE(h.IsTree());
+  EXPECT_TRUE(ValidateHenkinTgd(ws_.arena, h).ok());
+}
+
+TEST_F(HenkinTest, EssentialOrderFollowsRows) {
+  HenkinTgd h = MakeEmpHenkin();
+  auto essential = h.quantifier.EssentialOrder();
+  ASSERT_EQ(essential.size(), 2u);
+  EXPECT_EQ(essential[0].first, ws_.Vid("dm"));
+  EXPECT_EQ(essential[0].second, std::vector<VariableId>{ws_.Vid("d")});
+  EXPECT_EQ(essential[1].first, ws_.Vid("eid"));
+  EXPECT_EQ(essential[1].second, std::vector<VariableId>{ws_.Vid("e")});
+}
+
+TEST_F(HenkinTest, SkolemizationUsesEssentialOrder) {
+  HenkinTgd h = MakeEmpHenkin();
+  SoTgd so = HenkinToSo(&ws_.arena, &ws_.vocab, h);
+  ASSERT_EQ(so.parts.size(), 1u);
+  const Atom& mgr = so.parts[0].head[0];
+  // Mgr(f_eid(e), f_dm(d)): unary Skolem terms, unlike the binary ones a
+  // plain tgd would force.
+  ASSERT_TRUE(ws_.arena.IsFunction(mgr.args[0]));
+  ASSERT_TRUE(ws_.arena.IsFunction(mgr.args[1]));
+  EXPECT_EQ(ws_.arena.args(mgr.args[0]).size(), 1u);
+  EXPECT_EQ(ws_.arena.args(mgr.args[1]).size(), 1u);
+  EXPECT_TRUE(ValidateSoTgd(ws_.arena, so).ok());
+}
+
+TEST_F(HenkinTest, NonDisjointChainsAreNotStandard) {
+  // The paper's example σ with overlapping chains:
+  //   x1 x2 ≺ y1; x2 x3 ≺ y2; x3 x1 ≺ y3.
+  HenkinQuantifier q;
+  for (const char* x : {"x1", "x2", "x3"}) q.AddUniversal(ws_.Vid(x));
+  for (const char* y : {"y1", "y2", "y3"}) q.AddExistential(ws_.Vid(y));
+  q.AddOrder(ws_.Vid("x1"), ws_.Vid("y1"));
+  q.AddOrder(ws_.Vid("x2"), ws_.Vid("y1"));
+  q.AddOrder(ws_.Vid("x2"), ws_.Vid("y2"));
+  q.AddOrder(ws_.Vid("x3"), ws_.Vid("y2"));
+  q.AddOrder(ws_.Vid("x3"), ws_.Vid("y3"));
+  q.AddOrder(ws_.Vid("x1"), ws_.Vid("y3"));
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_FALSE(q.IsStandard());
+  // The Hasse graph of this order is a 6-cycle, so not a tree either.
+  EXPECT_FALSE(q.IsTree());
+}
+
+TEST_F(HenkinTest, SharedRootIsTreeButNotStandard) {
+  // f(d) and g(d, e): nested dependency sets — a tree, not disjoint chains.
+  HenkinQuantifier q;
+  q.AddUniversal(ws_.Vid("d"));
+  q.AddUniversal(ws_.Vid("e"));
+  q.AddExistential(ws_.Vid("y1"));
+  q.AddExistential(ws_.Vid("y2"));
+  q.AddOrder(ws_.Vid("d"), ws_.Vid("y1"));
+  q.AddOrder(ws_.Vid("d"), ws_.Vid("e"));
+  q.AddOrder(ws_.Vid("e"), ws_.Vid("y2"));
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_TRUE(q.IsTree());
+  EXPECT_FALSE(q.IsStandard());  // y1 and e are incomparable within a
+                                 // comparability component
+}
+
+TEST_F(HenkinTest, PlainFirstOrderPrefixIsStandard) {
+  // Ordinary ∀x∃y quantification is a single chain.
+  HenkinQuantifier q = HenkinQuantifier::FromRows(
+      {{{ws_.Vid("x1"), ws_.Vid("x2")}, {ws_.Vid("y1"), ws_.Vid("y2")}}});
+  EXPECT_TRUE(q.IsStandard());
+  EXPECT_TRUE(q.IsTree());
+  auto essential = q.EssentialOrder();
+  // Both existentials depend on both universals (chain may end in multiple
+  // existentials, per the paper's footnote 4).
+  EXPECT_EQ(essential[0].second.size(), 2u);
+  EXPECT_EQ(essential[1].second.size(), 2u);
+}
+
+TEST_F(HenkinTest, CyclicOrderIsRejected) {
+  HenkinQuantifier q;
+  q.AddUniversal(ws_.Vid("x"));
+  q.AddExistential(ws_.Vid("y"));
+  q.AddOrder(ws_.Vid("x"), ws_.Vid("y"));
+  q.AddOrder(ws_.Vid("y"), ws_.Vid("x"));
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST_F(HenkinTest, DuplicateVariableRejected) {
+  HenkinQuantifier q;
+  q.AddUniversal(ws_.Vid("x"));
+  q.AddExistential(ws_.Vid("x"));
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST_F(HenkinTest, OrderOverUndeclaredVariableRejected) {
+  HenkinQuantifier q;
+  q.AddUniversal(ws_.Vid("x"));
+  q.AddOrder(ws_.Vid("x"), ws_.Vid("ghost"));
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST_F(HenkinTest, BodyMustUseExactlyTheUniversals) {
+  HenkinTgd h = MakeEmpHenkin();
+  h.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("stranger")})};
+  EXPECT_FALSE(ValidateHenkinTgd(ws_.arena, h).ok());
+  // And all universals must occur in the body.
+  HenkinTgd h2 = MakeEmpHenkin();
+  h2.body = {ws_.A("EmpOnly", {ws_.V("e")})};
+  EXPECT_FALSE(ValidateHenkinTgd(ws_.arena, h2).ok());
+}
+
+TEST_F(HenkinTest, ExistentialsMayNotAppearInBody) {
+  HenkinTgd h = MakeEmpHenkin();
+  h.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")}),
+            ws_.A("Extra", {ws_.V("dm")})};
+  EXPECT_FALSE(ValidateHenkinTgd(ws_.arena, h).ok());
+}
+
+TEST_F(HenkinTest, HenkinsToSoRenamesFunctionsApart) {
+  HenkinTgd h1 = MakeEmpHenkin();
+  HenkinTgd h2 = MakeEmpHenkin();
+  std::vector<HenkinTgd> set{h1, h2};
+  SoTgd so = HenkinsToSo(&ws_.arena, &ws_.vocab, set);
+  ASSERT_EQ(so.functions.size(), 4u);
+  // All four Skolem functions are distinct symbols.
+  std::set<FunctionId> distinct(so.functions.begin(), so.functions.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_EQ(so.parts.size(), 2u);
+}
+
+TEST_F(HenkinTest, ToStringShowsEssentialOrder) {
+  HenkinTgd h = MakeEmpHenkin();
+  std::string s = ToString(ws_.arena, ws_.vocab, h);
+  EXPECT_NE(s.find("exists dm(d)"), std::string::npos);
+  EXPECT_NE(s.find("exists eid(e)"), std::string::npos);
+  EXPECT_NE(s.find("Emp(e, d) -> Mgr(eid, dm)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgdkit

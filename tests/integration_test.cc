@@ -1,0 +1,199 @@
+// End-to-end integration stories exercising the full pipeline: parse →
+// classify → normalize → chase → query → model-check, plus parser
+// robustness against malformed input (must error, never crash).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "classify/criteria.h"
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "gen/generators.h"
+#include "homo/core.h"
+#include "mc/model_check.h"
+#include "parse/parser.h"
+#include "query/query.h"
+#include "tests/test_util.h"
+#include "transform/composition.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+namespace {
+
+TEST(IntegrationTest, FullPipelineStory) {
+  // The complete workflow a downstream user runs, on the paper's domain.
+  TestWorkspace ws;
+  Parser parser(&ws.arena, &ws.vocab);
+
+  // 1. Parse a mixed program.
+  auto program = parser.ParseDependencies(R"(
+    hire:    Emp(e, d) -> exists m . Mgr(e, m) .
+    dm:      so exists fdm { Emp(e, d) -> DeptMgr(e, fdm(d)) } .
+    orgtree: nested Dep(d) -> exists u . Node(u, d) &
+               [ Emp(e, d) -> Leaf(u, e) ] .
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  // 2. Classify everything; the tgd sits at the bottom of both diagrams.
+  SoTgd hire_so = TgdToSo(&ws.arena, &ws.vocab,
+                          program->dependencies[0].tgd);
+  Figure1Membership f1 = ClassifyFigure1(ws.arena, hire_so);
+  EXPECT_TRUE(f1.tgd && f1.henkin && f1.plain_so);
+  Figure2Membership f2 = ClassifyFigure2(ws.arena, hire_so);
+  EXPECT_TRUE(f2.linear && f2.guarded && f2.weakly_acyclic && f2.sticky);
+
+  // 3. Normalize the nested tgd both ways; both must validate.
+  const NestedTgd& orgtree = program->dependencies[2].nested;
+  SoTgd normalized = NestedToSo(&ws.arena, &ws.vocab, orgtree);
+  EXPECT_EQ(normalized.parts.size(), 2u);
+  std::vector<HenkinTgd> henkins =
+      NestedToHenkin(&ws.arena, &ws.vocab, orgtree);
+  EXPECT_EQ(henkins.size(), 2u);
+
+  // 4. Chase everything together.
+  Instance source(&ws.vocab);
+  ASSERT_TRUE(parser.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(bob, cs). Dep(cs).", &source)
+                  .ok());
+  std::vector<Tgd> tgds = program->Tgds();
+  std::vector<SoTgd> pieces{TgdsToSo(&ws.arena, &ws.vocab, tgds),
+                            program->Sos()[0], normalized};
+  SoTgd merged = MergeSo(pieces);
+  ChaseResult model = Chase(&ws.arena, &ws.vocab, merged, source);
+  ASSERT_TRUE(model.Terminated());
+
+  // 5. The model satisfies every input dependency (all engines agree).
+  EXPECT_TRUE(CheckTgd(ws.arena, model.instance,
+                       program->dependencies[0].tgd));
+  EXPECT_TRUE(CheckSo(ws.arena, model.instance, program->Sos()[0])
+                  .satisfied);
+  EXPECT_TRUE(CheckNested(ws.arena, model.instance, orgtree));
+  EXPECT_TRUE(CheckHenkins(&ws.arena, &ws.vocab, model.instance, henkins)
+                  .satisfied);
+
+  // 6. Certain answers over the chased model.
+  auto query = parser.ParseQuery("ans(e) :- Leaf(u, e).");
+  ASSERT_TRUE(query.ok());
+  CertainAnswers answers = ComputeCertainAnswers(
+      &ws.arena, &ws.vocab, merged, source, *query);
+  EXPECT_TRUE(answers.Complete());
+  EXPECT_EQ(answers.answers.size(), 2u);  // alice and bob
+
+  // 7. The core of the model is hom-equivalent and no larger.
+  Instance core = ComputeCore(&ws.arena, &ws.vocab, model.instance);
+  EXPECT_LE(core.NumFacts(), model.instance.NumFacts());
+  EXPECT_TRUE(HomomorphicallyEquivalent(&ws.arena, &ws.vocab,
+                                        model.instance, core));
+}
+
+TEST(IntegrationTest, ComposedChainMatchesSequentialChaseRandomized) {
+  // Property: for random 2-chains of single-tgd mappings, the composed SO
+  // tgd's chase agrees with the sequential chase on final-schema facts.
+  Rng rng(515151);
+  int compared = 0;
+  for (int trial = 0; trial < 12 && compared < 8; ++trial) {
+    TestWorkspace ws;
+    Parser parser(&ws.arena, &ws.vocab);
+    // Mapping 1: A -> B with optional invention; Mapping 2: B -> C.
+    bool invent1 = rng.Chance(50);
+    bool invent2 = rng.Chance(50);
+    std::string m1_text = invent1
+                              ? "A(x1, x2) -> exists v . B(x1, v) ."
+                              : "A(x1, x2) -> B(x1, x2) .";
+    std::string m2_text = invent2
+                              ? "B(y1, y2) -> exists w . Cc(y2, w) ."
+                              : "B(y1, y2) -> Cc(y2, y1) .";
+    auto m1 = parser.ParseDependencies(m1_text);
+    auto m2 = parser.ParseDependencies(m2_text);
+    ASSERT_TRUE(m1.ok() && m2.ok());
+    std::vector<Tgd> s1 = m1->Tgds(), s2 = m2->Tgds();
+    auto composed = ComposeMappings(&ws.arena, &ws.vocab, s1, s2);
+    ASSERT_TRUE(composed.ok());
+    if (composed->parts.empty()) continue;
+
+    Instance source(&ws.vocab);
+    RelationId a = ws.vocab.FindRelation("A");
+    for (int i = 0; i < 4; ++i) {
+      std::vector<Value> args{
+          Value::Constant(ws.vocab.InternConstant("k" + std::to_string(
+                                                           rng.Below(3)))),
+          Value::Constant(ws.vocab.InternConstant("v" + std::to_string(
+                                                           rng.Below(3))))};
+      source.AddFact(a, args);
+    }
+    SoTgd so1 = TgdsToSo(&ws.arena, &ws.vocab, s1);
+    SoTgd so2 = TgdsToSo(&ws.arena, &ws.vocab, s2);
+    ChaseResult step1 = Chase(&ws.arena, &ws.vocab, so1, source);
+    ChaseResult step2 = Chase(&ws.arena, &ws.vocab, so2, step1.instance);
+    ChaseResult direct = Chase(&ws.arena, &ws.vocab, *composed, source);
+    ASSERT_TRUE(step2.Terminated() && direct.Terminated());
+
+    // Compare the C relation up to homomorphic equivalence (restricted to
+    // the final schema).
+    RelationId c = ws.vocab.FindRelation("Cc");
+    auto restrict = [&](const Instance& inst) {
+      Instance only(&ws.vocab);
+      only.EnsureNulls(inst.num_nulls());
+      for (const Fact& fact : inst.AllFacts()) {
+        if (fact.relation == c) only.AddFact(fact);
+      }
+      return only;
+    };
+    Instance via_steps = restrict(step2.instance);
+    Instance via_composed = restrict(direct.instance);
+    EXPECT_TRUE(HomomorphicallyEquivalent(&ws.arena, &ws.vocab, via_steps,
+                                          via_composed))
+        << "trial " << trial << " m1=" << m1_text << " m2=" << m2_text;
+    ++compared;
+  }
+  EXPECT_GE(compared, 4);
+}
+
+TEST(IntegrationTest, ParserNeverCrashesOnMangledInput) {
+  // Deterministic fuzz: random token soups must produce ParseError (or,
+  // rarely, parse) — never crash or hang.
+  const char* fragments[] = {"P(x)",  "->",     "exists", "forall", "so",
+                             "nested", "henkin", "{",      "}",      "[",
+                             "]",      "&",      ";",      ",",      ".",
+                             "=",      "f(x)",   "\"c\"",  "42",     ":"};
+  Rng rng(616161);
+  for (int trial = 0; trial < 300; ++trial) {
+    TestWorkspace ws;
+    Parser parser(&ws.arena, &ws.vocab);
+    std::string soup;
+    uint32_t length = 1 + static_cast<uint32_t>(rng.Below(12));
+    for (uint32_t i = 0; i < length; ++i) {
+      soup += fragments[rng.Below(std::size(fragments))];
+      soup += " ";
+    }
+    auto program = parser.ParseDependencies(soup);
+    // Either outcome is fine; we only require graceful behavior.
+    if (!program.ok()) {
+      EXPECT_EQ(program.status().code(), Status::Code::kParseError) << soup;
+    }
+  }
+}
+
+TEST(IntegrationTest, InstanceParserNeverCrashesOnMangledInput) {
+  const char* fragments[] = {"R(a)",  "R(a, b)", "(", ")", ",", ".",
+                             "_null", "\"c\"",   "x", "42"};
+  Rng rng(717171);
+  for (int trial = 0; trial < 200; ++trial) {
+    TestWorkspace ws;
+    Parser parser(&ws.arena, &ws.vocab);
+    std::string soup;
+    uint32_t length = 1 + static_cast<uint32_t>(rng.Below(10));
+    for (uint32_t i = 0; i < length; ++i) {
+      soup += fragments[rng.Below(std::size(fragments))];
+      soup += " ";
+    }
+    Instance inst(&ws.vocab);
+    Status status = parser.ParseInstanceInto(soup, &inst);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), Status::Code::kParseError) << soup;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tgdkit

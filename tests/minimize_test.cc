@@ -1,0 +1,108 @@
+// Tests for conjunctive-query minimization (Chandra–Merlin cores) and
+// tgd violation witnesses.
+#include <gtest/gtest.h>
+
+#include "mc/model_check.h"
+#include "parse/parser.h"
+#include "query/query.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  ConjunctiveQuery ParseQ(const std::string& text) {
+    Parser p(&ws_.arena, &ws_.vocab);
+    auto q = p.ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+};
+
+TEST_F(MinimizeTest, DropsSubsumedAtom) {
+  // R(x,y) & R(x,z): z is unconstrained, the second atom folds onto the
+  // first.
+  ConjunctiveQuery q = ParseQ("ans(x) :- R(x, y), R(x, z).");
+  ConjunctiveQuery min = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+  EXPECT_EQ(min.atoms.size(), 1u);
+  EXPECT_EQ(min.free_vars, q.free_vars);
+}
+
+TEST_F(MinimizeTest, KeepsGenuineJoin) {
+  ConjunctiveQuery q = ParseQ("ans(x, z) :- R(x, y), S(y, z).");
+  ConjunctiveQuery min = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+  EXPECT_EQ(min.atoms.size(), 2u);
+}
+
+TEST_F(MinimizeTest, FreeVariablesBlockFolding) {
+  // Without free vars, R(x,y) & R(y,z) folds? A path of length 2 maps
+  // into a path of length 1 only if endpoints merge — no hom into a
+  // single edge unless it is a loop. It does NOT fold.
+  ConjunctiveQuery q = ParseQ("ans() :- R(x, y), R(y, z).");
+  ConjunctiveQuery min = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+  EXPECT_EQ(min.atoms.size(), 2u);
+  // But two independent edges DO fold onto one.
+  ConjunctiveQuery q2 = ParseQ("ans() :- R(x, y), R(u, v).");
+  ConjunctiveQuery min2 = MinimizeQuery(&ws_.arena, &ws_.vocab, q2);
+  EXPECT_EQ(min2.atoms.size(), 1u);
+}
+
+TEST_F(MinimizeTest, ConstantsRespected) {
+  // R(x, "a") & R(x, y): folding y onto "a" is allowed (y unconstrained).
+  ConjunctiveQuery q = ParseQ(R"(ans(x) :- R(x, "a"), R(x, y).)");
+  ConjunctiveQuery min = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+  EXPECT_EQ(min.atoms.size(), 1u);
+  // But distinct constants never merge.
+  ConjunctiveQuery q2 = ParseQ(R"(ans(x) :- R(x, "a"), R(x, "b").)");
+  ConjunctiveQuery min2 = MinimizeQuery(&ws_.arena, &ws_.vocab, q2);
+  EXPECT_EQ(min2.atoms.size(), 2u);
+}
+
+TEST_F(MinimizeTest, EquivalenceOnInstances) {
+  ConjunctiveQuery q = ParseQ("ans(x) :- R(x, y), R(x, z), S(z, w).");
+  ConjunctiveQuery min = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+  EXPECT_LT(min.atoms.size(), q.atoms.size());
+  Parser p(&ws_.arena, &ws_.vocab);
+  Instance inst(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "R(a, b). R(a, c). S(c, d). R(e, f). S(b, g).", &inst)
+                  .ok());
+  EXPECT_EQ(Evaluate(ws_.arena, inst, q), Evaluate(ws_.arena, inst, min));
+}
+
+TEST_F(MinimizeTest, TriangleDoesNotFold) {
+  ConjunctiveQuery q = ParseQ("ans() :- E(x, y), E(y, z), E(z, x).");
+  ConjunctiveQuery min = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+  EXPECT_EQ(min.atoms.size(), 3u);
+}
+
+TEST_F(MinimizeTest, ViolationWitnessReported) {
+  Tgd tgd;
+  tgd.body = {ws_.A("Emp", {ws_.V("e")})};
+  tgd.head = {ws_.A("Mgr", {ws_.V("e"), ws_.V("m")})};
+  tgd.exist_vars = {ws_.Vid("m")};
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("Emp", {"alice"}));
+  inst.AddFact(ws_.Fc("Emp", {"bob"}));
+  inst.AddFact(ws_.Fc("Mgr", {"alice", "boss"}));
+  auto violation = FindTgdViolation(ws_.arena, inst, tgd);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->trigger.at(ws_.Vid("e")), ws_.Cv("bob"));
+  EXPECT_EQ(violation->ToString(ws_.vocab, inst), "e=bob");
+}
+
+TEST_F(MinimizeTest, NoViolationOnModel) {
+  Tgd tgd;
+  tgd.body = {ws_.A("P", {ws_.V("x")})};
+  tgd.head = {ws_.A("Q", {ws_.V("x")})};
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("P", {"a"}));
+  inst.AddFact(ws_.Fc("Q", {"a"}));
+  EXPECT_FALSE(FindTgdViolation(ws_.arena, inst, tgd).has_value());
+}
+
+}  // namespace
+}  // namespace tgdkit

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "dep/skolem.h"
+#include "mc/model_check.h"
+#include "parse/parser.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class ModelCheckTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+};
+
+TEST_F(ModelCheckTest, TgdSatisfied) {
+  Tgd tgd;
+  tgd.body = {ws_.A("Emp", {ws_.V("e")})};
+  tgd.head = {ws_.A("Mgr", {ws_.V("e"), ws_.V("m")})};
+  tgd.exist_vars = {ws_.Vid("m")};
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("Emp", {"alice"}));
+  inst.AddFact(ws_.Fc("Mgr", {"alice", "boss"}));
+  EXPECT_TRUE(CheckTgd(ws_.arena, inst, tgd));
+}
+
+TEST_F(ModelCheckTest, TgdViolated) {
+  Tgd tgd;
+  tgd.body = {ws_.A("Emp", {ws_.V("e")})};
+  tgd.head = {ws_.A("Mgr", {ws_.V("e"), ws_.V("m")})};
+  tgd.exist_vars = {ws_.Vid("m")};
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("Emp", {"alice"}));
+  inst.AddFact(ws_.Fc("Emp", {"bob"}));
+  inst.AddFact(ws_.Fc("Mgr", {"alice", "boss"}));
+  EXPECT_FALSE(CheckTgd(ws_.arena, inst, tgd));  // bob has no manager
+}
+
+TEST_F(ModelCheckTest, FullTgdJoin) {
+  Tgd trans;
+  trans.body = {ws_.A("E", {ws_.V("x"), ws_.V("y")}),
+                ws_.A("E", {ws_.V("y"), ws_.V("z")})};
+  trans.head = {ws_.A("E", {ws_.V("x"), ws_.V("z")})};
+  Instance closed(&ws_.vocab);
+  closed.AddFact(ws_.Fc("E", {"a", "b"}));
+  closed.AddFact(ws_.Fc("E", {"b", "c"}));
+  closed.AddFact(ws_.Fc("E", {"a", "c"}));
+  EXPECT_TRUE(CheckTgd(ws_.arena, closed, trans));
+  Instance open(&ws_.vocab);
+  open.AddFact(ws_.Fc("E", {"a", "b"}));
+  open.AddFact(ws_.Fc("E", {"b", "c"}));
+  EXPECT_FALSE(CheckTgd(ws_.arena, open, trans));
+}
+
+TEST_F(ModelCheckTest, TgdVacuouslyTrueOnEmptyInstance) {
+  Tgd tgd;
+  tgd.body = {ws_.A("P", {ws_.V("x")})};
+  tgd.head = {ws_.A("Q", {ws_.V("x")})};
+  Instance inst(&ws_.vocab);
+  EXPECT_TRUE(CheckTgd(ws_.arena, inst, tgd));
+  std::vector<Tgd> set{tgd};
+  EXPECT_TRUE(CheckTgds(ws_.arena, inst, set));
+}
+
+TEST_F(ModelCheckTest, NestedTgdExistentialOnlyInChild) {
+  // ∀d Dep(d) → ∃dm [ ∀e Emp(e,d) → Mgr(e,dm) ]: dm is chosen per
+  // department and must work for all its employees.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "nested Dep(d) -> exists dm . [ Emp(e, d) -> Mgr(e, dm) ] .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const NestedTgd& tau = program->dependencies[0].nested;
+
+  Instance good(&ws_.vocab);
+  Parser p2(&ws_.arena, &ws_.vocab);
+  ASSERT_TRUE(p2.ParseInstanceInto(
+                   "Dep(cs). Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, carol).",
+                   &good)
+                  .ok());
+  EXPECT_TRUE(CheckNested(ws_.arena, good, tau));
+
+  // Different managers per employee: no single dm exists.
+  Instance bad(&ws_.vocab);
+  ASSERT_TRUE(p2.ParseInstanceInto(
+                   "Dep(cs). Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, dave).",
+                   &bad)
+                  .ok());
+  EXPECT_FALSE(CheckNested(ws_.arena, bad, tau));
+}
+
+TEST_F(ModelCheckTest, NestedVersusFlatTgdSemantics) {
+  // The flat tgd Emp(e,d) -> exists m . Mgr(e,m) IS satisfied by the
+  // per-employee-manager instance that violates the nested variant above.
+  Tgd flat;
+  flat.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+  flat.head = {ws_.A("Mgr", {ws_.V("e"), ws_.V("m")})};
+  flat.exist_vars = {ws_.Vid("m")};
+  Instance inst(&ws_.vocab);
+  Parser p(&ws_.arena, &ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Dep(cs). Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, dave).",
+                   &inst)
+                  .ok());
+  EXPECT_TRUE(CheckTgd(ws_.arena, inst, flat));
+}
+
+TEST_F(ModelCheckTest, SoTgdNeedsSingleFunctionChoice) {
+  // Emp(e,d) -> Mgr(e, fdm(d)): the same fdm(d) must serve every employee
+  // of the department.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "so exists fdm { Emp(e, d) -> Mgr(e, fdm(d)) } .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const SoTgd& so = program->dependencies[0].so;
+
+  Instance good(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, carol).",
+                   &good)
+                  .ok());
+  EXPECT_TRUE(CheckSo(ws_.arena, good, so).satisfied);
+
+  Instance bad(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, dave).",
+                   &bad)
+                  .ok());
+  // Mgr(alice, carol) forces fdm(cs)=carol, but then bob needs
+  // Mgr(bob, carol), which is absent... unless another fact helps. It
+  // doesn't: violated.
+  EXPECT_FALSE(CheckSo(ws_.arena, bad, so).satisfied);
+}
+
+TEST_F(ModelCheckTest, SoTgdWithEquality) {
+  // The paper's self-manager SO tgd.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "so exists fmgr {"
+      " Emp(e) -> Mgr(e, fmgr(e)) ;"
+      " Emp(e) & e = fmgr(e) -> SelfMgr(e) } .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const SoTgd& so = program->dependencies[0].so;
+
+  // carol manages herself and is marked: satisfiable with fmgr(carol)=carol.
+  Instance good(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(carol). Mgr(carol, carol). SelfMgr(carol).", &good)
+                  .ok());
+  EXPECT_TRUE(CheckSo(ws_.arena, good, so).satisfied);
+
+  // carol can ONLY be her own manager but SelfMgr is missing: violated.
+  Instance bad(&ws_.vocab);
+  ASSERT_TRUE(
+      p.ParseInstanceInto("Emp(carol). Mgr(carol, carol).", &bad).ok());
+  EXPECT_FALSE(CheckSo(ws_.arena, bad, so).satisfied);
+
+  // carol has a different manager available: fmgr(carol)=dave avoids the
+  // equality, so SelfMgr is not required.
+  Instance alt(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(carol). Mgr(carol, carol). Mgr(carol, dave).", &alt)
+                  .ok());
+  EXPECT_TRUE(CheckSo(ws_.arena, alt, so).satisfied);
+}
+
+TEST_F(ModelCheckTest, SoTgdNestedTerms) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "so exists f, g { P(x) -> R(x, f(g(x))) } .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const SoTgd& so = program->dependencies[0].so;
+
+  Instance good(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto("P(a). R(a, b).", &good).ok());
+  // g(a)=anything, f(that)=b works.
+  EXPECT_TRUE(CheckSo(ws_.arena, good, so).satisfied);
+
+  Instance bad(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto("P(a). S(a, b).", &bad).ok());
+  EXPECT_FALSE(CheckSo(ws_.arena, bad, so).satisfied);
+}
+
+TEST_F(ModelCheckTest, HenkinTgdSharedVsIndependent) {
+  // henkin { forall e, d ; exists dm(d) } Emp(e,d) -> Mgr(e,dm):
+  // equivalent to the fdm SO tgd above.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "henkin { forall e, d ; exists dm(d) } Emp(e, d) -> Mgr(e, dm) .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const HenkinTgd& henkin = program->dependencies[0].henkin;
+
+  Instance shared(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, carol).",
+                   &shared)
+                  .ok());
+  EXPECT_TRUE(CheckHenkin(&ws_.arena, &ws_.vocab, shared, henkin).satisfied);
+
+  Instance split(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, dave).",
+                   &split)
+                  .ok());
+  EXPECT_FALSE(CheckHenkin(&ws_.arena, &ws_.vocab, split, henkin).satisfied);
+}
+
+TEST_F(ModelCheckTest, HenkinEmployeeIdExample) {
+  // (∀d∃dm / ∀e∃eid) Emp(e,d) -> Pair(e,d,eid,dm): the head is protected
+  // by the universal variables (the paper's Idea 2), so the choices of
+  // eid(e) and dm(d) are pinned per employee and per department.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "henkin { forall e, d ; exists eid(e) ; exists dm(d) }"
+      " Emp(e, d) -> Pair(e, d, eid, dm) .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const HenkinTgd& henkin = program->dependencies[0].henkin;
+
+  Instance good(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(bob, cs)."
+                   "Pair(alice, cs, id_a, m_cs). Pair(bob, cs, id_b, m_cs).",
+                   &good)
+                  .ok());
+  EXPECT_TRUE(CheckHenkin(&ws_.arena, &ws_.vocab, good, henkin).satisfied);
+
+  // Same department, different manager values: dm(cs) cannot be both.
+  Instance split_dm(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(bob, cs)."
+                   "Pair(alice, cs, id_a, m1). Pair(bob, cs, id_b, m2).",
+                   &split_dm)
+                  .ok());
+  EXPECT_FALSE(
+      CheckHenkin(&ws_.arena, &ws_.vocab, split_dm, henkin).satisfied);
+
+  // Employee in two departments: eid(alice) must be a single value.
+  Instance two_dep(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(alice, math)."
+                   "Pair(alice, cs, id1, m_cs). Pair(alice, math, id2, m_math).",
+                   &two_dep)
+                  .ok());
+  EXPECT_FALSE(
+      CheckHenkin(&ws_.arena, &ws_.vocab, two_dep, henkin).satisfied);
+
+  Instance two_dep_ok(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Emp(alice, math)."
+                   "Pair(alice, cs, id1, m_cs). Pair(alice, math, id1, m_math).",
+                   &two_dep_ok)
+                  .ok());
+  EXPECT_TRUE(
+      CheckHenkin(&ws_.arena, &ws_.vocab, two_dep_ok, henkin).satisfied);
+}
+
+TEST_F(ModelCheckTest, NestedViolationWitness) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "nested Dep(d) -> exists dm . [ Emp(e, d) -> Mgr(e, dm) ] .");
+  ASSERT_TRUE(program.ok());
+  const NestedTgd& tau = program->dependencies[0].nested;
+  Instance bad(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Dep(cs). Dep(math). Emp(alice, cs). Emp(bob, cs)."
+                   "Mgr(alice, carol). Mgr(bob, dave).",
+                   &bad)
+                  .ok());
+  auto violation = FindNestedViolation(ws_.arena, bad, tau);
+  ASSERT_TRUE(violation.has_value());
+  // The failing department is cs (math has no employees, so it's fine).
+  EXPECT_EQ(violation->trigger.at(ws_.Vid("d")), ws_.Cv("cs"));
+  EXPECT_EQ(violation->ToString(ws_.vocab, bad), "d=cs");
+  // Agreement with the Boolean checker.
+  EXPECT_FALSE(CheckNested(ws_.arena, bad, tau));
+  // And no violation on a model.
+  Instance good(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Dep(cs). Emp(alice, cs). Mgr(alice, carol).", &good)
+                  .ok());
+  EXPECT_FALSE(FindNestedViolation(ws_.arena, good, tau).has_value());
+}
+
+TEST_F(ModelCheckTest, EmptyInstanceSatisfiesSoTgd) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "so exists f { P(x) -> R(f(x)) } .");
+  ASSERT_TRUE(program.ok());
+  Instance empty(&ws_.vocab);
+  EXPECT_TRUE(CheckSo(ws_.arena, empty, program->dependencies[0].so).satisfied);
+}
+
+TEST_F(ModelCheckTest, BudgetExceededIsReported) {
+  // Satisfiable, but the first two domain values fail for f(a), so the
+  // search needs three branches; a budget of two must report exhaustion.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "so exists f { P(x) -> R(x, f(x)) } .");
+  ASSERT_TRUE(program.ok());
+  Instance inst(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto("P(a). P(b). R(a, a2). R(b, b2).", &inst)
+                  .ok());
+  McOptions options;
+  options.max_branches = 2;
+  McResult result =
+      CheckSo(ws_.arena, inst, program->dependencies[0].so, options);
+  EXPECT_TRUE(result.budget_exceeded);
+  EXPECT_FALSE(result.satisfied);
+  // With an ample budget the same check succeeds.
+  McResult ok = CheckSo(ws_.arena, inst, program->dependencies[0].so);
+  EXPECT_TRUE(ok.satisfied);
+  EXPECT_FALSE(ok.budget_exceeded);
+}
+
+}  // namespace
+}  // namespace tgdkit

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.h"
+
+namespace tgdkit {
+namespace {
+
+Graph Cycle(uint32_t n) {
+  Graph g;
+  g.num_vertices = n;
+  for (uint32_t i = 0; i < n; ++i) g.edges.push_back({i, (i + 1) % n});
+  return g;
+}
+
+Graph Complete(uint32_t n) {
+  Graph g;
+  g.num_vertices = n;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) g.edges.push_back({i, j});
+  }
+  return g;
+}
+
+TEST(ThreeColorableTest, SmallGraphs) {
+  EXPECT_TRUE(ThreeColorable(Graph{}));            // empty
+  EXPECT_TRUE(ThreeColorable(Graph{3, {}}));       // no edges
+  EXPECT_TRUE(ThreeColorable(Cycle(4)));           // even cycle: 2 colors
+  EXPECT_TRUE(ThreeColorable(Cycle(5)));           // odd cycle: 3 colors
+  EXPECT_TRUE(ThreeColorable(Complete(3)));        // triangle
+  EXPECT_FALSE(ThreeColorable(Complete(4)));       // K4 needs 4
+}
+
+TEST(ThreeColorableTest, SelfLoopNeverColorable) {
+  Graph g{1, {{0, 0}}};
+  EXPECT_FALSE(ThreeColorable(g));
+}
+
+TEST(ThreeColorableTest, WheelGraphs) {
+  // Wheel W_n: hub + cycle of n; 3-colorable iff the cycle is even.
+  auto wheel = [](uint32_t n) {
+    Graph g = Cycle(n);
+    uint32_t hub = g.num_vertices;
+    g.num_vertices += 1;
+    for (uint32_t i = 0; i < n; ++i) g.edges.push_back({hub, i});
+    return g;
+  };
+  EXPECT_TRUE(ThreeColorable(wheel(4)));
+  EXPECT_FALSE(ThreeColorable(wheel(5)));
+  EXPECT_TRUE(ThreeColorable(wheel(6)));
+}
+
+QbfLiteral X(uint32_t i, bool neg = false) {
+  return {QbfLiteral::Kind::kUniversal, i, neg};
+}
+QbfLiteral Y(uint32_t i, bool neg = false) {
+  return {QbfLiteral::Kind::kExistential, i, neg};
+}
+
+TEST(QbfTest, TautologyAndContradiction) {
+  // ∀x∃y (y ∨ y ∨ y): pick y = 1. True.
+  Qbf taut{1, {{Y(0), Y(0), Y(0)}}};
+  EXPECT_TRUE(EvaluateQbf(taut));
+  // ∀x∃y (y) ∧ (¬y): impossible.
+  Qbf contra{1, {{Y(0), Y(0), Y(0)}, {Y(0, true), Y(0, true), Y(0, true)}}};
+  EXPECT_FALSE(EvaluateQbf(contra));
+}
+
+TEST(QbfTest, ExistentialTracksUniversal) {
+  // ∀x∃y (x ∨ y) ∧ (¬x ∨ ¬y): y := ¬x. True.
+  Qbf q{1, {{X(0), Y(0), Y(0)}, {X(0, true), Y(0, true), Y(0, true)}}};
+  EXPECT_TRUE(EvaluateQbf(q));
+  // ∀x∃y (x ∨ x ∨ x): fails for x = 0.
+  Qbf bad{1, {{X(0), X(0), X(0)}}};
+  EXPECT_FALSE(EvaluateQbf(bad));
+}
+
+TEST(QbfTest, TwoLevelAlternation) {
+  // ∀x1∃y1∀x2∃y2 (x1 ∨ y2 ∨ y2) ∧ (x2 ∨ y2 ∨ y2): y2 must cover both
+  // x1=0 and x2=0: y2 := 1 works. True.
+  Qbf q{2, {{X(0), Y(1), Y(1)}, {X(1), Y(1), Y(1)}}};
+  EXPECT_TRUE(EvaluateQbf(q));
+  // ∀x1∃y1∀x2∃y1' where a clause forces y1 = x2 (chosen before x2): false.
+  // (y1 ∨ ¬x2) ∧ (¬y1 ∨ x2): y1 ↔ x2, but y1 is quantified before x2.
+  Qbf impossible{2,
+                 {{Y(0), X(1, true), X(1, true)}, {Y(0, true), X(1), X(1)}}};
+  EXPECT_FALSE(EvaluateQbf(impossible));
+}
+
+TEST(QbfTest, EmptyMatrixIsTrue) {
+  Qbf q{2, {}};
+  EXPECT_TRUE(EvaluateQbf(q));
+}
+
+TEST(PcpTest, SimpleSolvableInstance) {
+  // Pairs: (1, 101), (10, 00), (011, 11) over {0,1} -> encode as {1,2}.
+  // Classic instance with solution 1 3 2 3? Use a known-simple one:
+  // pairs (a, ab), (b, -)? Keep it minimal: (12, 1), (2, 22)? Check:
+  // seq 1,2: top = 12|2 = "122", bottom = 1|22 = "122". Solved!
+  PcpInstance pcp;
+  pcp.alphabet_size = 2;
+  pcp.pairs = {{{1, 2}, {1}}, {{2}, {2, 2}}};
+  auto solution = SolvePcp(pcp, 10);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(CheckPcpSolution(pcp, *solution));
+  EXPECT_EQ(*solution, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(PcpTest, SingleIdenticalPair) {
+  PcpInstance pcp;
+  pcp.alphabet_size = 1;
+  pcp.pairs = {{{1}, {1}}};
+  auto solution = SolvePcp(pcp, 5);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->size(), 1u);
+}
+
+TEST(PcpTest, UnsolvableByLengthMismatch) {
+  // Every pair's first word is strictly longer: totals can never match.
+  PcpInstance pcp;
+  pcp.alphabet_size = 2;
+  pcp.pairs = {{{1, 1}, {1}}, {{2, 2, 1}, {2}}};
+  EXPECT_FALSE(SolvePcp(pcp, 12).has_value());
+}
+
+TEST(PcpTest, UnsolvableByFirstSymbol) {
+  PcpInstance pcp;
+  pcp.alphabet_size = 2;
+  pcp.pairs = {{{1}, {2}}, {{2}, {1}}};
+  EXPECT_FALSE(SolvePcp(pcp, 12).has_value());
+}
+
+TEST(PcpTest, LongerSolution) {
+  // Classic textbook instance over {a=1, b=2, c=3}:
+  //   (a, ab), (b, ca), (ca, a), (abc, c)
+  // has minimum solution 1,2,3,1,4: both sides spell "abcaaabc".
+  PcpInstance pcp;
+  pcp.alphabet_size = 3;
+  pcp.pairs = {{{1}, {1, 2}},
+               {{2}, {3, 1}},
+               {{3, 1}, {1}},
+               {{1, 2, 3}, {3}}};
+  EXPECT_FALSE(SolvePcp(pcp, 4).has_value());  // nothing shorter
+  auto solution = SolvePcp(pcp, 5);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(CheckPcpSolution(pcp, *solution));
+  EXPECT_EQ(*solution, (std::vector<uint32_t>{1, 2, 3, 1, 4}));
+}
+
+TEST(PcpTest, CheckRejectsBadSolutions) {
+  PcpInstance pcp;
+  pcp.alphabet_size = 2;
+  pcp.pairs = {{{1, 2}, {1}}, {{2}, {2, 2}}};
+  EXPECT_FALSE(CheckPcpSolution(pcp, {}));
+  EXPECT_FALSE(CheckPcpSolution(pcp, {1}));
+  EXPECT_FALSE(CheckPcpSolution(pcp, {2, 1}));
+  EXPECT_FALSE(CheckPcpSolution(pcp, {9}));
+  EXPECT_TRUE(CheckPcpSolution(pcp, {1, 2}));
+}
+
+}  // namespace
+}  // namespace tgdkit

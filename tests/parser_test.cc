@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "parse/parser.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+  Parser MakeParser() { return Parser(&ws_.arena, &ws_.vocab); }
+};
+
+TEST_F(ParserTest, ParsesTgd) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "Emp(e, d) -> exists dm . Mgr(e, dm) .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->dependencies.size(), 1u);
+  const ParsedDependency& dep = program->dependencies[0];
+  EXPECT_EQ(dep.kind, ParsedDependency::Kind::kTgd);
+  EXPECT_EQ(dep.tgd.body.size(), 1u);
+  EXPECT_EQ(dep.tgd.exist_vars.size(), 1u);
+  EXPECT_EQ(ToString(ws_.arena, ws_.vocab, dep.tgd),
+            "Emp(e, d) -> exists dm . Mgr(e, dm)");
+}
+
+TEST_F(ParserTest, ParsesFullTgdWithConjunction) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "E(x, y) & E(y, z) -> E(x, z) .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(program->dependencies[0].tgd.IsFull());
+  EXPECT_EQ(program->dependencies[0].tgd.body.size(), 2u);
+}
+
+TEST_F(ParserTest, ParsesLabels) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "copy_q: Q0(x, y) -> Q(x, y) . copy_r: R0(x, y) -> R(x, y) .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->dependencies.size(), 2u);
+  EXPECT_EQ(program->dependencies[0].label, "copy_q");
+  EXPECT_EQ(program->dependencies[1].label, "copy_r");
+}
+
+TEST_F(ParserTest, ParsesConstantsInDependencies) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      R"(P(x) -> Goal("yes", 42) .)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const Atom& goal = program->dependencies[0].tgd.head[0];
+  EXPECT_TRUE(ws_.arena.IsConstant(goal.args[0]));
+  EXPECT_TRUE(ws_.arena.IsConstant(goal.args[1]));
+  EXPECT_EQ(ws_.vocab.ConstantName(ws_.arena.symbol(goal.args[1])), "42");
+}
+
+TEST_F(ParserTest, ParsesSoTgdWithEquality) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "so exists fmgr {"
+      "  Emp(e) -> Mgr(e, fmgr(e)) ;"
+      "  Emp(e) & e = fmgr(e) -> SelfMgr(e)"
+      "} .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const SoTgd& so = program->dependencies[0].so;
+  ASSERT_EQ(so.parts.size(), 2u);
+  EXPECT_EQ(so.functions.size(), 1u);
+  EXPECT_EQ(so.parts[1].equalities.size(), 1u);
+  EXPECT_FALSE(so.IsPlain(ws_.arena));
+}
+
+TEST_F(ParserTest, ParsesPlainSoTgd) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "so exists f, g { P(x1, x2) -> Q(x1, f(x1)) & R(f(x1), g(x2)) &"
+      " S(g(x2), x2) } .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const SoTgd& so = program->dependencies[0].so;
+  EXPECT_TRUE(so.IsPlain(ws_.arena));
+  EXPECT_TRUE(IsSkolemizedStandardHenkin(ws_.arena, so));
+}
+
+TEST_F(ParserTest, ParsesNestedTgd) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "nested Dep(d) -> exists dm . Dep2(d, dm) &"
+      " [ Emp(e, d) -> Mgr(e, d, dm) ] .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const NestedTgd& nested = program->dependencies[0].nested;
+  EXPECT_EQ(nested.NumParts(), 2u);
+  EXPECT_EQ(nested.Depth(), 2u);
+  // Inner part's inferred universal is e only (d bound by the outer part).
+  ASSERT_EQ(nested.root.children.size(), 1u);
+  EXPECT_EQ(nested.root.children[0].univ_vars,
+            std::vector<VariableId>{ws_.Vid("e")});
+}
+
+TEST_F(ParserTest, ParsesThreeLevelNestedTgd) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "nested Dep(d) -> exists d2 . Dep2(d2) &"
+      " [ Grp(d, g) -> exists g2 . Grp2(d2, g2) &"
+      "   [ Emp(d, g, e) -> Emp2(d2, g2, e) ] ] .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const NestedTgd& nested = program->dependencies[0].nested;
+  EXPECT_EQ(nested.NumParts(), 3u);
+  EXPECT_EQ(nested.Depth(), 3u);
+}
+
+TEST_F(ParserTest, ParsesHenkinTgd) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "henkin { forall e, d ; exists eid(e) ; exists dm(d) }"
+      " Emp(e, d) -> Mgr(eid, dm) .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const HenkinTgd& henkin = program->dependencies[0].henkin;
+  EXPECT_TRUE(henkin.IsStandard());
+  auto essential = henkin.quantifier.EssentialOrder();
+  ASSERT_EQ(essential.size(), 2u);
+  EXPECT_EQ(essential[0].second, std::vector<VariableId>{ws_.Vid("e")});
+  EXPECT_EQ(essential[1].second, std::vector<VariableId>{ws_.Vid("d")});
+}
+
+TEST_F(ParserTest, ParsesNonStandardHenkinTgd) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "henkin { forall x1, x2, x3 ; exists y1(x1, x2) ; exists y2(x2, x3) }"
+      " P(x1, x2, x3) -> R(y1, y2) .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_FALSE(program->dependencies[0].henkin.IsStandard());
+}
+
+TEST_F(ParserTest, RejectsArityMismatch) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies("R(x, y) -> R(x) .");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), Status::Code::kParseError);
+  EXPECT_NE(program.status().message().find("arity"), std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsUnlistedExistential) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies("P(x) -> R(x, y) .");
+  ASSERT_FALSE(program.ok());
+}
+
+TEST_F(ParserTest, RejectsMissingDot) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies("P(x) -> R(x)");
+  ASSERT_FALSE(program.ok());
+}
+
+TEST_F(ParserTest, RejectsReservedWordAsRelation) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies("exists(x) -> R(x) .");
+  ASSERT_FALSE(program.ok());
+}
+
+TEST_F(ParserTest, ReportsLineAndColumn) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies("P(x) -> R(x) .\nQ(x) -> ) .");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(ParserTest, ParsesInstance) {
+  Parser p = MakeParser();
+  Instance inst(&ws_.vocab);
+  Status s = p.ParseInstanceInto(
+      "Emp(alice, cs). Emp(bob, cs).\n"
+      "# a comment\n"
+      "Mgr(alice, _m). Mgr(bob, _m).",
+      &inst);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(inst.NumFacts(), 4u);
+  EXPECT_EQ(inst.num_nulls(), 1u);  // _m shared
+  RelationId mgr = ws_.vocab.FindRelation("Mgr");
+  EXPECT_EQ(inst.Tuple(mgr, 0)[1], inst.Tuple(mgr, 1)[1]);
+}
+
+TEST_F(ParserTest, InstanceDistinctNullLabels) {
+  Parser p = MakeParser();
+  Instance inst(&ws_.vocab);
+  Status s = p.ParseInstanceInto("R(_a, _b). R(_b, _c).", &inst);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(inst.num_nulls(), 3u);
+}
+
+TEST_F(ParserTest, ParsesQuery) {
+  Parser p = MakeParser();
+  auto q = p.ParseQuery("ans(x, z) :- R(x, y), S(y, z).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->free_vars.size(), 2u);
+  EXPECT_EQ(q->atoms.size(), 2u);
+}
+
+TEST_F(ParserTest, ParsesBooleanQuery) {
+  Parser p = MakeParser();
+  auto q = p.ParseQuery("ans() :- R(x, x).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->IsBoolean());
+}
+
+TEST_F(ParserTest, QueryRejectsUnsafeFreeVariable) {
+  Parser p = MakeParser();
+  auto q = p.ParseQuery("ans(w) :- R(x, y).");
+  ASSERT_FALSE(q.ok());
+}
+
+TEST_F(ParserTest, QueryWithConstants) {
+  Parser p = MakeParser();
+  auto q = p.ParseQuery(R"(ans(x) :- Emp(x, "cs").)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(ws_.arena.IsConstant(q->atoms[0].args[1]));
+}
+
+TEST_F(ParserTest, RoundTripTgdPrintParse) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "Emp(e, d) -> exists dm . Mgr(e, dm) .");
+  ASSERT_TRUE(program.ok());
+  std::string printed = ToString(ws_.arena, ws_.vocab,
+                                 program->dependencies[0].tgd) + " .";
+  auto reparsed = p.ParseDependencies(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(ToString(ws_.arena, ws_.vocab, reparsed->dependencies[0].tgd),
+            ToString(ws_.arena, ws_.vocab, program->dependencies[0].tgd));
+}
+
+TEST_F(ParserTest, RoundTripHenkinPrintParse) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "henkin { forall e, d ; exists eid(e) ; exists dm(d) }"
+      " Emp(e, d) -> Mgr(eid, dm) .");
+  ASSERT_TRUE(program.ok());
+  std::string printed =
+      ToString(ws_.arena, ws_.vocab, program->dependencies[0].henkin) + " .";
+  auto reparsed = p.ParseDependencies(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(
+      ToString(ws_.arena, ws_.vocab, reparsed->dependencies[0].henkin),
+      ToString(ws_.arena, ws_.vocab, program->dependencies[0].henkin));
+}
+
+TEST_F(ParserTest, RoundTripNestedPrintParse) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "nested Dep(d) -> exists dm . Dep2(d, dm) &"
+      " [ Emp(e, d) -> Mgr(e, d, dm) ] .");
+  ASSERT_TRUE(program.ok());
+  std::string printed =
+      ToString(ws_.arena, ws_.vocab, program->dependencies[0].nested) + " .";
+  auto reparsed = p.ParseDependencies(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(
+      ToString(ws_.arena, ws_.vocab, reparsed->dependencies[0].nested),
+      ToString(ws_.arena, ws_.vocab, program->dependencies[0].nested));
+}
+
+TEST_F(ParserTest, MixedProgram) {
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "P(x) -> Q(x) .\n"
+      "so exists f { Q(x) -> R(x, f(x)) } .\n"
+      "henkin { forall a ; exists b(a) } Q(a) -> S(a, b) .\n"
+      "nested Q(x) -> exists y . T(x, y) & [ U(x, z) -> W(y, z) ] .\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->Tgds().size(), 1u);
+  EXPECT_EQ(program->Sos().size(), 1u);
+  EXPECT_EQ(program->Henkins().size(), 1u);
+  EXPECT_EQ(program->Nesteds().size(), 1u);
+}
+
+TEST_F(ParserTest, NestedPrintedFormIsReparsable) {
+  // The printed form includes explicit forall lists; ensure the explicit
+  // form also parses correctly with proper scoping.
+  Parser p = MakeParser();
+  auto program = p.ParseDependencies(
+      "nested forall d Dep(d) -> exists dm . Dep2(d, dm) &"
+      " [ forall e Emp(e, d) -> Mgr(e, d, dm) ] .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->dependencies[0].nested.NumParts(), 2u);
+}
+
+}  // namespace
+}  // namespace tgdkit

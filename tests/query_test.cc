@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "dep/skolem.h"
+#include "query/query.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+};
+
+TEST_F(QueryTest, EvaluateReturnsDistinctTuples) {
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("R", {"a", "b"}));
+  inst.AddFact(ws_.Fc("R", {"a", "c"}));
+  ConjunctiveQuery q;
+  q.atoms = {ws_.A("R", {ws_.V("x"), ws_.V("y")})};
+  q.free_vars = {ws_.Vid("x")};
+  auto answers = Evaluate(ws_.arena, inst, q);
+  ASSERT_EQ(answers.size(), 1u);  // projection deduplicates
+  EXPECT_EQ(answers[0][0], ws_.Cv("a"));
+}
+
+TEST_F(QueryTest, BooleanQuery) {
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("R", {"a", "b"}));
+  ConjunctiveQuery q;
+  q.atoms = {ws_.A("R", {ws_.V("x"), ws_.V("y")})};
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_TRUE(EvaluateBoolean(ws_.arena, inst, q));
+  ConjunctiveQuery q2;
+  q2.atoms = {ws_.A("R", {ws_.V("x"), ws_.V("x")})};
+  EXPECT_FALSE(EvaluateBoolean(ws_.arena, inst, q2));
+}
+
+TEST_F(QueryTest, JoinQueryAnswerOrderFollowsFreeVars) {
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("R", {"a", "b"}));
+  inst.AddFact(ws_.Fc("S", {"b", "c"}));
+  ConjunctiveQuery q;
+  q.atoms = {ws_.A("R", {ws_.V("x"), ws_.V("y")}),
+             ws_.A("S", {ws_.V("y"), ws_.V("z")})};
+  q.free_vars = {ws_.Vid("z"), ws_.Vid("x")};
+  auto answers = Evaluate(ws_.arena, inst, q);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], ws_.Cv("c"));
+  EXPECT_EQ(answers[0][1], ws_.Cv("a"));
+}
+
+TEST_F(QueryTest, CertainAnswersFilterNulls) {
+  // Emp(e, d) -> exists m . Mgr(e, m): "who has a manager" is certain for
+  // alice, but "who is a manager" has no certain (constant) answers.
+  Tgd tgd;
+  tgd.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+  tgd.head = {ws_.A("Mgr", {ws_.V("e"), ws_.V("m")})};
+  tgd.exist_vars = {ws_.Vid("m")};
+  SoTgd so = TgdToSo(&ws_.arena, &ws_.vocab, tgd);
+
+  Instance input(&ws_.vocab);
+  input.AddFact(ws_.Fc("Emp", {"alice", "cs"}));
+
+  ConjunctiveQuery who_has_mgr;
+  who_has_mgr.atoms = {ws_.A("Mgr", {ws_.V("e"), ws_.V("m")})};
+  who_has_mgr.free_vars = {ws_.Vid("e")};
+  CertainAnswers a =
+      ComputeCertainAnswers(&ws_.arena, &ws_.vocab, so, input, who_has_mgr);
+  EXPECT_TRUE(a.Complete());
+  ASSERT_EQ(a.answers.size(), 1u);
+  EXPECT_EQ(a.answers[0][0], ws_.Cv("alice"));
+
+  ConjunctiveQuery who_is_mgr;
+  who_is_mgr.atoms = {ws_.A("Mgr", {ws_.V("e"), ws_.V("m")})};
+  who_is_mgr.free_vars = {ws_.Vid("m")};
+  CertainAnswers b =
+      ComputeCertainAnswers(&ws_.arena, &ws_.vocab, so, input, who_is_mgr);
+  EXPECT_TRUE(b.answers.empty());  // the manager is a labeled null
+}
+
+TEST_F(QueryTest, CertainAnswersThroughRecursion) {
+  Tgd trans;
+  trans.body = {ws_.A("E", {ws_.V("x"), ws_.V("y")}),
+                ws_.A("E", {ws_.V("y"), ws_.V("z")})};
+  trans.head = {ws_.A("E", {ws_.V("x"), ws_.V("z")})};
+  SoTgd so = TgdToSo(&ws_.arena, &ws_.vocab, trans);
+
+  Instance input(&ws_.vocab);
+  input.AddFact(ws_.Fc("E", {"a", "b"}));
+  input.AddFact(ws_.Fc("E", {"b", "c"}));
+  input.AddFact(ws_.Fc("E", {"c", "d"}));
+
+  ConjunctiveQuery reach;
+  reach.atoms = {ws_.A("E", {ws_.C("a"), ws_.V("t")})};
+  reach.free_vars = {ws_.Vid("t")};
+  CertainAnswers a =
+      ComputeCertainAnswers(&ws_.arena, &ws_.vocab, so, input, reach);
+  EXPECT_TRUE(a.Complete());
+  EXPECT_EQ(a.answers.size(), 3u);  // b, c, d
+}
+
+TEST_F(QueryTest, CertainlyHoldsStopsEarly) {
+  // Non-terminating rules, but the goal appears in round one: the
+  // semi-decision procedure answers true without exhausting the budget.
+  FunctionId f = ws_.vocab.InternFunction("fq", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart grow;
+  grow.body = {ws_.A("P", {ws_.V("x")})};
+  grow.head = {ws_.A("P", {ws_.F("fq", {ws_.V("x")})})};
+  SoPart mark;
+  mark.body = {ws_.A("P", {ws_.V("x")})};
+  mark.head = {ws_.A("Goal", {ws_.C("yes")})};
+  so.parts = {grow, mark};
+
+  Instance input(&ws_.vocab);
+  input.AddFact(ws_.Fc("P", {"zero"}));
+
+  Fact goal = ws_.Fc("Goal", {"yes"});
+  ChaseLimits limits;
+  limits.max_term_depth = 1000000;  // would run a very long time
+  limits.max_rounds = 1000000;
+  EXPECT_TRUE(
+      CertainlyHolds(&ws_.arena, &ws_.vocab, so, input, goal, limits));
+}
+
+TEST_F(QueryTest, CertainlyHoldsFalseWithinBudget) {
+  FunctionId f = ws_.vocab.InternFunction("fq2", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart grow;
+  grow.body = {ws_.A("P", {ws_.V("x")})};
+  grow.head = {ws_.A("P", {ws_.F("fq2", {ws_.V("x")})})};
+  so.parts = {grow};
+  Instance input(&ws_.vocab);
+  input.AddFact(ws_.Fc("P", {"zero"}));
+  Fact goal = ws_.Fc("Goal2", {"yes"});
+  ws_.vocab.InternRelation("Goal2", 1);
+  ChaseLimits limits;
+  limits.max_term_depth = 20;
+  EXPECT_FALSE(
+      CertainlyHolds(&ws_.arena, &ws_.vocab, so, input, goal, limits));
+}
+
+TEST_F(QueryTest, MinimizeIsIdempotentOnRandomQueries) {
+  Rng rng(135791);
+  RelationId r = ws_.vocab.InternRelation("MR", 2);
+  RelationId s = ws_.vocab.InternRelation("MS", 2);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<VariableId> vars{ws_.Vid("m0"), ws_.Vid("m1"), ws_.Vid("m2"),
+                                 ws_.Vid("m3")};
+    ConjunctiveQuery q;
+    uint32_t atoms = 2 + static_cast<uint32_t>(rng.Below(3));
+    for (uint32_t i = 0; i < atoms; ++i) {
+      Atom atom;
+      atom.relation = rng.Chance(50) ? r : s;
+      atom.args = {ws_.arena.MakeVariable(rng.Pick(vars)),
+                   ws_.arena.MakeVariable(rng.Pick(vars))};
+      q.atoms.push_back(std::move(atom));
+    }
+    q.free_vars = {ws_.arena.symbol(q.atoms[0].args[0])};
+    ConjunctiveQuery once = MinimizeQuery(&ws_.arena, &ws_.vocab, q);
+    ConjunctiveQuery twice = MinimizeQuery(&ws_.arena, &ws_.vocab, once);
+    EXPECT_EQ(once.atoms.size(), twice.atoms.size()) << "trial " << trial;
+    EXPECT_LE(once.atoms.size(), q.atoms.size());
+    EXPECT_TRUE(QueryEquivalent(&ws_.arena, &ws_.vocab, q, once))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(QueryTest, AtomicQueryWithConstants) {
+  Instance inst(&ws_.vocab);
+  inst.AddFact(ws_.Fc("R", {"a", "b"}));
+  ConjunctiveQuery q;
+  q.atoms = {ws_.A("R", {ws_.C("a"), ws_.C("b")})};
+  EXPECT_TRUE(q.IsAtomic());
+  EXPECT_TRUE(EvaluateBoolean(ws_.arena, inst, q));
+}
+
+}  // namespace
+}  // namespace tgdkit

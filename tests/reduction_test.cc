@@ -1,0 +1,196 @@
+// End-to-end tests for the paper's reductions: each construction must
+// agree with an independent brute-force oracle on small generated inputs.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "classify/criteria.h"
+#include "dep/syntactic.h"
+#include "homo/core.h"
+#include "mc/model_check.h"
+#include "reduce/pcp.h"
+#include "reduce/qbf.h"
+#include "reduce/separation.h"
+#include "reduce/three_col.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class ReductionTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+};
+
+// --- Theorem 6.1: 3-colorability --------------------------------------------
+
+TEST_F(ReductionTest, ThreeColTriangleIsSatisfied) {
+  Graph triangle{3, {{0, 1}, {1, 2}, {2, 0}}};
+  ThreeColReduction red =
+      BuildThreeColReduction(&ws_.arena, &ws_.vocab, triangle);
+  EXPECT_TRUE(red.sigma.IsStandard());
+  ASSERT_TRUE(ValidateHenkinTgd(ws_.arena, red.sigma).ok());
+  McResult result =
+      CheckHenkin(&ws_.arena, &ws_.vocab, red.instance, red.sigma);
+  ASSERT_FALSE(result.budget_exceeded);
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_TRUE(ThreeColorable(triangle));
+}
+
+TEST_F(ReductionTest, ThreeColK4IsViolated) {
+  Graph k4{4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}};
+  ThreeColReduction red = BuildThreeColReduction(&ws_.arena, &ws_.vocab, k4);
+  McResult result =
+      CheckHenkin(&ws_.arena, &ws_.vocab, red.instance, red.sigma);
+  ASSERT_FALSE(result.budget_exceeded);
+  EXPECT_FALSE(result.satisfied);
+  EXPECT_FALSE(ThreeColorable(k4));
+}
+
+TEST_F(ReductionTest, ThreeColAgreesWithOracleOnRandomGraphs) {
+  Rng rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Fresh workspace per trial: the reduction interns fixed names.
+    TestWorkspace ws;
+    Graph g;
+    g.num_vertices = 3 + static_cast<uint32_t>(rng.Below(4));  // 3..6
+    for (uint32_t a = 0; a < g.num_vertices; ++a) {
+      for (uint32_t b = a + 1; b < g.num_vertices; ++b) {
+        if (rng.Chance(55)) g.edges.push_back({a, b});
+      }
+    }
+    ThreeColReduction red = BuildThreeColReduction(&ws.arena, &ws.vocab, g);
+    McResult result = CheckHenkin(&ws.arena, &ws.vocab, red.instance,
+                                  red.sigma);
+    ASSERT_FALSE(result.budget_exceeded) << "trial " << trial;
+    EXPECT_EQ(result.satisfied, ThreeColorable(g)) << "trial " << trial;
+  }
+}
+
+// --- Theorem 6.3: QBF --------------------------------------------------------
+
+QbfLiteral X(uint32_t i, bool neg = false) {
+  return {QbfLiteral::Kind::kUniversal, i, neg};
+}
+QbfLiteral Y(uint32_t i, bool neg = false) {
+  return {QbfLiteral::Kind::kExistential, i, neg};
+}
+
+TEST_F(ReductionTest, QbfTrueFormulaSatisfiesTau) {
+  // ∀x∃y (x ∨ y) ∧ (¬x ∨ ¬y): true (y := ¬x).
+  Qbf q{1, {{X(0), Y(0), Y(0)}, {X(0, true), Y(0, true), Y(0, true)}}};
+  QbfReduction red = BuildQbfReduction(&ws_.arena, &ws_.vocab, q);
+  ASSERT_TRUE(ValidateNestedTgd(ws_.arena, red.tau).ok());
+  EXPECT_TRUE(CheckNested(ws_.arena, red.instance, red.tau));
+  EXPECT_TRUE(EvaluateQbf(q));
+}
+
+TEST_F(ReductionTest, QbfFalseFormulaViolatesTau) {
+  // ∀x∃y (x): false at x = 0.
+  Qbf q{1, {{X(0), X(0), X(0)}}};
+  QbfReduction red = BuildQbfReduction(&ws_.arena, &ws_.vocab, q);
+  EXPECT_FALSE(CheckNested(ws_.arena, red.instance, red.tau));
+  EXPECT_FALSE(EvaluateQbf(q));
+}
+
+TEST_F(ReductionTest, QbfAgreesWithOracleOnRandomFormulas) {
+  Rng rng(63);
+  int true_count = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    TestWorkspace ws;
+    Qbf q;
+    q.num_pairs = 1 + static_cast<uint32_t>(rng.Below(3));  // 1..3
+    uint32_t num_clauses = 1 + static_cast<uint32_t>(rng.Below(4));
+    for (uint32_t c = 0; c < num_clauses; ++c) {
+      std::array<QbfLiteral, 3> clause;
+      for (int l = 0; l < 3; ++l) {
+        bool universal = rng.Chance(50);
+        uint32_t index = static_cast<uint32_t>(rng.Below(q.num_pairs));
+        bool negated = rng.Chance(50);
+        clause[l] = universal ? X(index, negated) : Y(index, negated);
+      }
+      q.clauses.push_back(clause);
+    }
+    QbfReduction red = BuildQbfReduction(&ws.arena, &ws.vocab, q);
+    bool expected = EvaluateQbf(q);
+    EXPECT_EQ(CheckNested(ws.arena, red.instance, red.tau), expected)
+        << "trial " << trial;
+    true_count += expected ? 1 : 0;
+  }
+  EXPECT_GT(true_count, 0);
+  EXPECT_LT(true_count, 40);
+}
+
+TEST_F(ReductionTest, QbfTauIsSimpleInTheLimitedSense) {
+  // τ is an s-t nested tgd whose depth equals the number of ∀∃ pairs.
+  Qbf q{3, {{X(0), Y(1), Y(2)}}};
+  QbfReduction red = BuildQbfReduction(&ws_.arena, &ws_.vocab, q);
+  EXPECT_EQ(red.tau.Depth(), 3u);
+  EXPECT_EQ(red.tau.NumParts(), 3u);
+}
+
+// --- Theorem 4.1: separation witness ----------------------------------------
+
+TEST_F(ReductionTest, Theorem41ChaseBuildsProtectedBipartiteStructure) {
+  Theorem41Witness witness = BuildTheorem41Witness(&ws_.arena, &ws_.vocab);
+  EXPECT_TRUE(witness.sigma1.IsStandard());
+  ASSERT_TRUE(ValidateSoTgd(ws_.arena, witness.rules).ok());
+
+  const uint32_t n = 4;
+  Instance input = BuildTheorem41Instance(&ws_.vocab, n);
+  ChaseResult chased = Chase(&ws_.arena, &ws_.vocab, witness.rules, input);
+  ASSERT_TRUE(chased.Terminated());
+
+  RelationId r = ws_.vocab.FindRelation("R");
+  RelationId q = ws_.vocab.FindRelation("Q");
+  RelationId s = ws_.vocab.FindRelation("S");
+  // Complete bipartite n×n structure between the u_i and v_j nulls.
+  EXPECT_EQ(chased.instance.NumTuples(r), n * n);
+  EXPECT_EQ(chased.instance.NumTuples(q), n);
+  EXPECT_EQ(chased.instance.NumTuples(s), n);
+
+  // The R structure violates both functional dependencies — the structure
+  // a single nested tgd could never directly generate (Idea 2).
+  EXPECT_FALSE(FunctionalDependencyHolds(chased.instance, r, 0, 1));
+  EXPECT_FALSE(FunctionalDependencyHolds(chased.instance, r, 1, 0));
+  // Q and S pin the nulls to constants: each satisfies its FD.
+  EXPECT_TRUE(FunctionalDependencyHolds(chased.instance, q, 0, 1));
+  EXPECT_TRUE(FunctionalDependencyHolds(chased.instance, s, 0, 1));
+
+  // Protection: the core keeps the full n² bipartite structure.
+  Instance core = ComputeCore(&ws_.arena, &ws_.vocab, chased.instance);
+  EXPECT_EQ(core.NumTuples(r), n * n);
+}
+
+TEST_F(ReductionTest, Theorem44WitnessShape) {
+  SoTgd so = BuildTheorem44Witness(&ws_.arena, &ws_.vocab);
+  ASSERT_TRUE(ValidateSoTgd(ws_.arena, so).ok());
+  EXPECT_TRUE(IsPlainSo(ws_.arena, so));
+  EXPECT_EQ(so.parts.size(), 1u);  // simple
+  // One function symbol with two different argument lists: not a
+  // Skolemized Henkin tgd (the syntactic footprint of Theorem 4.4).
+  EXPECT_FALSE(IsSkolemizedHenkin(ws_.arena, so));
+}
+
+TEST_F(ReductionTest, Theorem44SharedFunctionSemantics) {
+  SoTgd so = BuildTheorem44Witness(&ws_.arena, &ws_.vocab);
+  // Emps(a,b), Emps(b,a): f(a) and f(b) must be chosen once and reused
+  // crosswise: Mgrs must contain (f(a),f(b)) AND (f(b),f(a)).
+  Instance good(&ws_.vocab);
+  RelationId emps = ws_.vocab.FindRelation("Emps");
+  RelationId mgrs = ws_.vocab.FindRelation("Mgrs");
+  good.AddFact(emps, std::vector<Value>{ws_.Cv("a"), ws_.Cv("b")});
+  good.AddFact(emps, std::vector<Value>{ws_.Cv("b"), ws_.Cv("a")});
+  good.AddFact(mgrs, std::vector<Value>{ws_.Cv("ma"), ws_.Cv("mb")});
+  good.AddFact(mgrs, std::vector<Value>{ws_.Cv("mb"), ws_.Cv("ma")});
+  EXPECT_TRUE(CheckSo(ws_.arena, good, so).satisfied);
+
+  Instance bad(&ws_.vocab);
+  bad.AddFact(emps, std::vector<Value>{ws_.Cv("a"), ws_.Cv("b")});
+  bad.AddFact(emps, std::vector<Value>{ws_.Cv("b"), ws_.Cv("a")});
+  bad.AddFact(mgrs, std::vector<Value>{ws_.Cv("ma"), ws_.Cv("mb")});
+  bad.AddFact(mgrs, std::vector<Value>{ws_.Cv("mc"), ws_.Cv("ma")});
+  EXPECT_FALSE(CheckSo(ws_.arena, bad, so).satisfied);
+}
+
+}  // namespace
+}  // namespace tgdkit

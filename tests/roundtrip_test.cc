@@ -1,0 +1,128 @@
+// Print/parse round trips for every dependency class, including the SO
+// tgd printer (equalities, nested terms, multiple parts) and generated
+// corpora. A printed dependency must reparse to a dependency that prints
+// identically.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "dep/skolem.h"
+#include "gen/generators.h"
+#include "parse/parser.h"
+#include "tests/test_util.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+namespace {
+
+class RoundTripTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  /// Parses, prints, reparses, reprints — both printed forms must match.
+  template <typename Get, typename Print>
+  void CheckRoundTrip(const std::string& text, Get get, Print print) {
+    Parser parser(&ws_.arena, &ws_.vocab);
+    auto first = parser.ParseDependencies(text);
+    ASSERT_TRUE(first.ok()) << text << "\n" << first.status().ToString();
+    std::string printed = print(get(*first)) + " .";
+    auto second = parser.ParseDependencies(printed);
+    ASSERT_TRUE(second.ok()) << printed << "\n"
+                             << second.status().ToString();
+    EXPECT_EQ(print(get(*second)), print(get(*first))) << printed;
+  }
+};
+
+TEST_F(RoundTripTest, SoTgdWithEquality) {
+  CheckRoundTrip(
+      "so exists fmgr { Emp(e) -> Mgr(e, fmgr(e)) ;"
+      " Emp(e) & e = fmgr(e) -> SelfMgr(e) } .",
+      [](const DependencyProgram& p) { return p.Sos()[0]; },
+      [&](const SoTgd& so) { return ToString(ws_.arena, ws_.vocab, so); });
+}
+
+TEST_F(RoundTripTest, SoTgdWithNestedTerms) {
+  CheckRoundTrip(
+      "so exists f, g { P(x) -> R(x, f(g(x))) } .",
+      [](const DependencyProgram& p) { return p.Sos()[0]; },
+      [&](const SoTgd& so) { return ToString(ws_.arena, ws_.vocab, so); });
+}
+
+TEST_F(RoundTripTest, SoTgdWithConstantsAndMultipleParts) {
+  CheckRoundTrip(
+      R"(so exists f { P(x) -> R(x, f(x), "mark") ;
+         Q(y) & f(y) = "fix" -> S(y) } .)",
+      [](const DependencyProgram& p) { return p.Sos()[0]; },
+      [&](const SoTgd& so) { return ToString(ws_.arena, ws_.vocab, so); });
+}
+
+TEST_F(RoundTripTest, GeneratedSkolemizationsPrintAndReparse) {
+  Rng rng(987);
+  TestWorkspace ws;
+  auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+  Parser parser(&ws.arena, &ws.vocab);
+  for (int i = 0; i < 10; ++i) {
+    Tgd tgd = GenerateTgd(&ws.arena, &ws.vocab, &rng, relations, TgdConfig{});
+    SoTgd so = TgdToSo(&ws.arena, &ws.vocab, tgd);
+    std::string printed = ToString(ws.arena, ws.vocab, so) + " .";
+    auto reparsed = parser.ParseDependencies(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << "\n"
+                               << reparsed.status().ToString();
+    ASSERT_EQ(reparsed->Sos().size(), 1u);
+    EXPECT_EQ(ToString(ws.arena, ws.vocab, reparsed->Sos()[0]),
+              ToString(ws.arena, ws.vocab, so));
+  }
+}
+
+TEST_F(RoundTripTest, GeneratedHenkinsPrintAndReparse) {
+  Rng rng(988);
+  TestWorkspace ws;
+  auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+  Parser parser(&ws.arena, &ws.vocab);
+  int round_tripped = 0;
+  for (int i = 0; i < 10; ++i) {
+    HenkinTgd henkin =
+        GenerateHenkinTgd(&ws.arena, &ws.vocab, &rng, relations, TgdConfig{});
+    std::string printed = ToString(ws.arena, ws.vocab, henkin) + " .";
+    auto reparsed = parser.ParseDependencies(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << "\n"
+                               << reparsed.status().ToString();
+    ASSERT_EQ(reparsed->Henkins().size(), 1u);
+    EXPECT_EQ(ToString(ws.arena, ws.vocab, reparsed->Henkins()[0]), printed.substr(0, printed.size() - 2))
+        << printed;
+    ++round_tripped;
+  }
+  EXPECT_EQ(round_tripped, 10);
+}
+
+TEST_F(RoundTripTest, NormalizedNestedPrintsAsValidSo) {
+  Rng rng(989);
+  TestWorkspace ws;
+  auto relations = GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+  Parser parser(&ws.arena, &ws.vocab);
+  for (int i = 0; i < 6; ++i) {
+    NestedConfig config;
+    config.depth = 1 + static_cast<uint32_t>(rng.Below(3));
+    NestedTgd nested =
+        GenerateNestedTgd(&ws.arena, &ws.vocab, &rng, relations, config);
+    SoTgd so = NestedToSo(&ws.arena, &ws.vocab, nested);
+    std::string printed = ToString(ws.arena, ws.vocab, so) + " .";
+    auto reparsed = parser.ParseDependencies(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << "\n"
+                               << reparsed.status().ToString();
+    EXPECT_EQ(ToString(ws.arena, ws.vocab, reparsed->Sos()[0]),
+              ToString(ws.arena, ws.vocab, so));
+  }
+}
+
+TEST_F(RoundTripTest, LabelsSurviveReparse) {
+  Parser parser(&ws_.arena, &ws_.vocab);
+  auto program = parser.ParseDependencies(
+      "my_rule: P(x) -> Q(x) .\n"
+      "other: Q(x) -> R(x) .");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->dependencies[0].label, "my_rule");
+  EXPECT_EQ(program->dependencies[1].label, "other");
+}
+
+}  // namespace
+}  // namespace tgdkit

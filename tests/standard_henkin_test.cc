@@ -1,0 +1,169 @@
+// Tests for the Section 3.1 / Theorem 6.2 standardization: every Henkin
+// tgd becomes an equivalent STANDARD Henkin tgd over a schema extended
+// with an identity relation.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "gen/generators.h"
+#include "mc/model_check.h"
+#include "parse/parser.h"
+#include "tests/test_util.h"
+#include "transform/standard_henkin.h"
+
+namespace tgdkit {
+namespace {
+
+class StandardHenkinTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  HenkinTgd ParseHenkin(const std::string& text) {
+    Parser p(&ws_.arena, &ws_.vocab);
+    auto program = p.ParseDependencies(text);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return program->dependencies[0].henkin;
+  }
+};
+
+TEST_F(StandardHenkinTest, OverlappingChainsBecomeStandard) {
+  // The paper's non-standard example: chains {x1,x2}, {x2,x3}, {x3,x1}.
+  HenkinTgd h = ParseHenkin(
+      "henkin { forall x1, x2, x3 ; exists y1(x1, x2) ; exists y2(x2, x3) ;"
+      " exists y3(x3, x1) } P(x1, x2, x3) -> R(y1, y2, y3) .");
+  EXPECT_FALSE(h.IsStandard());
+  StandardizedHenkin std_form = StandardizeHenkin(&ws_.arena, &ws_.vocab, h);
+  EXPECT_TRUE(std_form.standard.IsStandard())
+      << ToString(ws_.arena, ws_.vocab, std_form.standard);
+  EXPECT_TRUE(std_form.standard.IsTree());
+  EXPECT_TRUE(ValidateHenkinTgd(ws_.arena, std_form.standard).ok())
+      << ToString(ws_.arena, ws_.vocab, std_form.standard);
+  // Six copy variables (two per existential), six EqDom body atoms.
+  EXPECT_EQ(std_form.standard.body.size(), h.body.size() + 6);
+}
+
+TEST_F(StandardHenkinTest, PreservesModelCheckingOutcome) {
+  HenkinTgd h = ParseHenkin(
+      "henkin { forall x1, x2, x3 ; exists y1(x1, x2) ; exists y2(x2, x3) }"
+      " P(x1, x2, x3) -> R(x1, y1, y2) .");
+  StandardizedHenkin std_form = StandardizeHenkin(&ws_.arena, &ws_.vocab, h);
+  ASSERT_TRUE(std_form.standard.IsStandard());
+
+  Rng rng(8899);
+  int checked = 0, satisfied = 0;
+  RelationId p = ws_.vocab.FindRelation("P");
+  RelationId r = ws_.vocab.FindRelation("R");
+  for (int trial = 0; trial < 25; ++trial) {
+    Instance inst(&ws_.vocab);
+    std::vector<Value> dom;
+    for (int i = 0; i < 3; ++i) {
+      dom.push_back(ws_.Cv("c" + std::to_string(i)));
+    }
+    for (Value a : dom) {
+      for (Value b : dom) {
+        for (Value c : dom) {
+          if (rng.Chance(12)) inst.AddFact(p, std::vector<Value>{a, b, c});
+          if (rng.Chance(25)) inst.AddFact(r, std::vector<Value>{a, b, c});
+        }
+      }
+    }
+    McResult original = CheckHenkin(&ws_.arena, &ws_.vocab, inst, h);
+    Instance extended(&ws_.vocab);
+    CopyFacts(inst, &extended);
+    AddIdentityFacts(std_form.eq_relation, &extended);
+    McResult standard =
+        CheckHenkin(&ws_.arena, &ws_.vocab, extended, std_form.standard);
+    if (original.budget_exceeded || standard.budget_exceeded) continue;
+    EXPECT_EQ(original.satisfied, standard.satisfied) << "trial " << trial;
+    ++checked;
+    satisfied += original.satisfied;
+  }
+  EXPECT_GT(checked, 15);
+  EXPECT_GT(satisfied, 0);
+  EXPECT_LT(satisfied, checked);
+}
+
+TEST_F(StandardHenkinTest, RandomHenkinsPreserved) {
+  Rng rng(9911);
+  for (int trial = 0; trial < 12; ++trial) {
+    TestWorkspace ws;
+    SchemaConfig schema_config;
+    schema_config.num_relations = 3;
+    schema_config.max_arity = 2;
+    auto relations = GenerateSchema(&ws.vocab, &rng, schema_config);
+    HenkinTgd h = GenerateHenkinTgd(&ws.arena, &ws.vocab, &rng, relations,
+                                    TgdConfig{});
+    StandardizedHenkin std_form = StandardizeHenkin(&ws.arena, &ws.vocab, h);
+    ASSERT_TRUE(std_form.standard.IsStandard())
+        << ToString(ws.arena, ws.vocab, std_form.standard);
+    ASSERT_TRUE(ValidateHenkinTgd(ws.arena, std_form.standard).ok());
+    for (int inner = 0; inner < 4; ++inner) {
+      Instance inst(&ws.vocab);
+      GenerateInstance(&ws.vocab, &rng, relations, 8, 3, 0, &inst);
+      McResult original = CheckHenkin(&ws.arena, &ws.vocab, inst, h);
+      Instance extended(&ws.vocab);
+      CopyFacts(inst, &extended);
+      AddIdentityFacts(std_form.eq_relation, &extended);
+      McResult standard =
+          CheckHenkin(&ws.arena, &ws.vocab, extended, std_form.standard);
+      if (original.budget_exceeded || standard.budget_exceeded) continue;
+      EXPECT_EQ(original.satisfied, standard.satisfied)
+          << "trial " << trial << "." << inner;
+    }
+  }
+}
+
+TEST_F(StandardHenkinTest, AlreadyStandardStaysEquivalent) {
+  HenkinTgd h = ParseHenkin(
+      "henkin { forall e, d ; exists eid(e) ; exists dm(d) }"
+      " Emp(e, d) -> Pair(e, d, eid, dm) .");
+  ASSERT_TRUE(h.IsStandard());
+  StandardizedHenkin std_form = StandardizeHenkin(&ws_.arena, &ws_.vocab, h);
+  EXPECT_TRUE(std_form.standard.IsStandard());
+  // Copies are still introduced (the transformation is uniform), but the
+  // semantics are preserved.
+  Parser p(&ws_.arena, &ws_.vocab);
+  Instance inst(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto(
+                   "Emp(alice, cs). Pair(alice, cs, i1, m1).", &inst)
+                  .ok());
+  McResult original = CheckHenkin(&ws_.arena, &ws_.vocab, inst, h);
+  Instance extended(&ws_.vocab);
+  CopyFacts(inst, &extended);
+  AddIdentityFacts(std_form.eq_relation, &extended);
+  McResult standard =
+      CheckHenkin(&ws_.arena, &ws_.vocab, extended, std_form.standard);
+  EXPECT_EQ(original.satisfied, standard.satisfied);
+  EXPECT_TRUE(original.satisfied);
+}
+
+TEST_F(StandardHenkinTest, StandardizedSkolemizationPassesRecognizer) {
+  // Cross-check with the Figure 1 recognizers: the Skolemization of the
+  // standardized form must be accepted by IsSkolemizedStandardHenkin.
+  Rng rng(31337);
+  for (int trial = 0; trial < 10; ++trial) {
+    TestWorkspace ws;
+    SchemaConfig schema_config;
+    schema_config.num_relations = 3;
+    auto relations = GenerateSchema(&ws.vocab, &rng, schema_config);
+    HenkinTgd h = GenerateHenkinTgd(&ws.arena, &ws.vocab, &rng, relations,
+                                    TgdConfig{});
+    StandardizedHenkin std_form = StandardizeHenkin(&ws.arena, &ws.vocab, h);
+    SoTgd so = HenkinToSo(&ws.arena, &ws.vocab, std_form.standard);
+    EXPECT_TRUE(IsSkolemizedStandardHenkin(ws.arena, so))
+        << ToString(ws.arena, ws.vocab, std_form.standard);
+  }
+}
+
+TEST_F(StandardHenkinTest, EmptyDependencySetHandled) {
+  HenkinTgd h = ParseHenkin(
+      "henkin { forall x ; exists y() } P(x) -> R(x, y) .");
+  StandardizedHenkin std_form = StandardizeHenkin(&ws_.arena, &ws_.vocab, h);
+  EXPECT_TRUE(std_form.standard.IsStandard());
+  EXPECT_TRUE(ValidateHenkinTgd(ws_.arena, std_form.standard).ok());
+  EXPECT_EQ(std_form.standard.body.size(), 1u);  // no copies needed
+}
+
+}  // namespace
+}  // namespace tgdkit

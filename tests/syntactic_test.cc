@@ -1,0 +1,257 @@
+// Tests for the Figure 1 syntactic recognizers: each dependency class's
+// Skolemized form must be accepted by its own recognizer and by every
+// recognizer above it in the Hasse diagram, and the example dependencies
+// from the paper must land exactly where the paper places them.
+#include <gtest/gtest.h>
+
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+class SyntacticTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  SoTgd EmpTgdSkolemized() {
+    Tgd tgd;
+    tgd.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+    tgd.head = {ws_.A("Mgr", {ws_.V("e"), ws_.V("dm")})};
+    tgd.exist_vars = {ws_.Vid("dm")};
+    return TgdToSo(&ws_.arena, &ws_.vocab, tgd);
+  }
+
+  /// The paper's "department manager depends only on the department":
+  ///   Emp(e, d) -> Mgr(e, f_dm(d)).
+  SoTgd DeptManagerSo() {
+    FunctionId fdm = ws_.vocab.InternFunction("fdm", 1);
+    SoTgd so;
+    so.functions = {fdm};
+    SoPart p;
+    p.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+    p.head = {ws_.A("Mgr", {ws_.V("e"), ws_.F("fdm", {ws_.V("d")})})};
+    so.parts = {p};
+    return so;
+  }
+
+  /// The paper's employee-ID dependency:
+  ///   Emp(e, d) -> Mgr(f_eid(e), f_dm(d)).
+  SoTgd EmployeeIdSo() {
+    FunctionId feid = ws_.vocab.InternFunction("feid", 1);
+    FunctionId fdm2 = ws_.vocab.InternFunction("fdm2", 1);
+    SoTgd so;
+    so.functions = {feid, fdm2};
+    SoPart p;
+    p.body = {ws_.A("Emp", {ws_.V("e"), ws_.V("d")})};
+    p.head = {ws_.A("Mgr", {ws_.F("feid", {ws_.V("e")}),
+                            ws_.F("fdm2", {ws_.V("d")})})};
+    so.parts = {p};
+    return so;
+  }
+
+  /// Skolemized normalized nested tgd (the Dep/Grp/Emp example):
+  ///   Dep(d) -> Dep2(fd(d));
+  ///   Dep(d) & Grp(d,g) -> Grp2(fd(d), fg(d,g));
+  ///   Dep(d) & Grp(d,g) & Emp(d,g,e) -> Emp2(fd(d), fg(d,g), e).
+  SoTgd NestedNormalizedSo() {
+    FunctionId fd = ws_.vocab.InternFunction("fd", 1);
+    FunctionId fg = ws_.vocab.InternFunction("fg", 2);
+    (void)fd;
+    (void)fg;
+    TermId d = ws_.V("d"), g = ws_.V("g"), e = ws_.V("e");
+    TermId fdd = ws_.F("fd", {d});
+    TermId fgdg = ws_.F("fg", {d, g});
+    SoTgd so;
+    so.functions = {ws_.vocab.FindFunction("fd"),
+                    ws_.vocab.FindFunction("fg")};
+    SoPart p1;
+    p1.body = {ws_.A("Dep", {d})};
+    p1.head = {ws_.A("Dep2", {fdd})};
+    SoPart p2;
+    p2.body = {ws_.A("Dep", {d}), ws_.A("Grp", {d, g})};
+    p2.head = {ws_.A("Grp2", {fdd, fgdg})};
+    SoPart p3;
+    p3.body = {ws_.A("Dep", {d}), ws_.A("Grp", {d, g}),
+               ws_.A("Emp", {d, g, e})};
+    p3.head = {ws_.A("Emp2", {fdd, fgdg, e})};
+    so.parts = {p1, p2, p3};
+    return so;
+  }
+};
+
+TEST_F(SyntacticTest, TgdSkolemizationIsInEveryClass) {
+  SoTgd so = EmpTgdSkolemized();
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_TRUE(m.tgd);
+  EXPECT_TRUE(m.standard_henkin);
+  EXPECT_TRUE(m.henkin);
+  EXPECT_TRUE(m.normalized_nested_shape);
+  EXPECT_TRUE(m.plain_so);
+  EXPECT_TRUE(m.so_tgd);
+}
+
+TEST_F(SyntacticTest, DeptManagerIsHenkinNotTgd) {
+  SoTgd so = DeptManagerSo();
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_FALSE(m.tgd);  // f_dm(d) misses universal e
+  EXPECT_TRUE(m.standard_henkin);
+  EXPECT_TRUE(m.henkin);
+  EXPECT_TRUE(m.plain_so);
+}
+
+TEST_F(SyntacticTest, EmployeeIdIsStandardHenkinNotNestedShape) {
+  SoTgd so = EmployeeIdSo();
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_FALSE(m.tgd);
+  EXPECT_TRUE(m.standard_henkin);  // chains {e}, {d} are disjoint
+  EXPECT_TRUE(m.henkin);
+  // Within one part, nested-tgd Skolem terms lie on one ancestor path, so
+  // the disjoint sets {e} and {d} violate the nested shape — matching the
+  // paper: "Nested tgds are not able to express this dependency."
+  EXPECT_FALSE(m.normalized_nested_shape);
+}
+
+TEST_F(SyntacticTest, OverlappingArgListsAreHenkinOnly) {
+  // R(x,y,z) -> S(f(x,y), g(y,z)): {x,y} and {y,z} overlap but are not
+  // nested — a (non-standard) Henkin tgd outside the nested shape.
+  FunctionId f = ws_.vocab.InternFunction("f", 2);
+  FunctionId g = ws_.vocab.InternFunction("g", 2);
+  SoTgd so;
+  so.functions = {f, g};
+  SoPart p;
+  TermId x = ws_.V("x"), y = ws_.V("y"), z = ws_.V("z");
+  p.body = {ws_.A("R", {x, y, z})};
+  p.head = {ws_.A("S", {ws_.F("f", {x, y}), ws_.F("g", {y, z})})};
+  so.parts = {p};
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_TRUE(m.henkin);
+  EXPECT_FALSE(m.standard_henkin);
+  EXPECT_FALSE(m.normalized_nested_shape);
+  EXPECT_FALSE(m.tgd);
+}
+
+TEST_F(SyntacticTest, NestedArgListsAreNestedShapeNotStandardHenkin) {
+  // R(d,g) -> S(f(d), g2(d,g)): {d} ⊆ {d,g} — hierarchical, not disjoint.
+  FunctionId f = ws_.vocab.InternFunction("f1", 1);
+  FunctionId g2 = ws_.vocab.InternFunction("g2", 2);
+  SoTgd so;
+  so.functions = {f, g2};
+  SoPart p;
+  TermId d = ws_.V("d"), g = ws_.V("g");
+  p.body = {ws_.A("R", {d, g})};
+  p.head = {ws_.A("S", {ws_.F("f1", {d}), ws_.F("g2", {d, g})})};
+  so.parts = {p};
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_TRUE(m.henkin);
+  EXPECT_FALSE(m.standard_henkin);
+  EXPECT_TRUE(m.normalized_nested_shape);
+}
+
+TEST_F(SyntacticTest, NormalizedNestedExampleClassifies) {
+  SoTgd so = NestedNormalizedSo();
+  ASSERT_TRUE(ValidateSoTgd(ws_.arena, so).ok());
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_TRUE(m.normalized_nested_shape);
+  EXPECT_TRUE(m.plain_so);
+  // fd and fg span several parts: outside (standard) Henkin tgds, whose
+  // functions are quantified per-dependency.
+  EXPECT_FALSE(m.henkin);
+  EXPECT_FALSE(m.tgd);
+}
+
+TEST_F(SyntacticTest, InconsistentArgumentListsLeaveAllSubclasses) {
+  // f used as f(x) in one part and f(y) in another: plain SO tgd only.
+  FunctionId f = ws_.vocab.InternFunction("fI", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart p1;
+  p1.body = {ws_.A("P", {ws_.V("x")})};
+  p1.head = {ws_.A("R", {ws_.F("fI", {ws_.V("x")})})};
+  SoPart p2;
+  p2.body = {ws_.A("Q", {ws_.V("y")})};
+  p2.head = {ws_.A("R", {ws_.F("fI", {ws_.V("y")})})};
+  so.parts = {p1, p2};
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_TRUE(m.plain_so);
+  EXPECT_FALSE(m.henkin);
+  EXPECT_FALSE(m.normalized_nested_shape);
+}
+
+TEST_F(SyntacticTest, RepeatedVariableInSkolemArgsRejected) {
+  FunctionId f = ws_.vocab.InternFunction("fR", 2);
+  SoTgd so;
+  so.functions = {f};
+  SoPart p;
+  TermId x = ws_.V("x");
+  p.body = {ws_.A("P", {x})};
+  p.head = {ws_.A("R", {ws_.F("fR", {x, x})})};
+  so.parts = {p};
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_TRUE(m.plain_so);
+  EXPECT_FALSE(m.henkin);
+  EXPECT_FALSE(m.tgd);
+}
+
+TEST_F(SyntacticTest, ConstantInSkolemArgsRejected) {
+  FunctionId f = ws_.vocab.InternFunction("fC", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart p;
+  p.body = {ws_.A("P", {ws_.V("x")})};
+  p.head = {ws_.A("R", {ws_.V("x"), ws_.F("fC", {ws_.C("k")})})};
+  so.parts = {p};
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_FALSE(m.henkin);
+}
+
+TEST_F(SyntacticTest, EqualitiesExcludePlain) {
+  FunctionId f = ws_.vocab.InternFunction("fE", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart p;
+  p.body = {ws_.A("P", {ws_.V("x")})};
+  p.equalities = {{ws_.V("x"), ws_.F("fE", {ws_.V("x")})}};
+  p.head = {ws_.A("R", {ws_.V("x")})};
+  so.parts = {p};
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_FALSE(m.plain_so);
+  EXPECT_FALSE(m.henkin);
+  EXPECT_TRUE(m.so_tgd);
+}
+
+TEST_F(SyntacticTest, FullTgdWithoutFunctionsIsEverything) {
+  Tgd full;
+  full.body = {ws_.A("Q0", {ws_.V("x1"), ws_.V("x2")})};
+  full.head = {ws_.A("Q", {ws_.V("x1"), ws_.V("x2")})};
+  SoTgd so = TgdToSo(&ws_.arena, &ws_.vocab, full);
+  Figure1Membership m = ClassifyFigure1(ws_.arena, so);
+  EXPECT_TRUE(m.tgd);
+  EXPECT_TRUE(m.standard_henkin);
+  EXPECT_TRUE(m.henkin);
+  EXPECT_TRUE(m.normalized_nested_shape);
+}
+
+TEST_F(SyntacticTest, MembershipToString) {
+  SoTgd so = EmpTgdSkolemized();
+  EXPECT_EQ(ToString(ClassifyFigure1(ws_.arena, so)),
+            "tgd,std-henkin,henkin,nested,plain-so,so");
+}
+
+TEST_F(SyntacticTest, CollectFunctionOccurrencesFindsNestedOnes) {
+  FunctionId f = ws_.vocab.InternFunction("fN", 1);
+  FunctionId g = ws_.vocab.InternFunction("gN", 1);
+  SoTgd so;
+  so.functions = {f, g};
+  SoPart p;
+  p.body = {ws_.A("P", {ws_.V("x")})};
+  p.head = {ws_.A("R", {ws_.F("fN", {ws_.F("gN", {ws_.V("x")})})})};
+  so.parts = {p};
+  auto occs = CollectFunctionOccurrences(ws_.arena, so);
+  EXPECT_EQ(occs.at(f).size(), 1u);
+  EXPECT_EQ(occs.at(g).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tgdkit

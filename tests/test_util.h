@@ -1,0 +1,62 @@
+// Shared helpers for concise construction of terms, atoms, facts and
+// instances in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/instance.h"
+#include "dep/dependency.h"
+#include "term/term.h"
+
+namespace tgdkit {
+
+/// One vocabulary + arena + convenience builders, shared by a test fixture.
+class TestWorkspace {
+ public:
+  Vocabulary vocab;
+  TermArena arena;
+
+  /// Variable term.
+  TermId V(const std::string& name) {
+    return arena.MakeVariable(vocab.InternVariable(name));
+  }
+  /// Constant term.
+  TermId C(const std::string& name) {
+    return arena.MakeConstant(vocab.InternConstant(name));
+  }
+  /// Function term (arity = args.size()).
+  TermId F(const std::string& name, std::vector<TermId> args) {
+    return arena.MakeFunction(
+        vocab.InternFunction(name, static_cast<uint32_t>(args.size())), args);
+  }
+  /// Variable id (not a term).
+  VariableId Vid(const std::string& name) {
+    return vocab.InternVariable(name);
+  }
+
+  /// Atom over a relation whose arity is args.size().
+  Atom A(const std::string& relation, std::vector<TermId> args) {
+    Atom atom;
+    atom.relation = vocab.InternRelation(
+        relation, static_cast<uint32_t>(args.size()));
+    atom.args = std::move(args);
+    return atom;
+  }
+
+  /// Constant value for instances.
+  Value Cv(const std::string& name) {
+    return Value::Constant(vocab.InternConstant(name));
+  }
+
+  /// Ground fact over constants.
+  Fact Fc(const std::string& relation, std::vector<std::string> constants) {
+    Fact fact;
+    fact.relation = vocab.InternRelation(
+        relation, static_cast<uint32_t>(constants.size()));
+    for (const std::string& c : constants) fact.args.push_back(Cv(c));
+    return fact;
+  }
+};
+
+}  // namespace tgdkit

@@ -1,0 +1,240 @@
+// Tests for Algorithm 1 (nested-to-so) and Algorithm 2 (nested-to-henkin),
+// including the paper's Section 4 discrimination argument: the largest
+// Henkin tgd produced by Algorithm 2 (σ123) is genuinely needed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "dep/skolem.h"
+#include "dep/syntactic.h"
+#include "mc/model_check.h"
+#include "parse/parser.h"
+#include "tests/test_util.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+namespace {
+
+class TransformTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+
+  /// The paper's three-level Dep/Grp/Emp nested tgd τ, with the group
+  /// identity recorded in Grp2 (so that groups are distinguishable).
+  NestedTgd PaperTau() {
+    Parser p(&ws_.arena, &ws_.vocab);
+    auto program = p.ParseDependencies(
+        "nested Dep(d) -> exists u . Dep2(u) &"
+        " [ Grp(d, g) -> exists w . Grp2(u, g, w) &"
+        "   [ Emp(d, g, e) -> Emp2(u, w, e) ] ] .");
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return program->dependencies[0].nested;
+  }
+
+  /// A chain-shaped nested tgd of the given depth:
+  ///   R1(x1) -> exists y1 . S1(x1, y1) & [ R2(x2) -> exists y2 ... ]
+  NestedTgd ChainNested(size_t depth) {
+    NestedNode* cursor = nullptr;
+    NestedTgd nested;
+    for (size_t level = 1; level <= depth; ++level) {
+      NestedNode node;
+      std::string i = std::to_string(level);
+      node.univ_vars = {ws_.Vid("x" + i)};
+      node.body = {ws_.A("R" + i, {ws_.V("x" + i)})};
+      node.exist_vars = {ws_.Vid("y" + i)};
+      node.head_atoms = {ws_.A("S" + i, {ws_.V("x" + i), ws_.V("y" + i)})};
+      if (cursor == nullptr) {
+        nested.root = std::move(node);
+        cursor = &nested.root;
+      } else {
+        cursor->children.push_back(std::move(node));
+        cursor = &cursor->children[0];
+      }
+    }
+    return nested;
+  }
+};
+
+TEST_F(TransformTest, NestedToSoHasOnePartPerNestedPart) {
+  NestedTgd tau = PaperTau();
+  SoTgd so = NestedToSo(&ws_.arena, &ws_.vocab, tau);
+  EXPECT_EQ(so.parts.size(), tau.NumParts());
+  EXPECT_EQ(so.functions.size(), 2u);  // one per existential: u and w
+  EXPECT_TRUE(ValidateSoTgd(ws_.arena, so).ok());
+  EXPECT_TRUE(so.IsPlain(ws_.arena));
+  EXPECT_TRUE(IsHierarchicalSo(ws_.arena, so));
+}
+
+TEST_F(TransformTest, NestedToSoAccumulatesBodies) {
+  NestedTgd tau = PaperTau();
+  SoTgd so = NestedToSo(&ws_.arena, &ws_.vocab, tau);
+  ASSERT_EQ(so.parts.size(), 3u);
+  EXPECT_EQ(so.parts[0].body.size(), 1u);  // Dep
+  EXPECT_EQ(so.parts[1].body.size(), 2u);  // Dep & Grp
+  EXPECT_EQ(so.parts[2].body.size(), 3u);  // Dep & Grp & Emp
+}
+
+TEST_F(TransformTest, NestedToHenkinProducesFourRulesForThreeLevels) {
+  NestedTgd tau = PaperTau();
+  std::vector<HenkinTgd> henkins =
+      NestedToHenkin(&ws_.arena, &ws_.vocab, tau);
+  // σ1, σ12, σ13, σ123 — exactly as in the paper's worked example.
+  ASSERT_EQ(henkins.size(), 4u);
+  EXPECT_EQ(NestedToHenkinRuleCount(tau), 4u);
+  for (const HenkinTgd& h : henkins) {
+    EXPECT_TRUE(ValidateHenkinTgd(ws_.arena, h).ok())
+        << ToString(ws_.arena, ws_.vocab, h);
+    EXPECT_TRUE(h.IsTree()) << ToString(ws_.arena, ws_.vocab, h);
+  }
+}
+
+TEST_F(TransformTest, LargestHenkinRuleHasTheStarGroup) {
+  NestedTgd tau = PaperTau();
+  std::vector<HenkinTgd> henkins =
+      NestedToHenkin(&ws_.arena, &ws_.vocab, tau);
+  ASSERT_EQ(henkins.size(), 4u);
+  auto largest = std::max_element(
+      henkins.begin(), henkins.end(),
+      [](const HenkinTgd& a, const HenkinTgd& b) {
+        return a.body.size() < b.body.size();
+      });
+  // σ123: Dep(d) & Grp(d,g) & Emp(d,g,e) & Grp(d,g*) — four body atoms.
+  EXPECT_EQ(largest->body.size(), 4u);
+  // Two independent w-existentials (one per Grp occurrence).
+  EXPECT_EQ(largest->quantifier.existentials().size(), 3u);
+}
+
+TEST_F(TransformTest, HenkinRuleCountGrowsNonElementarily) {
+  // Chain depths 1..5: 1, 2, 4, 16, 65536 rules — the tower the paper
+  // describes ("may produce non-elementary many Henkin tgds").
+  EXPECT_EQ(NestedToHenkinRuleCount(ChainNested(1)), 1u);
+  EXPECT_EQ(NestedToHenkinRuleCount(ChainNested(2)), 2u);
+  EXPECT_EQ(NestedToHenkinRuleCount(ChainNested(3)), 4u);
+  EXPECT_EQ(NestedToHenkinRuleCount(ChainNested(4)), 16u);
+  EXPECT_EQ(NestedToHenkinRuleCount(ChainNested(5)), 65536u);
+}
+
+TEST_F(TransformTest, NestedToSoIsLinearInDepth) {
+  for (size_t depth = 1; depth <= 6; ++depth) {
+    SoTgd so = NestedToSo(&ws_.arena, &ws_.vocab, ChainNested(depth));
+    EXPECT_EQ(so.parts.size(), depth);
+  }
+}
+
+TEST_F(TransformTest, OverflowGuardTriggers) {
+  bool overflow = false;
+  std::vector<HenkinTgd> henkins = NestedToHenkin(
+      &ws_.arena, &ws_.vocab, ChainNested(5), /*max_rules=*/1000, &overflow);
+  EXPECT_TRUE(overflow);
+  EXPECT_TRUE(henkins.empty());
+}
+
+TEST_F(TransformTest, Sigma123IsNeeded) {
+  // The paper's Section 4 instance argument, made executable: an instance
+  // satisfying σ1, σ12, σ13 but neither σ123 nor τ itself.
+  NestedTgd tau = PaperTau();
+  std::vector<HenkinTgd> henkins =
+      NestedToHenkin(&ws_.arena, &ws_.vocab, tau);
+  ASSERT_EQ(henkins.size(), 4u);
+  std::sort(henkins.begin(), henkins.end(),
+            [](const HenkinTgd& a, const HenkinTgd& b) {
+              return a.body.size() < b.body.size();
+            });
+
+  Parser p(&ws_.arena, &ws_.vocab);
+  Instance inst(&ws_.vocab);
+  Status s = p.ParseInstanceInto(
+      "Dep(cs). Grp(cs, a). Grp(cs, b). Emp(cs, a, e1).\n"
+      "Dep2(_n1). Grp2(_n1, a, _m1). Emp2(_n1, _m1, e1).\n"
+      "Dep2(_n2). Grp2(_n2, a, _m2a). Grp2(_n2, b, _m2b).",
+      &inst);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  // τ is violated: no department identifier covers both groups of cs.
+  EXPECT_FALSE(CheckNested(ws_.arena, inst, tau));
+  // The normalized SO tgd agrees (it shares one quantifier over all parts).
+  SoTgd so = NestedToSo(&ws_.arena, &ws_.vocab, tau);
+  EXPECT_FALSE(CheckSo(ws_.arena, inst, so).satisfied);
+
+  // Without the largest rule, the Henkin set is fooled...
+  std::vector<HenkinTgd> without(henkins.begin(), henkins.end() - 1);
+  McResult partial = CheckHenkins(&ws_.arena, &ws_.vocab, inst, without);
+  EXPECT_TRUE(partial.satisfied);
+  // ...but the full Algorithm 2 output is not.
+  McResult full = CheckHenkins(&ws_.arena, &ws_.vocab, inst, henkins);
+  EXPECT_FALSE(full.satisfied);
+}
+
+TEST_F(TransformTest, AlgorithmsAgreeOnChaseModels) {
+  // A model produced by chasing the normalized form satisfies the nested
+  // tgd, its SO normalization, and the Henkin set alike.
+  NestedTgd tau = PaperTau();
+  SoTgd so = NestedToSo(&ws_.arena, &ws_.vocab, tau);
+  std::vector<HenkinTgd> henkins =
+      NestedToHenkin(&ws_.arena, &ws_.vocab, tau);
+
+  Parser p(&ws_.arena, &ws_.vocab);
+  Instance input(&ws_.vocab);
+  Status s = p.ParseInstanceInto(
+      "Dep(cs). Dep(math). Grp(cs, a). Grp(cs, b). Grp(math, c)."
+      " Emp(cs, a, e1). Emp(math, c, e2).",
+      &input);
+  ASSERT_TRUE(s.ok());
+
+  ChaseResult chased = Chase(&ws_.arena, &ws_.vocab, so, input);
+  ASSERT_TRUE(chased.Terminated());
+  EXPECT_TRUE(CheckNested(ws_.arena, chased.instance, tau));
+  EXPECT_TRUE(CheckSo(ws_.arena, chased.instance, so).satisfied);
+  EXPECT_TRUE(CheckHenkins(&ws_.arena, &ws_.vocab, chased.instance, henkins)
+                  .satisfied);
+}
+
+TEST_F(TransformTest, EquivalenceOnRandomSmallInstances) {
+  // Sampled logical-equivalence check for Theorem 4.3 and Algorithm 1:
+  // on random instances over the schema, τ, nested-to-so(τ), and
+  // nested-to-henkin(τ) agree.
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "nested Dep(d) -> exists u . Dep2(u, d) &"
+      " [ Grp(d, g) -> Grp2(u, g) ] .");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  NestedTgd tau = program->dependencies[0].nested;
+  SoTgd so = NestedToSo(&ws_.arena, &ws_.vocab, tau);
+  std::vector<HenkinTgd> henkins =
+      NestedToHenkin(&ws_.arena, &ws_.vocab, tau);
+
+  Rng rng(20150531);
+  int satisfied_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Instance inst(&ws_.vocab);
+    std::vector<Value> dom{ws_.Cv("c0"), ws_.Cv("c1"), inst.FreshNull(),
+                           inst.FreshNull()};
+    RelationId dep = ws_.vocab.InternRelation("Dep", 1);
+    RelationId grp = ws_.vocab.InternRelation("Grp", 2);
+    RelationId dep2 = ws_.vocab.InternRelation("Dep2", 2);
+    RelationId grp2 = ws_.vocab.InternRelation("Grp2", 2);
+    for (Value v : dom) {
+      if (rng.Chance(40)) inst.AddFact(dep, std::vector<Value>{v});
+      for (Value w : dom) {
+        if (rng.Chance(25)) inst.AddFact(grp, std::vector<Value>{v, w});
+        if (rng.Chance(35)) inst.AddFact(dep2, std::vector<Value>{v, w});
+        if (rng.Chance(35)) inst.AddFact(grp2, std::vector<Value>{v, w});
+      }
+    }
+    bool nested_holds = CheckNested(ws_.arena, inst, tau);
+    bool so_holds = CheckSo(ws_.arena, inst, so).satisfied;
+    bool henkin_holds =
+        CheckHenkins(&ws_.arena, &ws_.vocab, inst, henkins).satisfied;
+    EXPECT_EQ(nested_holds, so_holds) << "trial " << trial;
+    EXPECT_EQ(nested_holds, henkin_holds) << "trial " << trial;
+    satisfied_count += nested_holds ? 1 : 0;
+  }
+  // The sample must exercise both outcomes to be meaningful.
+  EXPECT_GT(satisfied_count, 0);
+  EXPECT_LT(satisfied_count, 60);
+}
+
+}  // namespace
+}  // namespace tgdkit

@@ -1,0 +1,12 @@
+// The tgdkit command-line tool. All logic lives in src/cli (testable);
+// this file only adapts argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tgdkit::RunCli(args, std::cout, std::cerr);
+}
