@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_syntactic.dir/bench_fig1_syntactic.cc.o"
+  "CMakeFiles/bench_fig1_syntactic.dir/bench_fig1_syntactic.cc.o.d"
+  "bench_fig1_syntactic"
+  "bench_fig1_syntactic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_syntactic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

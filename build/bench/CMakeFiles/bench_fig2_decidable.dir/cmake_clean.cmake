@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_decidable.dir/bench_fig2_decidable.cc.o"
+  "CMakeFiles/bench_fig2_decidable.dir/bench_fig2_decidable.cc.o.d"
+  "bench_fig2_decidable"
+  "bench_fig2_decidable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_decidable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

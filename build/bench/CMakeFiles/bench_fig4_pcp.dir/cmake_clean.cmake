@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pcp.dir/bench_fig4_pcp.cc.o"
+  "CMakeFiles/bench_fig4_pcp.dir/bench_fig4_pcp.cc.o.d"
+  "bench_fig4_pcp"
+  "bench_fig4_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mc_3col.dir/bench_mc_3col.cc.o"
+  "CMakeFiles/bench_mc_3col.dir/bench_mc_3col.cc.o.d"
+  "bench_mc_3col"
+  "bench_mc_3col.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mc_3col.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mc_sotgd.dir/bench_mc_sotgd.cc.o"
+  "CMakeFiles/bench_mc_sotgd.dir/bench_mc_sotgd.cc.o.d"
+  "bench_mc_sotgd"
+  "bench_mc_sotgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mc_sotgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm41_bipartite.dir/bench_thm41_bipartite.cc.o"
+  "CMakeFiles/bench_thm41_bipartite.dir/bench_thm41_bipartite.cc.o.d"
+  "bench_thm41_bipartite"
+  "bench_thm41_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm41_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

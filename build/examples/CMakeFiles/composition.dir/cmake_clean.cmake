@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition.dir/composition.cpp.o"
+  "CMakeFiles/composition.dir/composition.cpp.o.d"
+  "composition"
+  "composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_mappings.dir/employee_mappings.cpp.o"
+  "CMakeFiles/employee_mappings.dir/employee_mappings.cpp.o.d"
+  "employee_mappings"
+  "employee_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expressiveness_zoo.dir/expressiveness_zoo.cpp.o"
+  "CMakeFiles/expressiveness_zoo.dir/expressiveness_zoo.cpp.o.d"
+  "expressiveness_zoo"
+  "expressiveness_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expressiveness_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_checking_tour.dir/model_checking_tour.cpp.o"
+  "CMakeFiles/model_checking_tour.dir/model_checking_tour.cpp.o.d"
+  "model_checking_tour"
+  "model_checking_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_checking_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undecidability_tour.dir/undecidability_tour.cpp.o"
+  "CMakeFiles/undecidability_tour.dir/undecidability_tour.cpp.o.d"
+  "undecidability_tour"
+  "undecidability_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undecidability_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/tgdkit.dir/base/status.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/base/status.cc.o.d"
+  "/root/repo/src/base/symbol_table.cc" "src/CMakeFiles/tgdkit.dir/base/symbol_table.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/base/symbol_table.cc.o.d"
+  "/root/repo/src/base/vocabulary.cc" "src/CMakeFiles/tgdkit.dir/base/vocabulary.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/base/vocabulary.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/tgdkit.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/chase/chase.cc.o.d"
+  "/root/repo/src/classify/criteria.cc" "src/CMakeFiles/tgdkit.dir/classify/criteria.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/classify/criteria.cc.o.d"
+  "/root/repo/src/classify/dot.cc" "src/CMakeFiles/tgdkit.dir/classify/dot.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/classify/dot.cc.o.d"
+  "/root/repo/src/cli/cli.cc" "src/CMakeFiles/tgdkit.dir/cli/cli.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/cli/cli.cc.o.d"
+  "/root/repo/src/data/instance.cc" "src/CMakeFiles/tgdkit.dir/data/instance.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/data/instance.cc.o.d"
+  "/root/repo/src/dep/dependency.cc" "src/CMakeFiles/tgdkit.dir/dep/dependency.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/dep/dependency.cc.o.d"
+  "/root/repo/src/dep/skolem.cc" "src/CMakeFiles/tgdkit.dir/dep/skolem.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/dep/skolem.cc.o.d"
+  "/root/repo/src/dep/syntactic.cc" "src/CMakeFiles/tgdkit.dir/dep/syntactic.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/dep/syntactic.cc.o.d"
+  "/root/repo/src/exchange/exchange.cc" "src/CMakeFiles/tgdkit.dir/exchange/exchange.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/exchange/exchange.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "src/CMakeFiles/tgdkit.dir/gen/generators.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/gen/generators.cc.o.d"
+  "/root/repo/src/homo/core.cc" "src/CMakeFiles/tgdkit.dir/homo/core.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/homo/core.cc.o.d"
+  "/root/repo/src/homo/matcher.cc" "src/CMakeFiles/tgdkit.dir/homo/matcher.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/homo/matcher.cc.o.d"
+  "/root/repo/src/mc/model_check.cc" "src/CMakeFiles/tgdkit.dir/mc/model_check.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/mc/model_check.cc.o.d"
+  "/root/repo/src/oracle/oracle.cc" "src/CMakeFiles/tgdkit.dir/oracle/oracle.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/oracle/oracle.cc.o.d"
+  "/root/repo/src/parse/lexer.cc" "src/CMakeFiles/tgdkit.dir/parse/lexer.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/parse/lexer.cc.o.d"
+  "/root/repo/src/parse/parser.cc" "src/CMakeFiles/tgdkit.dir/parse/parser.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/parse/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/tgdkit.dir/query/query.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/query/query.cc.o.d"
+  "/root/repo/src/reduce/pcp.cc" "src/CMakeFiles/tgdkit.dir/reduce/pcp.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/reduce/pcp.cc.o.d"
+  "/root/repo/src/reduce/qbf.cc" "src/CMakeFiles/tgdkit.dir/reduce/qbf.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/reduce/qbf.cc.o.d"
+  "/root/repo/src/reduce/separation.cc" "src/CMakeFiles/tgdkit.dir/reduce/separation.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/reduce/separation.cc.o.d"
+  "/root/repo/src/reduce/three_col.cc" "src/CMakeFiles/tgdkit.dir/reduce/three_col.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/reduce/three_col.cc.o.d"
+  "/root/repo/src/term/term.cc" "src/CMakeFiles/tgdkit.dir/term/term.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/term/term.cc.o.d"
+  "/root/repo/src/transform/composition.cc" "src/CMakeFiles/tgdkit.dir/transform/composition.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/transform/composition.cc.o.d"
+  "/root/repo/src/transform/nested.cc" "src/CMakeFiles/tgdkit.dir/transform/nested.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/transform/nested.cc.o.d"
+  "/root/repo/src/transform/standard_henkin.cc" "src/CMakeFiles/tgdkit.dir/transform/standard_henkin.cc.o" "gcc" "src/CMakeFiles/tgdkit.dir/transform/standard_henkin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/chase_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/chase_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/chase_test.cc.o.d"
+  "/root/repo/tests/classifier_textbook_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/classifier_textbook_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/classifier_textbook_test.cc.o.d"
+  "/root/repo/tests/cli_extra_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/cli_extra_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/cli_extra_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/composition_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/composition_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/composition_test.cc.o.d"
+  "/root/repo/tests/containment_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/containment_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/containment_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/corpus_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/corpus_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/corpus_test.cc.o.d"
+  "/root/repo/tests/criteria_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/criteria_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/criteria_test.cc.o.d"
+  "/root/repo/tests/critical_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/critical_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/critical_test.cc.o.d"
+  "/root/repo/tests/dependency_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/dependency_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/dependency_test.cc.o.d"
+  "/root/repo/tests/deskolem_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/deskolem_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/deskolem_test.cc.o.d"
+  "/root/repo/tests/dot_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/dot_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/dot_test.cc.o.d"
+  "/root/repo/tests/exchange_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/exchange_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/exchange_test.cc.o.d"
+  "/root/repo/tests/henkin_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/henkin_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/henkin_test.cc.o.d"
+  "/root/repo/tests/instance_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/instance_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/instance_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/matcher_oracle_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/matcher_oracle_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/matcher_oracle_test.cc.o.d"
+  "/root/repo/tests/matcher_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/matcher_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/matcher_test.cc.o.d"
+  "/root/repo/tests/minimize_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/minimize_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/minimize_test.cc.o.d"
+  "/root/repo/tests/model_check_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/model_check_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/model_check_test.cc.o.d"
+  "/root/repo/tests/oracle_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/oracle_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/oracle_test.cc.o.d"
+  "/root/repo/tests/parser_error_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/parser_error_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/parser_error_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/pcp_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/pcp_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/pcp_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/reduction_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/reduction_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/reduction_test.cc.o.d"
+  "/root/repo/tests/roundtrip_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/roundtrip_test.cc.o.d"
+  "/root/repo/tests/semantics_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/semantics_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/semantics_test.cc.o.d"
+  "/root/repo/tests/seminaive_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/seminaive_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/seminaive_test.cc.o.d"
+  "/root/repo/tests/so_oracle_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/so_oracle_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/so_oracle_test.cc.o.d"
+  "/root/repo/tests/standard_henkin_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/standard_henkin_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/standard_henkin_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/syntactic_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/syntactic_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/syntactic_test.cc.o.d"
+  "/root/repo/tests/term_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/term_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/term_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/tgdkit_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/tgdkit_tests.dir/transform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tgdkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

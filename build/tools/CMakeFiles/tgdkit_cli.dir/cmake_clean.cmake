@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgdkit_cli.dir/tgdkit_main.cc.o"
+  "CMakeFiles/tgdkit_cli.dir/tgdkit_main.cc.o.d"
+  "tgdkit"
+  "tgdkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgdkit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
