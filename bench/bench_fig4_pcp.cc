@@ -39,10 +39,11 @@ void PrintPcpTable() {
   rows.push_back({"(1,2)(2,1)    [unsolvable]", {2, {{{1}, {2}}, {{2}, {1}}}}});
   rows.push_back({"(11,1)        [unsolvable]", {2, {{{1, 1}, {1}}}}});
 
-  std::printf("\n%-42s | %6s | %6s | %7s | %8s\n", "instance", "oracle",
+  std::printf("\n%-42s | %6s | %6s | %7s | %8s", "instance", "oracle",
               "chase", "rounds", "facts");
-  std::printf("-------------------------------------------+--------+--------"
-              "+---------+---------\n");
+  bench::BudgetHeader();
+  std::printf("\n-------------------------------------------+--------+--------"
+              "+---------+---------+--------------+------------+----------\n");
   for (const Row& row : rows) {
     Workspace ws;
     PcpEncoding enc = BuildPcpEncoding(&ws.arena, &ws.vocab, row.pcp);
@@ -54,10 +55,13 @@ void PrintPcpTable() {
     PcpChaseOutcome outcome =
         SemiDecidePcp(&ws.arena, &ws.vocab, enc, rules, limits);
     bool oracle = SolvePcp(row.pcp, 12).has_value();
-    std::printf("%-42s | %6d | %6d | %7llu | %8llu\n", row.name, oracle,
+    std::printf("%-42s | %6d | %6d | %7llu | %8llu", row.name, oracle,
                 outcome.solved,
                 static_cast<unsigned long long>(outcome.rounds),
                 static_cast<unsigned long long>(outcome.facts));
+    bench::BudgetColumns(outcome.stop, outcome.budget_steps,
+                         outcome.budget_bytes);
+    std::printf("\n");
   }
 
   // Classification check of the showcase encoding.
@@ -94,6 +98,48 @@ void PrintPcpTable() {
     }
     std::printf("(facts grow without bound as the budget rises — the "
                 "semi-decision procedure never converges on 'no')\n");
+  }
+
+  // Resource-governor stops on the unsolvable instance: wall-clock
+  // deadlines and memory budgets end the run cleanly with a structured
+  // reason and a usable partial instance.
+  {
+    std::printf("\nunsolvable (1,2)(2,1): governed runs (deadline / memory "
+                "budget)\n%-22s | %8s", "budget", "facts");
+    bench::BudgetHeader();
+    std::printf("\n");
+    auto run = [](ExecutionBudget budget, const char* label) {
+      Workspace ws;
+      PcpInstance pcp{2, {{{1}, {2}}, {{2}, {1}}}};
+      PcpEncoding enc = BuildPcpEncoding(&ws.arena, &ws.vocab, pcp);
+      SoTgd rules = enc.HenkinRuleSet(&ws.arena, &ws.vocab);
+      ChaseLimits limits;
+      limits.max_rounds = 1u << 30;
+      limits.max_facts = 1u << 30;
+      limits.max_term_depth = 1u << 20;
+      limits.budget = budget;
+      PcpChaseOutcome outcome =
+          SemiDecidePcp(&ws.arena, &ws.vocab, enc, rules, limits);
+      std::printf("%-22s | %8llu", label,
+                  static_cast<unsigned long long>(outcome.facts));
+      bench::BudgetColumns(outcome.stop, outcome.budget_steps,
+                           outcome.budget_bytes);
+      std::printf("\n");
+    };
+    ExecutionBudget b;
+    b.deadline_ms = 50;
+    run(b, "deadline 50 ms");
+    b = ExecutionBudget{};
+    b.deadline_ms = 200;
+    run(b, "deadline 200 ms");
+    b = ExecutionBudget{};
+    b.max_memory_bytes = 8ull * 1024 * 1024;
+    run(b, "memory 8 MiB");
+    b = ExecutionBudget{};
+    b.max_steps = 100000;
+    run(b, "steps 100k");
+    std::printf("(every run exits cleanly with a machine-readable stop "
+                "reason; the partial instance stays available)\n");
   }
 
   // Random corpus: chase vs oracle agreement wherever the chase halts

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "base/budget.h"
 #include "base/rng.h"
 #include "data/instance.h"
 #include "dep/dependency.h"
@@ -47,6 +48,20 @@ inline NestedTgd ChainNested(Workspace* ws, uint32_t depth,
     }
   }
   return nested;
+}
+
+/// Header for the governor-telemetry columns printed by BudgetColumns.
+/// Call once before the rows, after the experiment-specific columns.
+inline void BudgetHeader() {
+  std::printf(" | %-12s | %10s | %9s", "stop", "steps", "MiB");
+}
+
+/// One row of governor telemetry: the structured stop reason, steps
+/// polled, and bytes observed at the last slow-path sample.
+inline void BudgetColumns(StopReason stop, uint64_t steps, uint64_t bytes) {
+  std::printf(" | %-12s | %10llu | %9.2f", ToString(stop),
+              static_cast<unsigned long long>(steps),
+              static_cast<double>(bytes) / (1024.0 * 1024.0));
 }
 
 /// Section header for the experiment tables.

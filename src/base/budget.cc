@@ -1,0 +1,92 @@
+#include "base/budget.h"
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+const char* ToString(StopReason stop) {
+  switch (stop) {
+    case StopReason::kFixpoint:
+      return "fixpoint";
+    case StopReason::kRoundLimit:
+      return "round-limit";
+    case StopReason::kFactLimit:
+      return "fact-limit";
+    case StopReason::kDepthLimit:
+      return "depth-limit";
+    case StopReason::kStepLimit:
+      return "step-limit";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kMemoryLimit:
+      return "memory-limit";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool IsResourceStop(StopReason stop) {
+  return stop != StopReason::kFixpoint;
+}
+
+Status StopReasonToStatus(StopReason stop, const std::string& what) {
+  if (!IsResourceStop(stop)) return Status::Ok();
+  return Status::ResourceExhausted(Cat(what, " stopped by ", ToString(stop)));
+}
+
+ResourceGovernor::ResourceGovernor(const ExecutionBudget& budget)
+    : budget_(budget), start_(std::chrono::steady_clock::now()) {
+  // Step limits are exact (a deterministic stop at step max_steps), so the
+  // first slow-path check must not overshoot them.
+  if (budget_.max_steps != 0 && budget_.max_steps < next_check_) {
+    next_check_ = budget_.max_steps;
+  }
+}
+
+void ResourceGovernor::AddMemorySource(std::function<uint64_t()> bytes) {
+  memory_sources_.push_back(std::move(bytes));
+}
+
+void ResourceGovernor::MarkExhausted(StopReason reason) {
+  if (exhausted_ || !IsResourceStop(reason)) return;
+  exhausted_ = true;
+  reason_ = reason;
+}
+
+double ResourceGovernor::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+bool ResourceGovernor::SlowPathCheck() {
+  next_check_ = steps_ + kCheckInterval;
+  if (budget_.max_steps != 0 && budget_.max_steps < next_check_) {
+    next_check_ = budget_.max_steps;
+  }
+
+  if (budget_.cancel.cancelled()) {
+    MarkExhausted(StopReason::kCancelled);
+    return false;
+  }
+  if (budget_.max_steps != 0 && steps_ >= budget_.max_steps) {
+    MarkExhausted(StopReason::kStepLimit);
+    return false;
+  }
+  if (budget_.deadline_ms != 0 &&
+      elapsed_ms() >= static_cast<double>(budget_.deadline_ms)) {
+    MarkExhausted(StopReason::kDeadline);
+    return false;
+  }
+  uint64_t bytes = charged_bytes_;
+  for (const auto& source : memory_sources_) bytes += source();
+  observed_bytes_ = bytes;
+  if (budget_.max_memory_bytes != 0 && bytes >= budget_.max_memory_bytes) {
+    MarkExhausted(StopReason::kMemoryLimit);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tgdkit

@@ -6,6 +6,43 @@
 
 namespace tgdkit {
 
+namespace {
+
+/// Round/fact bookkeeping shared by ChaseEngine and RestrictedChaseTgds:
+/// both engines historically duplicated these checks; they now funnel
+/// through the governor so every stop carries one StopReason.
+class ChaseGuard {
+ public:
+  ChaseGuard(const ChaseLimits& limits, ResourceGovernor* governor)
+      : limits_(limits), governor_(governor) {}
+
+  /// Gate for starting another round: false on the round cap or when the
+  /// cross-cutting budget (deadline/bytes/steps/cancel) is exhausted.
+  bool BeginRound(uint64_t completed_rounds) {
+    if (completed_rounds >= limits_.max_rounds) {
+      governor_->MarkExhausted(StopReason::kRoundLimit);
+      return false;
+    }
+    return governor_->CheckNow();
+  }
+
+  /// Gate for committing one trigger's head atomically: false when the
+  /// commit would push the instance past the fact cap.
+  bool CanCommit(size_t current_facts, size_t incoming) {
+    if (current_facts + incoming > limits_.max_facts) {
+      governor_->MarkExhausted(StopReason::kFactLimit);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const ChaseLimits& limits_;
+  ResourceGovernor* governor_;
+};
+
+}  // namespace
+
 ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
                          const SoTgd& rules, const Instance& input,
                          ChaseLimits limits)
@@ -13,9 +50,21 @@ ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
       vocab_(vocab),
       rules_(rules),
       limits_(limits),
+      governor_(limits.budget),
       instance_(&input.vocab()) {
+  TermArena* arena_ptr = arena_;
+  governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
+  Instance* instance_ptr = &instance_;
+  governor_.AddMemorySource(
+      [instance_ptr] { return instance_ptr->ApproxBytes(); });
   CopyFacts(input, &instance_);
   null_provenance_.assign(instance_.num_nulls(), kInvalidTerm);
+}
+
+void ChaseEngine::Halt(StopReason reason) {
+  governor_.MarkExhausted(reason);
+  stop_reason_ = governor_.reason();
+  done_ = true;
 }
 
 TermId ChaseEngine::NullProvenance(uint32_t null_index) const {
@@ -53,7 +102,11 @@ Value ChaseEngine::TermToValue(TermId t) {
 
 bool ChaseEngine::ProcessTrigger(const SoPart& part,
                                  const Assignment& assignment,
-                                 std::vector<Fact>* pending) {
+                                 std::vector<std::vector<Fact>>* pending) {
+  if (!governor_.Poll()) {
+    Halt(governor_.reason());
+    return false;
+  }
   Substitution subst;
   for (const auto& [var, value] : assignment) {
     subst.Bind(var, ValueToTerm(value));
@@ -64,6 +117,9 @@ bool ChaseEngine::ProcessTrigger(const SoPart& part,
     TermId rhs = subst.Apply(arena_, eq.rhs);
     if (lhs != rhs) return true;  // trigger inactive
   }
+  // Stage the whole head locally first: if any head term overflows the
+  // depth budget, the trigger contributes nothing (never a partial head).
+  std::vector<Fact> staged;
   for (const Atom& atom : part.head) {
     Fact fact;
     fact.relation = atom.relation;
@@ -71,28 +127,31 @@ bool ChaseEngine::ProcessTrigger(const SoPart& part,
       TermId ground = subst.Apply(arena_, t);
       Value v = TermToValue(ground);
       if (!v.valid()) {
-        stop_reason_ = ChaseStop::kDepthLimit;
-        done_ = true;
+        Halt(StopReason::kDepthLimit);
         return false;
       }
       fact.args.push_back(v);
     }
-    pending->push_back(std::move(fact));
+    staged.push_back(std::move(fact));
   }
+  pending->push_back(std::move(staged));
   return true;
 }
 
-bool ChaseEngine::FlushPending(const std::vector<Fact>& pending) {
+bool ChaseEngine::FlushPending(const std::vector<std::vector<Fact>>& pending) {
+  ChaseGuard guard(limits_, &governor_);
   bool added = false;
-  for (const Fact& fact : pending) {
-    if (instance_.NumFacts() >= limits_.max_facts) {
-      done_ = true;
-      stop_reason_ = ChaseStop::kFactLimit;
+  for (const std::vector<Fact>& trigger : pending) {
+    // Triggers commit atomically: either the whole head or nothing.
+    if (!guard.CanCommit(instance_.NumFacts(), trigger.size())) {
+      Halt(governor_.reason());
       return added;
     }
-    if (instance_.AddFact(fact)) {
-      added = true;
-      ++facts_created_;
+    for (const Fact& fact : trigger) {
+      if (instance_.AddFact(fact)) {
+        added = true;
+        ++facts_created_;
+      }
     }
   }
   return added;
@@ -100,20 +159,23 @@ bool ChaseEngine::FlushPending(const std::vector<Fact>& pending) {
 
 bool ChaseEngine::FireRuleFull(const SoPart& part) {
   Matcher matcher(arena_, &instance_, part.body);
+  matcher.set_governor(&governor_);
   // Collect new facts first: inserting while enumerating would let this
   // round's conclusions re-trigger within the same round (still sound for
   // the oblivious chase, but rounds would lose their meaning).
-  std::vector<Fact> pending;
+  std::vector<std::vector<Fact>> pending;
   matcher.ForEach({}, [&](const Assignment& assignment) {
     return ProcessTrigger(part, assignment, &pending);
   });
+  if (governor_.exhausted() && !done_) Halt(governor_.reason());
   if (done_) return false;
   return FlushPending(pending);
 }
 
 bool ChaseEngine::FireRuleDelta(const SoPart& part) {
   Matcher matcher(arena_, &instance_, part.body);
-  std::vector<Fact> pending;
+  matcher.set_governor(&governor_);
+  std::vector<std::vector<Fact>> pending;
 
   // For each body atom acting as the pivot, seed the matcher with each
   // fact of the previous round's delta. Triggers touching no delta fact
@@ -128,6 +190,10 @@ bool ChaseEngine::FireRuleDelta(const SoPart& part) {
     size_t delta_end =
         cur_it == rows_before_current_round_.end() ? 0 : cur_it->second;
     for (size_t row = delta_begin; row < delta_end && !done_; ++row) {
+      if (!governor_.Poll()) {
+        Halt(governor_.reason());
+        break;
+      }
       std::span<const Value> tuple =
           instance_.Tuple(atom.relation, static_cast<uint32_t>(row));
       Assignment seed;
@@ -154,15 +220,16 @@ bool ChaseEngine::FireRuleDelta(const SoPart& part) {
       });
     }
   }
+  if (governor_.exhausted() && !done_) Halt(governor_.reason());
   if (done_) return false;
   return FlushPending(pending);
 }
 
 bool ChaseEngine::Step() {
   if (done_) return false;
-  if (rounds_ >= limits_.max_rounds) {
-    done_ = true;
-    stop_reason_ = ChaseStop::kRoundLimit;
+  ChaseGuard guard(limits_, &governor_);
+  if (!guard.BeginRound(rounds_)) {
+    Halt(governor_.reason());
     return false;
   }
   ++rounds_;
@@ -211,6 +278,8 @@ ChaseResult Chase(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
   engine.Run();
   ChaseResult result{engine.TakeInstance(), engine.stop_reason(),
                      engine.rounds(), engine.facts_created(), {}};
+  result.budget_steps = engine.governor().steps();
+  result.budget_bytes = engine.governor().memory_bytes();
   uint32_t num_nulls = result.instance.num_nulls();
   result.null_provenance.reserve(num_nulls);
   for (uint32_t i = 0; i < num_nulls; ++i) {
@@ -223,19 +292,31 @@ ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
                                 std::span<const Tgd> tgds,
                                 const Instance& input, ChaseLimits limits) {
   (void)vocab;
+  ResourceGovernor governor(limits.budget);
+  governor.AddMemorySource([arena] { return arena->ApproxBytes(); });
+  ChaseGuard guard(limits, &governor);
   ChaseResult result{Instance(&input.vocab()), ChaseStop::kFixpoint, 0, 0};
   CopyFacts(input, &result.instance);
   Instance& j = result.instance;
+  governor.AddMemorySource([&j] { return j.ApproxBytes(); });
+
+  auto finish = [&](StopReason reason) -> ChaseResult {
+    governor.MarkExhausted(reason);
+    result.stop_reason = governor.exhausted() ? governor.reason() : reason;
+    result.budget_steps = governor.steps();
+    result.budget_bytes = governor.memory_bytes();
+    return std::move(result);
+  };
 
   for (;;) {
-    if (result.rounds >= limits.max_rounds) {
-      result.stop_reason = ChaseStop::kRoundLimit;
-      return result;
+    if (!guard.BeginRound(result.rounds)) {
+      return finish(governor.reason());
     }
     ++result.rounds;
     bool any = false;
     for (const Tgd& tgd : tgds) {
       Matcher body_matcher(arena, &j, tgd.body);
+      body_matcher.set_governor(&governor);
       Matcher head_matcher(arena, &j, tgd.head);
       std::vector<Assignment> active;
       body_matcher.ForEach({}, [&](const Assignment& assignment) {
@@ -244,13 +325,18 @@ ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
         if (!head_matcher.Exists(assignment)) active.push_back(assignment);
         return true;
       });
+      if (governor.exhausted()) return finish(governor.reason());
       for (const Assignment& assignment : active) {
+        if (!governor.Poll()) return finish(governor.reason());
         // Re-check: an earlier firing this round may have satisfied it.
         if (head_matcher.Exists(assignment)) continue;
         Assignment extended = assignment;
         for (VariableId y : tgd.exist_vars) {
           extended[y] = j.FreshNull();
         }
+        // Stage the head first so the fact cap applies to the firing as a
+        // whole (triggers commit atomically, as in ChaseEngine).
+        std::vector<Fact> staged;
         for (const Atom& atom : tgd.head) {
           Fact fact;
           fact.relation = atom.relation;
@@ -261,34 +347,21 @@ ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
               fact.args.push_back(Value::Constant(arena->symbol(t)));
             }
           }
-          if (j.NumFacts() >= limits.max_facts) {
-            result.stop_reason = ChaseStop::kFactLimit;
-            return result;
-          }
+          staged.push_back(std::move(fact));
+        }
+        if (!guard.CanCommit(j.NumFacts(), staged.size())) {
+          return finish(governor.reason());
+        }
+        for (const Fact& fact : staged) {
           if (j.AddFact(fact)) ++result.facts_created;
         }
         any = true;
       }
     }
     if (!any) {
-      result.stop_reason = ChaseStop::kFixpoint;
-      return result;
+      return finish(StopReason::kFixpoint);
     }
   }
-}
-
-const char* ToString(ChaseStop stop) {
-  switch (stop) {
-    case ChaseStop::kFixpoint:
-      return "fixpoint";
-    case ChaseStop::kRoundLimit:
-      return "round-limit";
-    case ChaseStop::kFactLimit:
-      return "fact-limit";
-    case ChaseStop::kDepthLimit:
-      return "depth-limit";
-  }
-  return "unknown";
 }
 
 }  // namespace tgdkit

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/budget.h"
 #include "dep/dependency.h"
 #include "homo/matcher.h"
 
@@ -42,13 +43,10 @@ struct ChaseLimits {
   /// same result as naive evaluation (the Skolem chase is idempotent);
   /// disable only for the ablation benchmark.
   bool semi_naive = true;
-};
-
-enum class ChaseStop {
-  kFixpoint,          // no rule can add any fact: a universal model
-  kRoundLimit,
-  kFactLimit,
-  kDepthLimit,
+  /// Cross-cutting resource budget (deadline, bytes, steps, cancellation)
+  /// enforced by a ResourceGovernor on top of the structural caps above.
+  /// One chase step = one trigger processed or one delta row probed.
+  ExecutionBudget budget;
 };
 
 /// Round-by-round Skolem chase over one SO tgd (= rule set).
@@ -58,6 +56,11 @@ class ChaseEngine {
   /// used for null provenance labels.
   ChaseEngine(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
               const Instance& input, ChaseLimits limits = {});
+
+  /// The governor registers the arena and the growing instance as memory
+  /// sources; moving the engine would invalidate those hooks.
+  ChaseEngine(const ChaseEngine&) = delete;
+  ChaseEngine& operator=(const ChaseEngine&) = delete;
 
   /// Runs one full round (every rule, every trigger). Returns true if at
   /// least one new fact was added and no limit was hit.
@@ -74,6 +77,9 @@ class ChaseEngine {
   uint64_t rounds() const { return rounds_; }
   uint64_t facts_created() const { return facts_created_; }
 
+  /// The governor enforcing limits_.budget (for steps/bytes telemetry).
+  const ResourceGovernor& governor() const { return governor_; }
+
   /// Provenance: the ground Skolem term a chase-created null stands for
   /// (kInvalidTerm for nulls already present in the input).
   TermId NullProvenance(uint32_t null_index) const;
@@ -86,19 +92,24 @@ class ChaseEngine {
   Value TermToValue(TermId t);
 
   /// Processes one trigger (a complete body homomorphism): checks the
-  /// equalities and stages the head facts. Returns false on a limit.
+  /// equalities and stages the head facts as one atomic unit. Returns
+  /// false on a limit; a trigger that hits a limit mid-head stages
+  /// nothing (no partial head facts are ever committed).
   bool ProcessTrigger(const SoPart& part, const Assignment& assignment,
-                      std::vector<Fact>* pending);
+                      std::vector<std::vector<Fact>>* pending);
   /// Fires all triggers of `part` (full evaluation).
   bool FireRuleFull(const SoPart& part);
   /// Fires only triggers touching a fact from the previous round's delta.
   bool FireRuleDelta(const SoPart& part);
-  bool FlushPending(const std::vector<Fact>& pending);
+  bool FlushPending(const std::vector<std::vector<Fact>>& pending);
+  /// Records the first stop reason and marks the run done.
+  void Halt(StopReason reason);
 
   TermArena* arena_;
   Vocabulary* vocab_;
   SoTgd rules_;
   ChaseLimits limits_;
+  ResourceGovernor governor_;
   Instance instance_;
   std::unordered_map<TermId, Value> term_to_value_;
   std::vector<TermId> null_provenance_;  // null index -> ground term
@@ -120,8 +131,15 @@ struct ChaseResult {
   /// Provenance: for each null index, the ground Skolem term it stands
   /// for (kInvalidTerm for input nulls).
   std::vector<TermId> null_provenance;
+  /// Governor telemetry: steps consumed and last observed bytes.
+  uint64_t budget_steps = 0;
+  uint64_t budget_bytes = 0;
 
   bool Terminated() const { return stop_reason == ChaseStop::kFixpoint; }
+
+  /// Machine-readable outcome: Ok on fixpoint, ResourceExhausted with the
+  /// stop reason otherwise (the instance is then a sound partial model).
+  Status ToStatus() const { return StopReasonToStatus(stop_reason, "chase"); }
 
   /// Renders the Skolem term behind a chase-created null, e.g.
   /// "sk_dm$0(\"cs\")". Input nulls and constants render as themselves.
@@ -140,8 +158,5 @@ ChaseResult Chase(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
 ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
                                 std::span<const Tgd> tgds,
                                 const Instance& input, ChaseLimits limits = {});
-
-/// Renders a stop reason for logs and experiment output.
-const char* ToString(ChaseStop stop);
 
 }  // namespace tgdkit

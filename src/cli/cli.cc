@@ -1,5 +1,7 @@
 #include "cli/cli.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -33,7 +35,8 @@ constexpr const char* kUsage =
     "  compose   DEPS12 DEPS23 [...]  compose s-t tgd mappings -> SO tgd\n"
     "  solve     DEPS INSTANCE        data exchange: universal + core\n"
     "                                 solution (target = head relations)\n"
-    "options: --max-rounds N  --max-facts N  --max-depth N\n";
+    "options: --max-rounds N  --max-facts N  --max-depth N\n"
+    "         --max-steps N  --deadline-ms N  --max-memory-mb N\n";
 
 struct CliContext {
   Vocabulary vocab;
@@ -64,7 +67,24 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
         err << "tgdkit: missing value for " << arg << "\n";
         return false;
       }
-      *slot = std::stoull(args[++i]);
+      const std::string& value = args[++i];
+      // Validate by hand: std::stoull throws on garbage and silently
+      // accepts trailing junk; option values must be pure digits.
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        err << "tgdkit: invalid value '" << value << "' for " << arg
+            << "\n";
+        return false;
+      }
+      errno = 0;
+      char* end = nullptr;
+      uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+      if (errno == ERANGE) {
+        err << "tgdkit: value '" << value << "' for " << arg
+            << " is out of range\n";
+        return false;
+      }
+      *slot = parsed;
       return true;
     };
     if (arg == "--max-rounds") {
@@ -75,6 +95,14 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
       uint64_t depth = 0;
       if (!numeric(&depth)) return false;
       ctx->limits.max_term_depth = static_cast<uint32_t>(depth);
+    } else if (arg == "--max-steps") {
+      if (!numeric(&ctx->limits.budget.max_steps)) return false;
+    } else if (arg == "--deadline-ms") {
+      if (!numeric(&ctx->limits.budget.deadline_ms)) return false;
+    } else if (arg == "--max-memory-mb") {
+      uint64_t mb = 0;
+      if (!numeric(&mb)) return false;
+      ctx->limits.budget.max_memory_bytes = mb * 1024 * 1024;
     } else if (arg.rfind("--", 0) == 0) {
       err << "tgdkit: unknown option " << arg << "\n";
       return false;
@@ -220,6 +248,7 @@ int CmdChase(CliContext* ctx, std::ostream& out, std::ostream& err) {
   out << "# chase " << ToString(result.stop_reason) << " after "
       << result.rounds << " rounds, " << result.facts_created
       << " facts created\n";
+  out << "# status: " << result.ToStatus().ToString() << "\n";
   out << result.instance.ToString();
   return 0;
 }
@@ -234,13 +263,19 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
   if (!instance.has_value()) return 2;
   bool all_ok = true;
+  McOptions mc_options;
+  mc_options.budget = ctx->limits.budget;
   for (size_t i = 0; i < program->dependencies.size(); ++i) {
     const ParsedDependency& dep = program->dependencies[i];
     std::string verdict;
     switch (dep.kind) {
       case ParsedDependency::Kind::kTgd: {
-        auto violation = FindTgdViolation(ctx->arena, *instance, dep.tgd);
-        if (violation.has_value()) {
+        ResourceGovernor governor(ctx->limits.budget);
+        auto violation =
+            FindTgdViolation(ctx->arena, *instance, dep.tgd, &governor);
+        if (governor.exhausted()) {
+          verdict = Cat("UNKNOWN (", ToString(governor.reason()), ")");
+        } else if (violation.has_value()) {
           verdict = Cat("VIOLATED at ",
                         violation->ToString(ctx->vocab, *instance));
         } else {
@@ -249,9 +284,13 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
         break;
       }
       case ParsedDependency::Kind::kNested: {
+        ResourceGovernor governor(ctx->limits.budget);
         auto violation =
-            FindNestedViolation(ctx->arena, *instance, dep.nested);
-        if (violation.has_value()) {
+            FindNestedViolation(ctx->arena, *instance, dep.nested,
+                                &governor);
+        if (governor.exhausted()) {
+          verdict = Cat("UNKNOWN (", ToString(governor.reason()), ")");
+        } else if (violation.has_value()) {
           verdict = Cat("VIOLATED at ",
                         violation->ToString(ctx->vocab, *instance));
         } else {
@@ -260,18 +299,20 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
         break;
       }
       case ParsedDependency::Kind::kHenkin: {
-        McResult result =
-            CheckHenkin(&ctx->arena, &ctx->vocab, *instance, dep.henkin);
-        verdict = result.budget_exceeded ? "UNKNOWN (budget)"
-                  : result.satisfied     ? "satisfied"
-                                         : "VIOLATED";
+        McResult result = CheckHenkin(&ctx->arena, &ctx->vocab, *instance,
+                                      dep.henkin, mc_options);
+        verdict = result.budget_exceeded
+                      ? Cat("UNKNOWN (", ToString(result.stop), ")")
+                  : result.satisfied ? "satisfied"
+                                     : "VIOLATED";
         break;
       }
       case ParsedDependency::Kind::kSo: {
-        McResult result = CheckSo(ctx->arena, *instance, dep.so);
-        verdict = result.budget_exceeded ? "UNKNOWN (budget)"
-                  : result.satisfied     ? "satisfied"
-                                         : "VIOLATED";
+        McResult result = CheckSo(ctx->arena, *instance, dep.so, mc_options);
+        verdict = result.budget_exceeded
+                      ? Cat("UNKNOWN (", ToString(result.stop), ")")
+                  : result.satisfied ? "satisfied"
+                                     : "VIOLATED";
         break;
       }
     }
@@ -461,6 +502,11 @@ int CmdDot(CliContext* ctx, std::ostream& out, std::ostream& err) {
 
 }  // namespace
 
+CancellationToken& GlobalCancellationToken() {
+  static CancellationToken token;
+  return token;
+}
+
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   if (args.empty()) {
@@ -468,6 +514,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     return 1;
   }
   CliContext ctx;
+  ctx.limits.budget.cancel = GlobalCancellationToken();
   if (!ParseOptions(args, &ctx, err)) return 1;
   const std::string& command = args[0];
   // The command itself landed in positional[0]; drop it.

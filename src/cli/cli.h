@@ -10,12 +10,15 @@
 //
 // DEPS/INSTANCE are file paths in the formats of parse/parser.h; QUERY is
 // a Datalog-style query string. Options:
-//   --max-rounds N --max-facts N --max-depth N   chase budgets
+//   --max-rounds N --max-facts N --max-depth N        chase caps
+//   --max-steps N --deadline-ms N --max-memory-mb N   resource budget
 #pragma once
 
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "base/budget.h"
 
 namespace tgdkit {
 
@@ -23,5 +26,11 @@ namespace tgdkit {
 /// process exit code (0 success, 1 usage error, 2 input error).
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err);
+
+/// The process-wide cancellation token every RunCli invocation listens
+/// on. Cancel() is async-signal-safe, so a SIGINT handler may call it;
+/// engines then stop cleanly with StopReason::kCancelled. Reset() before
+/// reuse (tests cancel and then run again in the same process).
+CancellationToken& GlobalCancellationToken();
 
 }  // namespace tgdkit

@@ -43,6 +43,10 @@ bool Instance::AddFact(RelationId relation, std::span<const Value> args) {
   for (uint32_t pos = 0; pos < data.arity; ++pos) {
     data.position_index[pos][args[pos]].push_back(row);
   }
+  // Tuple storage + one dedup row id + one index row id per position,
+  // with amortized node overhead for the hash maps involved.
+  approx_bytes_ += args.size() * sizeof(Value) +
+                   (args.size() + 1) * sizeof(uint32_t) + kRowOverheadBytes;
   return true;
 }
 

@@ -87,7 +87,16 @@ class Instance {
     }
     relations_.clear();
     active_relations_.clear();
+    approx_bytes_ = 0;
     for (const Fact& f : kept) AddFact(f);
+  }
+
+  /// Approximate heap footprint in bytes, for memory-budget accounting
+  /// (ResourceGovernor memory source). Maintained incrementally: tuple
+  /// storage plus amortized dedup/index entries per inserted fact, plus
+  /// null bookkeeping.
+  uint64_t ApproxBytes() const {
+    return approx_bytes_ + null_labels_.size() * kNullOverheadBytes;
   }
 
   /// Renders all facts sorted lexicographically, one per line.
@@ -112,11 +121,16 @@ class Instance {
   RelationData& GetOrCreate(RelationId relation);
   static size_t TupleHash(std::span<const Value> args);
 
+  /// Estimated per-null and per-row index overheads (map/vector nodes).
+  static constexpr uint64_t kNullOverheadBytes = 48;
+  static constexpr uint64_t kRowOverheadBytes = 24;
+
   const Vocabulary* vocab_;
   std::unordered_map<RelationId, RelationData> relations_;
   std::vector<RelationId> active_relations_;
   std::vector<std::string> null_labels_;
   std::vector<uint32_t> empty_rows_;
+  uint64_t approx_bytes_ = 0;
 };
 
 /// Copies all facts of `src` into `dst` (vocabularies must match).

@@ -46,7 +46,10 @@ Instance CoreSolution(TermArena* arena, Vocabulary* vocab,
                       const SchemaMapping& mapping, const Instance& source,
                       ChaseLimits limits) {
   ExchangeResult result = Solve(arena, vocab, mapping, source, limits);
-  return ComputeCore(arena, vocab, result.solution);
+  // Core minimization shares the caller's budget: on exhaustion it
+  // returns the best (possibly non-minimal) fold found so far.
+  ResourceGovernor governor(limits.budget);
+  return ComputeCore(arena, vocab, result.solution, &governor);
 }
 
 CertainAnswers TargetCertainAnswers(TermArena* arena, Vocabulary* vocab,

@@ -34,9 +34,11 @@ std::vector<Atom> CanonicalQuery(TermArena* arena, Vocabulary* vocab,
 
 std::optional<NullMap> FindHomomorphism(TermArena* arena, Vocabulary* vocab,
                                         const Instance& from,
-                                        const Instance& to) {
+                                        const Instance& to,
+                                        ResourceGovernor* governor) {
   std::vector<Atom> atoms = CanonicalQuery(arena, vocab, from);
   Matcher matcher(arena, &to, atoms);
+  matcher.set_governor(governor);
   Assignment assignment;
   if (!matcher.FindOne(&assignment)) return std::nullopt;
   NullMap map;
@@ -51,8 +53,9 @@ std::optional<NullMap> FindHomomorphism(TermArena* arena, Vocabulary* vocab,
 }
 
 bool HomomorphismExists(TermArena* arena, Vocabulary* vocab,
-                        const Instance& from, const Instance& to) {
-  return FindHomomorphism(arena, vocab, from, to).has_value();
+                        const Instance& from, const Instance& to,
+                        ResourceGovernor* governor) {
+  return FindHomomorphism(arena, vocab, from, to, governor).has_value();
 }
 
 bool HomomorphicallyEquivalent(TermArena* arena, Vocabulary* vocab,
@@ -80,7 +83,8 @@ Instance ApplyNullMap(const Instance& source, const NullMap& map) {
   return image;
 }
 
-Instance ComputeCore(TermArena* arena, Vocabulary* vocab, const Instance& j) {
+Instance ComputeCore(TermArena* arena, Vocabulary* vocab, const Instance& j,
+                     ResourceGovernor* governor) {
   Instance current(&j.vocab());
   CopyFacts(j, &current);
 
@@ -89,6 +93,9 @@ Instance ComputeCore(TermArena* arena, Vocabulary* vocab, const Instance& j) {
     reduced = false;
     std::vector<Fact> facts = current.AllFacts();
     for (const Fact& fact : facts) {
+      // Each retraction attempt costs at least one step; a budget stop
+      // leaves `current` as the best fold found so far.
+      if (governor != nullptr && !governor->Poll()) return current;
       bool has_null = false;
       for (Value v : fact.args) has_null |= v.is_null();
       if (!has_null) continue;  // constant facts are in every core
@@ -100,7 +107,8 @@ Instance ComputeCore(TermArena* arena, Vocabulary* vocab, const Instance& j) {
         if (!(f == fact)) target.AddFact(f);
       }
       std::optional<NullMap> hom =
-          FindHomomorphism(arena, vocab, current, target);
+          FindHomomorphism(arena, vocab, current, target, governor);
+      if (governor != nullptr && governor->exhausted()) return current;
       if (hom.has_value()) {
         current = ApplyNullMap(current, *hom);
         reduced = true;

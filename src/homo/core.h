@@ -6,6 +6,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "base/budget.h"
 #include "data/instance.h"
 #include "homo/matcher.h"
 #include "term/term.h"
@@ -20,13 +21,18 @@ using NullMap = std::unordered_map<uint32_t, Value>;
 /// Finds a homomorphism from `from` to `to` (both over the same
 /// Vocabulary). Returns std::nullopt when none exists. `vocab` and `arena`
 /// are scratch spaces used to build the canonical query of `from`.
+/// With a governor, the NP-hard search polls it per row probed and
+/// returns nullopt once exhausted (check governor->exhausted() to tell
+/// "none" from "ran out of budget").
 std::optional<NullMap> FindHomomorphism(TermArena* arena, Vocabulary* vocab,
                                         const Instance& from,
-                                        const Instance& to);
+                                        const Instance& to,
+                                        ResourceGovernor* governor = nullptr);
 
 /// True iff `from` maps homomorphically into `to`.
 bool HomomorphismExists(TermArena* arena, Vocabulary* vocab,
-                        const Instance& from, const Instance& to);
+                        const Instance& from, const Instance& to,
+                        ResourceGovernor* governor = nullptr);
 
 /// True iff the instances are homomorphically equivalent (J1 <-> J2).
 bool HomomorphicallyEquivalent(TermArena* arena, Vocabulary* vocab,
@@ -38,6 +44,10 @@ Instance ApplyNullMap(const Instance& source, const NullMap& map);
 /// Computes the core of `j`: repeatedly folds `j` into proper subinstances
 /// until no fact can be spared. Exponential worst case (the problem is
 /// NP-hard) but fast on the protected structures used in this library.
-Instance ComputeCore(TermArena* arena, Vocabulary* vocab, const Instance& j);
+/// With a governor, the search stops once the budget is exhausted and the
+/// current (partially folded, still homomorphically equivalent) instance
+/// is returned — a sound over-approximation of the core.
+Instance ComputeCore(TermArena* arena, Vocabulary* vocab, const Instance& j,
+                     ResourceGovernor* governor = nullptr);
 
 }  // namespace tgdkit

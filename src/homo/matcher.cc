@@ -114,6 +114,10 @@ bool Matcher::Search(
   bool any = false;
   std::vector<uint32_t> trail;
   auto try_row = [&](uint32_t row) {
+    if (governor_ != nullptr && !governor_->Poll()) {
+      *stopped = true;
+      return false;
+    }
     trail.clear();
     std::span<const Value> tuple = instance_->Tuple(plan.relation, row);
     if (TryBindTuple(plan, tuple, binding, &trail)) {

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/budget.h"
 #include "data/instance.h"
 #include "term/term.h"
 
@@ -65,6 +66,12 @@ class Matcher {
   /// The distinct variables of the query, in first-occurrence order.
   const std::vector<VariableId>& variables() const { return variables_; }
 
+  /// Attaches a resource governor: every candidate row probed counts as
+  /// one step, and the search unwinds cleanly (as if the callback had
+  /// stopped it) once the governor is exhausted. Callers distinguish a
+  /// budget stop from normal completion via governor->exhausted().
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+
  private:
   struct ArgSlot {
     bool is_variable;
@@ -90,6 +97,7 @@ class Matcher {
 
   const TermArena* arena_;
   const Instance* instance_;
+  ResourceGovernor* governor_ = nullptr;
   std::vector<AtomPlan> plans_;
   std::vector<VariableId> variables_;
   std::unordered_map<VariableId, uint32_t> var_index_;

@@ -47,9 +47,12 @@ std::string TgdViolation::ToString(const Vocabulary& vocab,
 
 std::optional<TgdViolation> FindTgdViolation(const TermArena& arena,
                                              const Instance& instance,
-                                             const Tgd& tgd) {
+                                             const Tgd& tgd,
+                                             ResourceGovernor* governor) {
   Matcher body(&arena, &instance, tgd.body);
+  body.set_governor(governor);
   Matcher head(&arena, &instance, tgd.head);
+  head.set_governor(governor);
   std::optional<TgdViolation> violation;
   body.ForEach({}, [&](const Assignment& assignment) {
     if (!head.Exists(assignment)) {
@@ -76,25 +79,32 @@ namespace {
 
 bool EvalNestedNode(const TermArena& arena, const Instance& instance,
                     const NestedNode& node, const Assignment& assignment,
-                    const std::vector<Value>& domain);
+                    const std::vector<Value>& domain,
+                    ResourceGovernor* governor);
 
 /// Checks one trigger of a nested node: given bindings for the node's
 /// body (and all outer variables), some choice of the existentials must
-/// satisfy the direct head atoms and, recursively, all children.
+/// satisfy the direct head atoms and, recursively, all children. A budget
+/// stop surfaces as "false" here; callers must consult the governor
+/// before trusting a negative verdict.
 bool EvalNestedConclusion(const TermArena& arena, const Instance& instance,
                           const NestedNode& node,
                           const Assignment& body_assignment,
-                          const std::vector<Value>& domain) {
+                          const std::vector<Value>& domain,
+                          ResourceGovernor* governor) {
   const std::vector<VariableId>& exist = node.exist_vars;
   std::function<bool(size_t, Assignment&)> choose =
       [&](size_t index, Assignment& current) -> bool {
+    if (governor != nullptr && !governor->Poll()) return false;
     if (index == exist.size()) {
       // All existentials chosen: direct head atoms must be facts.
       Matcher head(&arena, &instance, node.head_atoms);
+      head.set_governor(governor);
       Assignment probe = current;
       if (!node.head_atoms.empty() && !head.FindOne(&probe)) return false;
       for (const NestedNode& child : node.children) {
-        if (!EvalNestedNode(arena, instance, child, current, domain)) {
+        if (!EvalNestedNode(arena, instance, child, current, domain,
+                            governor)) {
           return false;
         }
       }
@@ -103,6 +113,7 @@ bool EvalNestedConclusion(const TermArena& arena, const Instance& instance,
     for (Value v : domain) {
       current[exist[index]] = v;
       if (choose(index + 1, current)) return true;
+      if (governor != nullptr && governor->exhausted()) break;
     }
     current.erase(exist[index]);
     return false;
@@ -116,12 +127,14 @@ bool EvalNestedConclusion(const TermArena& arena, const Instance& instance,
 /// choice of existentials.
 bool EvalNestedNode(const TermArena& arena, const Instance& instance,
                     const NestedNode& node, const Assignment& assignment,
-                    const std::vector<Value>& domain) {
+                    const std::vector<Value>& domain,
+                    ResourceGovernor* governor) {
   Matcher body(&arena, &instance, node.body);
+  body.set_governor(governor);
   bool ok = true;
   body.ForEach(assignment, [&](const Assignment& body_assignment) {
     if (!EvalNestedConclusion(arena, instance, node, body_assignment,
-                              domain)) {
+                              domain, governor)) {
       ok = false;
       return false;
     }
@@ -135,18 +148,21 @@ bool EvalNestedNode(const TermArena& arena, const Instance& instance,
 bool CheckNested(const TermArena& arena, const Instance& instance,
                  const NestedTgd& nested) {
   std::vector<Value> domain = instance.ActiveDomain();
-  return EvalNestedNode(arena, instance, nested.root, {}, domain);
+  return EvalNestedNode(arena, instance, nested.root, {}, domain, nullptr);
 }
 
 std::optional<TgdViolation> FindNestedViolation(const TermArena& arena,
                                                 const Instance& instance,
-                                                const NestedTgd& nested) {
+                                                const NestedTgd& nested,
+                                                ResourceGovernor* governor) {
   std::vector<Value> domain = instance.ActiveDomain();
   Matcher body(&arena, &instance, nested.root.body);
+  body.set_governor(governor);
   std::optional<TgdViolation> violation;
   body.ForEach({}, [&](const Assignment& body_assignment) {
     if (!EvalNestedConclusion(arena, instance, nested.root, body_assignment,
-                              domain)) {
+                              domain, governor)) {
+      if (governor != nullptr && governor->exhausted()) return false;
       violation = TgdViolation{body_assignment};
       return false;
     }
@@ -175,21 +191,40 @@ class SoSearcher {
  public:
   SoSearcher(const TermArena& arena, const Instance& instance,
              const SoTgd& so, const McOptions& options)
-      : arena_(arena), instance_(instance), options_(options) {
+      : arena_(arena),
+        instance_(instance),
+        options_(options),
+        governor_(options.budget) {
+    governor_.AddMemorySource([this] { return TableBytes(); });
+    governor_.AddMemorySource(
+        [this] { return constraints_.size() * kConstraintOverheadBytes; });
+    // Catch budgets that are exhausted on entry (a cancelled token, an
+    // already-passed deadline) even when the search itself would finish
+    // before the first slow-path poll.
+    governor_.CheckNow();
+    if (governor_.exhausted()) return;
     domain_ = instance.ActiveDomain();
     // Materialize all ground constraints: one per part per body
-    // homomorphism.
+    // homomorphism. This enumeration itself can be exponential, so it
+    // runs under the governor too.
     for (const SoPart& part : so.parts) {
       Matcher body(&arena_, &instance_, part.body);
+      body.set_governor(&governor_);
       body.ForEach({}, [&](const Assignment& assignment) {
         constraints_.push_back(Constraint{&part, assignment});
         return true;
       });
+      if (governor_.exhausted()) break;
     }
   }
 
   McResult Run() {
     McResult result;
+    if (governor_.exhausted()) {
+      result.budget_exceeded = true;
+      result.stop = governor_.reason();
+      return result;
+    }
     if (domain_.empty()) {
       // No active domain: bodies cannot match (non-empty by definition),
       // so there are no constraints and the SO tgd holds vacuously.
@@ -199,9 +234,13 @@ class SoSearcher {
     }
     bool ok = Satisfy(0);
     result.satisfied = ok;
-    result.budget_exceeded = budget_exceeded_;
+    result.budget_exceeded = budget_exceeded_ || governor_.exhausted();
     result.branches = branches_;
-    if (budget_exceeded_) result.satisfied = false;
+    if (result.budget_exceeded) {
+      result.satisfied = false;
+      result.stop = governor_.exhausted() ? governor_.reason()
+                                          : StopReason::kStepLimit;
+    }
     return result;
   }
 
@@ -282,6 +321,10 @@ class SoSearcher {
         budget_exceeded_ = true;
         return false;
       }
+      if (!governor_.Poll()) {
+        budget_exceeded_ = true;
+        return false;
+      }
       table_[blocked] = v;
       // Re-check the same constraint; it may block on further entries.
       if (Satisfy(index)) return true;
@@ -291,9 +334,18 @@ class SoSearcher {
     return false;
   }
 
+  /// Approximate bytes held by the partial function table (map nodes plus
+  /// the argument vectors inside the keys).
+  uint64_t TableBytes() const {
+    return table_.size() * (sizeof(EntryKey) + sizeof(Value) + 48);
+  }
+
+  static constexpr uint64_t kConstraintOverheadBytes = 96;
+
   const TermArena& arena_;
   const Instance& instance_;
   McOptions options_;
+  ResourceGovernor governor_;
   std::vector<Value> domain_;
   std::vector<Constraint> constraints_;
   std::map<EntryKey, Value> table_;
@@ -328,6 +380,7 @@ McResult CheckHenkins(TermArena* arena, Vocabulary* vocab,
     if (one.budget_exceeded) {
       combined.budget_exceeded = true;
       combined.satisfied = false;
+      combined.stop = one.stop;
       return combined;
     }
     if (!one.satisfied) {

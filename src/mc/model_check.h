@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "base/budget.h"
 #include "data/instance.h"
 #include "dep/dependency.h"
 #include "homo/matcher.h"
@@ -31,6 +32,9 @@ namespace tgdkit {
 struct McOptions {
   /// Maximum number of branching decisions before giving up.
   uint64_t max_branches = 50'000'000;
+  /// Cross-cutting resource budget (deadline, bytes, steps, cancellation).
+  /// One step = one matcher row probe or one branching decision.
+  ExecutionBudget budget;
 };
 
 /// Result of a (possibly budgeted) model check.
@@ -41,6 +45,13 @@ struct McResult {
   bool budget_exceeded = false;
   /// Branching decisions taken (second-order checks only).
   uint64_t branches = 0;
+  /// Why the search ended; kFixpoint means it ran to completion and
+  /// `satisfied` is authoritative.
+  StopReason stop = StopReason::kFixpoint;
+
+  /// Machine-readable outcome: Ok when complete, ResourceExhausted with
+  /// the stop reason otherwise.
+  Status ToStatus() const { return StopReasonToStatus(stop, "model check"); }
 };
 
 /// First-order model checking for a tgd.
@@ -56,10 +67,15 @@ struct TgdViolation {
                        const Instance& instance) const;
 };
 
-/// Finds a violating trigger of `tgd` in `instance`, if any.
+/// Finds a violating trigger of `tgd` in `instance`, if any. With a
+/// governor, the search stops cleanly once the budget is exhausted;
+/// `nullopt` then means "no violation found within budget" (check
+/// governor->exhausted()).
 std::optional<TgdViolation> FindTgdViolation(const TermArena& arena,
                                              const Instance& instance,
-                                             const Tgd& tgd);
+                                             const Tgd& tgd,
+                                             ResourceGovernor* governor =
+                                                 nullptr);
 
 /// Checks every tgd in the set.
 bool CheckTgds(const TermArena& arena, const Instance& instance,
@@ -71,10 +87,13 @@ bool CheckNested(const TermArena& arena, const Instance& instance,
 
 /// Finds a violating ROOT trigger of a nested tgd: a homomorphism of the
 /// root body for which no choice of existentials satisfies the nested
-/// conclusion. Returns nullopt when the instance is a model.
+/// conclusion. Returns nullopt when the instance is a model (or, with a
+/// governor, when the budget ran out first — check governor->exhausted()).
 std::optional<TgdViolation> FindNestedViolation(const TermArena& arena,
                                                 const Instance& instance,
-                                                const NestedTgd& nested);
+                                                const NestedTgd& nested,
+                                                ResourceGovernor* governor =
+                                                    nullptr);
 
 /// Second-order model checking for an SO tgd: searches for function
 /// interpretations over the active domain satisfying all parts.

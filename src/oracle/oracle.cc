@@ -6,7 +6,8 @@
 
 namespace tgdkit {
 
-bool ThreeColorable(const Graph& graph) {
+std::optional<bool> ThreeColorableBudgeted(const Graph& graph,
+                                           ResourceGovernor* governor) {
   if (graph.num_vertices == 0) return true;
   std::vector<std::vector<uint32_t>> adjacency(graph.num_vertices);
   for (const auto& [u, v] : graph.edges) {
@@ -15,11 +16,16 @@ bool ThreeColorable(const Graph& graph) {
     adjacency[v].push_back(u);
   }
   std::vector<int> color(graph.num_vertices, -1);
+  bool out_of_budget = false;
   std::function<bool(uint32_t)> assign = [&](uint32_t v) -> bool {
     if (v == graph.num_vertices) return true;
     // Symmetry breaking: the first vertex gets color 0 only.
     int limit = (v == 0) ? 1 : 3;
     for (int c = 0; c < limit; ++c) {
+      if (governor != nullptr && !governor->Poll()) {
+        out_of_budget = true;
+        return false;
+      }
       bool clash = false;
       for (uint32_t u : adjacency[v]) {
         if (u < v && color[u] == c) {
@@ -31,10 +37,17 @@ bool ThreeColorable(const Graph& graph) {
       color[v] = c;
       if (assign(v + 1)) return true;
       color[v] = -1;
+      if (out_of_budget) return false;
     }
     return false;
   };
-  return assign(0);
+  bool found = assign(0);
+  if (!found && out_of_budget) return std::nullopt;
+  return found;
+}
+
+bool ThreeColorable(const Graph& graph) {
+  return *ThreeColorableBudgeted(graph, nullptr);
 }
 
 namespace {
@@ -64,7 +77,12 @@ bool EvalQbfMatrix(const Qbf& qbf, const std::vector<bool>& x_values,
 }
 
 bool EvalQbfFrom(const Qbf& qbf, uint32_t pair, std::vector<bool>* x_values,
-                 std::vector<bool>* y_values) {
+                 std::vector<bool>* y_values, ResourceGovernor* governor,
+                 bool* out_of_budget) {
+  if (governor != nullptr && !governor->Poll()) {
+    *out_of_budget = true;
+    return false;
+  }
   if (pair == qbf.num_pairs) {
     return EvalQbfMatrix(qbf, *x_values, *y_values);
   }
@@ -74,10 +92,12 @@ bool EvalQbfFrom(const Qbf& qbf, uint32_t pair, std::vector<bool>* x_values,
     bool exists = false;
     for (bool y : {false, true}) {
       (*y_values)[pair] = y;
-      if (EvalQbfFrom(qbf, pair + 1, x_values, y_values)) {
+      if (EvalQbfFrom(qbf, pair + 1, x_values, y_values, governor,
+                      out_of_budget)) {
         exists = true;
         break;
       }
+      if (*out_of_budget) return false;
     }
     if (!exists) return false;
   }
@@ -86,10 +106,19 @@ bool EvalQbfFrom(const Qbf& qbf, uint32_t pair, std::vector<bool>* x_values,
 
 }  // namespace
 
-bool EvaluateQbf(const Qbf& qbf) {
+std::optional<bool> EvaluateQbfBudgeted(const Qbf& qbf,
+                                        ResourceGovernor* governor) {
   std::vector<bool> x_values(qbf.num_pairs, false);
   std::vector<bool> y_values(qbf.num_pairs, false);
-  return EvalQbfFrom(qbf, 0, &x_values, &y_values);
+  bool out_of_budget = false;
+  bool value =
+      EvalQbfFrom(qbf, 0, &x_values, &y_values, governor, &out_of_budget);
+  if (out_of_budget) return std::nullopt;
+  return value;
+}
+
+bool EvaluateQbf(const Qbf& qbf) {
+  return *EvaluateQbfBudgeted(qbf, nullptr);
 }
 
 namespace {
@@ -129,15 +158,34 @@ bool Extend(const PcpConfig& config, const std::vector<uint32_t>& w1,
   return true;
 }
 
+/// Approximate heap bytes of one enqueued configuration (vectors + the
+/// seen-set key), charged against a byte budget.
+uint64_t ConfigBytes(const PcpConfig& config) {
+  return (config.overhang.size() + config.sequence.size()) *
+             sizeof(uint32_t) * 2 +
+         96;
+}
+
 }  // namespace
 
-std::optional<std::vector<uint32_t>> SolvePcp(const PcpInstance& instance,
-                                              uint32_t max_sequence_length) {
+PcpSearchOutcome SolvePcpBudgeted(const PcpInstance& instance,
+                                  uint32_t max_sequence_length,
+                                  ResourceGovernor* governor) {
+  PcpSearchOutcome outcome;
   std::deque<PcpConfig> queue;
   std::set<std::pair<bool, std::vector<uint32_t>>> seen;
 
+  auto poll = [&]() {
+    ++outcome.configs;
+    if (governor == nullptr) return true;
+    if (governor->Poll()) return true;
+    outcome.stop = governor->reason();
+    return false;
+  };
+
   // First selections.
   for (uint32_t i = 0; i < instance.pairs.size(); ++i) {
+    if (!poll()) return outcome;
     PcpConfig start{true, {}, {}};
     PcpConfig next;
     if (!Extend(start, instance.pairs[i].first, instance.pairs[i].second,
@@ -145,8 +193,14 @@ std::optional<std::vector<uint32_t>> SolvePcp(const PcpInstance& instance,
       continue;
     }
     next.sequence = {i + 1};
-    if (next.overhang.empty()) return next.sequence;
-    if (seen.insert(next.Key()).second) queue.push_back(std::move(next));
+    if (next.overhang.empty()) {
+      outcome.witness = std::move(next.sequence);
+      return outcome;
+    }
+    if (seen.insert(next.Key()).second) {
+      if (governor != nullptr) governor->ChargeBytes(ConfigBytes(next));
+      queue.push_back(std::move(next));
+    }
   }
 
   while (!queue.empty()) {
@@ -154,6 +208,7 @@ std::optional<std::vector<uint32_t>> SolvePcp(const PcpInstance& instance,
     queue.pop_front();
     if (config.sequence.size() >= max_sequence_length) continue;
     for (uint32_t i = 0; i < instance.pairs.size(); ++i) {
+      if (!poll()) return outcome;
       PcpConfig next;
       if (!Extend(config, instance.pairs[i].first, instance.pairs[i].second,
                   &next)) {
@@ -161,11 +216,22 @@ std::optional<std::vector<uint32_t>> SolvePcp(const PcpInstance& instance,
       }
       next.sequence = config.sequence;
       next.sequence.push_back(i + 1);
-      if (next.overhang.empty()) return next.sequence;
-      if (seen.insert(next.Key()).second) queue.push_back(std::move(next));
+      if (next.overhang.empty()) {
+        outcome.witness = std::move(next.sequence);
+        return outcome;
+      }
+      if (seen.insert(next.Key()).second) {
+        if (governor != nullptr) governor->ChargeBytes(ConfigBytes(next));
+        queue.push_back(std::move(next));
+      }
     }
   }
-  return std::nullopt;
+  return outcome;
+}
+
+std::optional<std::vector<uint32_t>> SolvePcp(const PcpInstance& instance,
+                                              uint32_t max_sequence_length) {
+  return SolvePcpBudgeted(instance, max_sequence_length, nullptr).witness;
 }
 
 bool CheckPcpSolution(const PcpInstance& instance,

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
+
 namespace tgdkit {
 
 // ---------------------------------------------------------------------------
@@ -22,6 +24,13 @@ struct Graph {
 
 /// Exhaustive 3-colorability test (with first-vertex symmetry breaking).
 bool ThreeColorable(const Graph& graph);
+
+/// Budgeted variant: polls `governor` once per color assignment tried and
+/// returns nullopt when the budget runs out before the search completes
+/// (governor->reason() says why). The unbudgeted overload above is
+/// equivalent to passing an unlimited governor.
+std::optional<bool> ThreeColorableBudgeted(const Graph& graph,
+                                           ResourceGovernor* governor);
 
 // ---------------------------------------------------------------------------
 // Quantified Boolean formulas (Theorem 6.3)
@@ -46,6 +55,11 @@ struct Qbf {
 /// Exhaustive QBF evaluation by quantifier recursion.
 bool EvaluateQbf(const Qbf& qbf);
 
+/// Budgeted variant: polls `governor` once per quantifier-tree node and
+/// returns nullopt when the budget runs out mid-evaluation.
+std::optional<bool> EvaluateQbfBudgeted(const Qbf& qbf,
+                                        ResourceGovernor* governor);
+
 // ---------------------------------------------------------------------------
 // Post's Correspondence Problem (Theorems 5.1, 5.2)
 
@@ -62,6 +76,27 @@ struct PcpInstance {
 /// undecidable, so "nullopt" only means "none within the bound".
 std::optional<std::vector<uint32_t>> SolvePcp(const PcpInstance& instance,
                                               uint32_t max_sequence_length);
+
+/// Outcome of the budgeted PCP search, distinguishing "no solution within
+/// the length bound" (search complete) from a resource stop mid-search.
+struct PcpSearchOutcome {
+  std::optional<std::vector<uint32_t>> witness;
+  /// kFixpoint when the bounded search ran to completion; a resource stop
+  /// reason when the budget cut it short (the absence of a witness is
+  /// then inconclusive even within the bound).
+  StopReason stop = StopReason::kFixpoint;
+  /// Configurations expanded (also the governor step count).
+  uint64_t configs = 0;
+
+  bool Complete() const { return stop == StopReason::kFixpoint; }
+};
+
+/// Budgeted variant of SolvePcp: polls `governor` once per configuration
+/// expanded and charges it per configuration enqueued, so a byte budget
+/// bounds the (worst-case exponential) BFS frontier and seen-set.
+PcpSearchOutcome SolvePcpBudgeted(const PcpInstance& instance,
+                                  uint32_t max_sequence_length,
+                                  ResourceGovernor* governor);
 
 /// Checks a candidate solution (1-based pair indexes).
 bool CheckPcpSolution(const PcpInstance& instance,

@@ -132,9 +132,19 @@ class Cursor {
   Vocabulary* vocab_;
 };
 
+/// Maximum syntactic nesting of function terms. The recursive-descent
+/// parser uses one stack frame per level; the cap keeps hostile inputs
+/// like f(f(f(...))) from overflowing the stack (clean ParseError
+/// instead). Far above anything a real dependency program needs.
+constexpr uint32_t kMaxTermNesting = 1000;
+
 /// Parses a term in dependency context: identifiers are variables (or
 /// function applications when followed by '('), strings/ints constants.
-Result<TermId> ParseTerm(Cursor* c) {
+Result<TermId> ParseTerm(Cursor* c, uint32_t depth = 0) {
+  if (depth > kMaxTermNesting) {
+    return c->Error(
+        Cat("term nesting deeper than ", kMaxTermNesting, " levels"));
+  }
   if (c->At(TokenKind::kString) || c->At(TokenKind::kInt)) {
     return c->arena()->MakeConstant(c->vocab()->InternConstant(c->Take().text));
   }
@@ -146,7 +156,7 @@ Result<TermId> ParseTerm(Cursor* c) {
   std::vector<TermId> args;
   if (!c->At(TokenKind::kRParen)) {
     for (;;) {
-      Result<TermId> arg = ParseTerm(c);
+      Result<TermId> arg = ParseTerm(c, depth + 1);
       if (!arg.ok()) return arg.status();
       args.push_back(*arg);
       if (!c->TryTake(TokenKind::kComma)) break;

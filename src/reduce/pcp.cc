@@ -263,6 +263,8 @@ PcpChaseOutcome SemiDecidePcp(TermArena* arena, Vocabulary* vocab,
   outcome.rounds = engine.rounds();
   outcome.facts = engine.instance().NumFacts();
   outcome.stop = engine.stop_reason();
+  outcome.budget_steps = engine.governor().steps();
+  outcome.budget_bytes = engine.governor().memory_bytes();
   return outcome;
 }
 

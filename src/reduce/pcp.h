@@ -80,6 +80,16 @@ struct PcpChaseOutcome {
   uint64_t rounds = 0;
   uint64_t facts = 0;
   ChaseStop stop = ChaseStop::kFixpoint;
+  /// Governor telemetry: chase steps taken and bytes observed.
+  uint64_t budget_steps = 0;
+  uint64_t budget_bytes = 0;
+
+  /// Ok when the goal was reached or a true fixpoint proved it
+  /// unreachable; ResourceExhausted when a budget cut the search short.
+  Status ToStatus() const {
+    if (solved || stop == ChaseStop::kFixpoint) return Status::Ok();
+    return StopReasonToStatus(stop, "pcp semi-decision");
+  }
 };
 
 /// Runs the chase on the given rule set as a semi-decision procedure:

@@ -75,6 +75,16 @@ class TermArena {
 
   size_t size() const { return nodes_.size(); }
 
+  /// Approximate heap footprint in bytes, for memory-budget accounting
+  /// (ResourceGovernor memory source). O(1); counts node/argument storage
+  /// plus an amortized estimate of the hash-cons buckets.
+  uint64_t ApproxBytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           args_.capacity() * sizeof(TermId) +
+           nodes_.size() * sizeof(TermId) +  // bucket entries
+           buckets_.size() * kBucketOverheadBytes;
+  }
+
  private:
   struct Node {
     TermKind kind;
@@ -82,6 +92,9 @@ class TermArena {
     uint32_t first_arg;
     uint32_t num_args;
   };
+
+  /// Estimated per-bucket overhead of the hash-cons map (node + vector).
+  static constexpr uint64_t kBucketOverheadBytes = 64;
 
   TermId InternNode(TermKind kind, SymbolId symbol,
                     std::span<const TermId> args);

@@ -1,0 +1,633 @@
+// Tests for the unified resource governor (base/budget.h) and
+// fault-injection stress for the engines that poll it: the chase, the
+// second-order model checker, and the brute-force oracles are each run
+// against Figure 4 style non-terminating / exponential workloads under
+// progressively tighter budgets, asserting a clean, deterministic,
+// machine-readable stop every time.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "base/budget.h"
+#include "chase/chase.h"
+#include "cli/cli.h"
+#include "dep/skolem.h"
+#include "mc/model_check.h"
+#include "oracle/oracle.h"
+#include "parse/parser.h"
+#include "reduce/pcp.h"
+#include "tests/test_util.h"
+
+namespace tgdkit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ResourceGovernor unit tests
+
+TEST(ResourceGovernorTest, UnlimitedGovernorOnlyCounts) {
+  ResourceGovernor governor;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(governor.Poll());
+  }
+  EXPECT_FALSE(governor.exhausted());
+  EXPECT_EQ(governor.reason(), StopReason::kFixpoint);
+  EXPECT_EQ(governor.steps(), 5000u);
+  EXPECT_TRUE(governor.ToStatus("work").ok());
+}
+
+TEST(ResourceGovernorTest, StepLimitStopsExactlyAtTheLimit) {
+  // Both below and above kCheckInterval, Poll() must return false for the
+  // first time exactly on the max_steps-th call — a deterministic stop.
+  for (uint64_t limit : {7ull, 1000ull, 5000ull}) {
+    ExecutionBudget budget;
+    budget.max_steps = limit;
+    ResourceGovernor governor(budget);
+    uint64_t granted = 0;
+    while (governor.Poll()) ++granted;
+    EXPECT_EQ(granted, limit - 1) << "limit " << limit;
+    EXPECT_EQ(governor.steps(), limit);
+    EXPECT_TRUE(governor.exhausted());
+    EXPECT_EQ(governor.reason(), StopReason::kStepLimit);
+    // Once exhausted, always exhausted.
+    EXPECT_FALSE(governor.Poll());
+    EXPECT_EQ(governor.steps(), limit);
+  }
+}
+
+TEST(ResourceGovernorTest, DeadlineStops) {
+  ExecutionBudget budget;
+  budget.deadline_ms = 20;
+  ResourceGovernor governor(budget);
+  // Busy-poll until the deadline trips; bound the loop so a broken
+  // governor fails instead of hanging.
+  uint64_t polls = 0;
+  while (governor.Poll() && polls < (1ull << 40)) ++polls;
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.reason(), StopReason::kDeadline);
+  EXPECT_GE(governor.elapsed_ms(), 20.0);
+  EXPECT_EQ(governor.ToStatus("chase").code(), Status::Code::kResourceExhausted);
+}
+
+TEST(ResourceGovernorTest, MemorySourceTripsTheByteBudget) {
+  ExecutionBudget budget;
+  budget.max_memory_bytes = 1000;
+  ResourceGovernor governor(budget);
+  uint64_t bytes = 0;
+  governor.AddMemorySource([&bytes] { return bytes; });
+  ASSERT_TRUE(governor.CheckNow());
+  bytes = 4096;
+  EXPECT_FALSE(governor.CheckNow());
+  EXPECT_EQ(governor.reason(), StopReason::kMemoryLimit);
+  EXPECT_GE(governor.memory_bytes(), 4096u);
+}
+
+TEST(ResourceGovernorTest, ChargedBytesCountAgainstTheBudget) {
+  ExecutionBudget budget;
+  budget.max_memory_bytes = 1000;
+  ResourceGovernor governor(budget);
+  governor.ChargeBytes(512);
+  ASSERT_TRUE(governor.CheckNow());
+  governor.ChargeBytes(512);
+  EXPECT_FALSE(governor.CheckNow());
+  EXPECT_EQ(governor.reason(), StopReason::kMemoryLimit);
+}
+
+TEST(ResourceGovernorTest, CancellationFromAnotherThread) {
+  ExecutionBudget budget;
+  ResourceGovernor governor(budget);
+  std::thread canceller([&budget] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    budget.cancel.Cancel();
+  });
+  uint64_t polls = 0;
+  while (governor.Poll() && polls < (1ull << 40)) ++polls;
+  canceller.join();
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.reason(), StopReason::kCancelled);
+}
+
+TEST(ResourceGovernorTest, FirstRecordedStopReasonWins) {
+  ResourceGovernor governor;
+  governor.MarkExhausted(StopReason::kFixpoint);  // not a stop: ignored
+  EXPECT_FALSE(governor.exhausted());
+  governor.MarkExhausted(StopReason::kFactLimit);
+  governor.MarkExhausted(StopReason::kDeadline);
+  EXPECT_EQ(governor.reason(), StopReason::kFactLimit);
+  EXPECT_FALSE(governor.Poll());
+}
+
+TEST(StopReasonTest, StatusMapping) {
+  EXPECT_TRUE(StopReasonToStatus(StopReason::kFixpoint, "x").ok());
+  for (StopReason stop :
+       {StopReason::kRoundLimit, StopReason::kFactLimit,
+        StopReason::kDepthLimit, StopReason::kStepLimit,
+        StopReason::kDeadline, StopReason::kMemoryLimit,
+        StopReason::kCancelled}) {
+    Status status = StopReasonToStatus(stop, "engine");
+    EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+    EXPECT_NE(status.ToString().find(ToString(stop)), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chase under budgets (Figure 4: the chase may legitimately run forever)
+
+class BudgetedChaseTest : public ::testing::Test {
+ protected:
+  /// A non-terminating Skolem chase: N(x) -> N(f(x)), E(x, f(x)).
+  SoTgd ForeverRules() {
+    FunctionId f = ws_.vocab.InternFunction("f", 1);
+    SoTgd so;
+    so.functions = {f};
+    SoPart part;
+    part.body = {ws_.A("N", {ws_.V("x")})};
+    part.head = {ws_.A("N", {ws_.F("f", {ws_.V("x")})}),
+                 ws_.A("E", {ws_.V("x"), ws_.F("f", {ws_.V("x")})})};
+    so.parts = {part};
+    return so;
+  }
+
+  Instance Seed() {
+    Instance input(&ws_.vocab);
+    input.AddFact(ws_.Fc("N", {"c"}));
+    return input;
+  }
+
+  /// Structural caps opened wide so only the governed budget can stop it.
+  ChaseLimits OpenLimits() {
+    ChaseLimits limits;
+    limits.max_rounds = 1ull << 40;
+    limits.max_facts = 1ull << 40;
+    limits.max_term_depth = 1u << 30;
+    return limits;
+  }
+
+  TestWorkspace ws_;
+};
+
+TEST_F(BudgetedChaseTest, StepLimitStopsDeterministically) {
+  ChaseLimits limits = OpenLimits();
+  limits.budget.max_steps = 3000;
+  ChaseResult first = Chase(&ws_.arena, &ws_.vocab, ForeverRules(), Seed(),
+                            limits);
+  EXPECT_EQ(first.stop_reason, StopReason::kStepLimit);
+  EXPECT_EQ(first.ToStatus().code(), Status::Code::kResourceExhausted);
+  EXPECT_GT(first.instance.NumFacts(), 0u);
+
+  // Same budget, fresh workspace: byte-identical outcome.
+  TestWorkspace ws2;
+  Instance seed2(&ws2.vocab);
+  seed2.AddFact(ws2.Fc("N", {"c"}));
+  FunctionId f = ws2.vocab.InternFunction("f", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart part;
+  part.body = {ws2.A("N", {ws2.V("x")})};
+  part.head = {ws2.A("N", {ws2.F("f", {ws2.V("x")})}),
+               ws2.A("E", {ws2.V("x"), ws2.F("f", {ws2.V("x")})})};
+  so.parts = {part};
+  ChaseResult second = Chase(&ws2.arena, &ws2.vocab, so, seed2, limits);
+  EXPECT_EQ(second.stop_reason, first.stop_reason);
+  EXPECT_EQ(second.rounds, first.rounds);
+  EXPECT_EQ(second.facts_created, first.facts_created);
+  EXPECT_EQ(second.budget_steps, first.budget_steps);
+}
+
+TEST_F(BudgetedChaseTest, DeadlineStopsTheForeverChase) {
+  ChaseLimits limits = OpenLimits();
+  limits.budget.deadline_ms = 50;
+  ChaseResult result = Chase(&ws_.arena, &ws_.vocab, ForeverRules(), Seed(),
+                             limits);
+  EXPECT_EQ(result.stop_reason, StopReason::kDeadline);
+  EXPECT_EQ(result.ToStatus().code(), Status::Code::kResourceExhausted);
+  EXPECT_GT(result.facts_created, 0u);
+}
+
+TEST_F(BudgetedChaseTest, MemoryBudgetStopsTheForeverChase) {
+  ChaseLimits limits = OpenLimits();
+  limits.budget.max_memory_bytes = 256 * 1024;
+  ChaseResult result = Chase(&ws_.arena, &ws_.vocab, ForeverRules(), Seed(),
+                             limits);
+  EXPECT_EQ(result.stop_reason, StopReason::kMemoryLimit);
+  EXPECT_GE(result.budget_bytes, 256u * 1024u);
+}
+
+TEST_F(BudgetedChaseTest, PreCancelledBudgetStopsImmediately) {
+  ChaseLimits limits = OpenLimits();
+  limits.budget.cancel.Cancel();
+  ChaseResult result = Chase(&ws_.arena, &ws_.vocab, ForeverRules(), Seed(),
+                             limits);
+  EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+}
+
+TEST_F(BudgetedChaseTest, CancellationFromAnotherThreadStopsTheChase) {
+  ChaseLimits limits = OpenLimits();
+  CancellationToken token = limits.budget.cancel;
+  std::thread canceller([token]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel();
+  });
+  ChaseResult result = Chase(&ws_.arena, &ws_.vocab, ForeverRules(), Seed(),
+                             limits);
+  canceller.join();
+  EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(result.ToStatus().code(), Status::Code::kResourceExhausted);
+}
+
+TEST_F(BudgetedChaseTest, RestrictedChaseHonorsTheBudget) {
+  // N(x) -> ∃y E(x,y) ∧ N(y): non-terminating under the restricted chase.
+  Tgd tgd;
+  tgd.body = {ws_.A("N", {ws_.V("x")})};
+  tgd.head = {ws_.A("E", {ws_.V("x"), ws_.V("y")}),
+              ws_.A("N", {ws_.V("y")})};
+  tgd.exist_vars = {ws_.Vid("y")};
+  std::vector<Tgd> tgds = {tgd};
+
+  ChaseLimits limits = OpenLimits();
+  limits.budget.max_steps = 2000;
+  ChaseResult result = RestrictedChaseTgds(&ws_.arena, &ws_.vocab, tgds,
+                                           Seed(), limits);
+  EXPECT_EQ(result.stop_reason, StopReason::kStepLimit);
+  EXPECT_GT(result.facts_created, 0u);
+
+  ChaseLimits timed = OpenLimits();
+  timed.budget.deadline_ms = 50;
+  ChaseResult by_time = RestrictedChaseTgds(&ws_.arena, &ws_.vocab, tgds,
+                                            Seed(), timed);
+  EXPECT_EQ(by_time.stop_reason, StopReason::kDeadline);
+}
+
+TEST_F(BudgetedChaseTest, DepthLimitCommitsNoPartialHead) {
+  // Regression: a trigger whose head overflows the depth budget midway
+  // must contribute nothing. Head order P(x), N(f(x)) means the depth
+  // overflow strikes after P(x) was staged; P for the aborted trigger
+  // must still be absent.
+  FunctionId f = ws_.vocab.InternFunction("f", 1);
+  SoTgd so;
+  so.functions = {f};
+  SoPart part;
+  part.body = {ws_.A("N", {ws_.V("x")})};
+  part.head = {ws_.A("P", {ws_.V("x")}),
+               ws_.A("N", {ws_.F("f", {ws_.V("x")})})};
+  so.parts = {part};
+
+  ChaseLimits limits;
+  limits.max_rounds = 1ull << 40;
+  limits.max_facts = 1ull << 40;
+  limits.max_term_depth = 5;
+  ChaseResult result = Chase(&ws_.arena, &ws_.vocab, so, Seed(), limits);
+  EXPECT_EQ(result.stop_reason, StopReason::kDepthLimit);
+  RelationId p = ws_.vocab.FindRelation("P");
+  RelationId n = ws_.vocab.FindRelation("N");
+  // Terms of depth 0..5 exist in N (seed + 5 successors); the trigger on
+  // the depth-5 term aborts, so exactly the depth-0..4 triggers committed
+  // their P facts: one fewer than the N tuples.
+  EXPECT_EQ(result.instance.NumTuples(n),
+            result.instance.NumTuples(p) + 1);
+}
+
+// ---------------------------------------------------------------------------
+// PCP semi-decision under budgets (Figure 4 encodings)
+
+class BudgetedPcpTest : public ::testing::Test {
+ protected:
+  PcpInstance Unsolvable() {
+    PcpInstance pcp;
+    pcp.alphabet_size = 2;
+    pcp.pairs = {{{1}, {2}}, {{2}, {1}}};
+    return pcp;
+  }
+
+  PcpChaseOutcome RunWith(ExecutionBudget budget) {
+    TestWorkspace ws;
+    PcpEncoding enc = BuildPcpEncoding(&ws.arena, &ws.vocab, Unsolvable());
+    SoTgd rules = enc.HenkinRuleSet(&ws.arena, &ws.vocab);
+    ChaseLimits limits;
+    limits.max_rounds = 1ull << 40;
+    limits.max_facts = 1ull << 40;
+    limits.max_term_depth = 1u << 30;
+    limits.budget = budget;
+    return SemiDecidePcp(&ws.arena, &ws.vocab, enc, rules, limits);
+  }
+};
+
+TEST_F(BudgetedPcpTest, ProgressivelyTighterDeadlinesAlwaysStopCleanly) {
+  for (uint64_t deadline : {200ull, 50ull, 10ull, 1ull}) {
+    ExecutionBudget budget;
+    budget.deadline_ms = deadline;
+    PcpChaseOutcome outcome = RunWith(budget);
+    EXPECT_FALSE(outcome.solved) << "deadline " << deadline;
+    EXPECT_EQ(outcome.stop, StopReason::kDeadline);
+    EXPECT_EQ(outcome.ToStatus().code(), Status::Code::kResourceExhausted);
+  }
+}
+
+TEST_F(BudgetedPcpTest, ProgressivelyTighterStepBudgetsAreDeterministic) {
+  for (uint64_t steps : {50000ull, 5000ull, 500ull, 1ull}) {
+    ExecutionBudget budget;
+    budget.max_steps = steps;
+    PcpChaseOutcome first = RunWith(budget);
+    PcpChaseOutcome second = RunWith(budget);
+    EXPECT_EQ(first.stop, StopReason::kStepLimit) << "steps " << steps;
+    EXPECT_EQ(first.rounds, second.rounds);
+    EXPECT_EQ(first.facts, second.facts);
+    EXPECT_EQ(first.budget_steps, second.budget_steps);
+  }
+}
+
+TEST_F(BudgetedPcpTest, MemoryBudgetStopsTheEncodingChase) {
+  ExecutionBudget budget;
+  budget.max_memory_bytes = 512 * 1024;
+  PcpChaseOutcome outcome = RunWith(budget);
+  EXPECT_EQ(outcome.stop, StopReason::kMemoryLimit);
+  EXPECT_FALSE(outcome.solved);
+}
+
+TEST_F(BudgetedPcpTest, CancellationStopsTheEncodingChase) {
+  ExecutionBudget budget;
+  budget.cancel.Cancel();
+  PcpChaseOutcome outcome = RunWith(budget);
+  EXPECT_EQ(outcome.stop, StopReason::kCancelled);
+}
+
+TEST_F(BudgetedPcpTest, SolvableInstanceStillSolvesUnderAmpleBudget) {
+  TestWorkspace ws;
+  PcpInstance pcp;
+  pcp.alphabet_size = 2;
+  pcp.pairs = {{{1, 2}, {1}}, {{2}, {2, 2}}};
+  PcpEncoding enc = BuildPcpEncoding(&ws.arena, &ws.vocab, pcp);
+  SoTgd rules = enc.HenkinRuleSet(&ws.arena, &ws.vocab);
+  ChaseLimits limits;
+  limits.budget.deadline_ms = 60000;  // ample: only a safety net
+  PcpChaseOutcome outcome =
+      SemiDecidePcp(&ws.arena, &ws.vocab, enc, rules, limits);
+  EXPECT_TRUE(outcome.solved);
+  EXPECT_TRUE(outcome.ToStatus().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Model checking under budgets
+
+class BudgetedMcTest : public ::testing::Test {
+ protected:
+  TestWorkspace ws_;
+};
+
+TEST_F(BudgetedMcTest, SoCheckReportsStructuredStepLimitStop) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies("so exists f { P(x) -> R(x, f(x)) } .");
+  ASSERT_TRUE(program.ok());
+  Instance inst(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto("P(a). P(b). R(a, a2). R(b, b2).", &inst)
+                  .ok());
+  McOptions options;
+  options.budget.max_steps = 1;
+  McResult result = CheckSo(ws_.arena, inst, program->dependencies[0].so,
+                            options);
+  EXPECT_TRUE(result.budget_exceeded);
+  EXPECT_EQ(result.stop, StopReason::kStepLimit);
+  EXPECT_EQ(result.ToStatus().code(), Status::Code::kResourceExhausted);
+  // Untouched budget: the same check completes and reports kFixpoint.
+  McResult ok = CheckSo(ws_.arena, inst, program->dependencies[0].so);
+  EXPECT_TRUE(ok.satisfied);
+  EXPECT_EQ(ok.stop, StopReason::kFixpoint);
+  EXPECT_TRUE(ok.ToStatus().ok());
+}
+
+TEST_F(BudgetedMcTest, SoCheckHonorsCancellation) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies("so exists f { P(x) -> R(x, f(x)) } .");
+  ASSERT_TRUE(program.ok());
+  Instance inst(&ws_.vocab);
+  ASSERT_TRUE(p.ParseInstanceInto("P(a). P(b). R(a, a2). R(b, b2).", &inst)
+                  .ok());
+  McOptions options;
+  options.budget.cancel.Cancel();
+  McResult result = CheckSo(ws_.arena, inst, program->dependencies[0].so,
+                            options);
+  EXPECT_TRUE(result.budget_exceeded);
+  EXPECT_EQ(result.stop, StopReason::kCancelled);
+}
+
+TEST_F(BudgetedMcTest, HenkinCheckPropagatesTheStopReason) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "henkin { forall e ; exists m(e) } Emp(e) -> Mgr(e, m) .");
+  ASSERT_TRUE(program.ok());
+  Instance inst(&ws_.vocab);
+  ASSERT_TRUE(
+      p.ParseInstanceInto("Emp(a). Emp(b). Mgr(a, x). Mgr(b, y).", &inst)
+          .ok());
+  McOptions options;
+  options.budget.max_steps = 1;
+  McResult result = CheckHenkin(&ws_.arena, &ws_.vocab, inst,
+                                program->dependencies[0].henkin, options);
+  EXPECT_TRUE(result.budget_exceeded);
+  EXPECT_EQ(result.stop, StopReason::kStepLimit);
+}
+
+TEST_F(BudgetedMcTest, TgdViolationSearchStopsOnBudget) {
+  Tgd tgd;
+  tgd.body = {ws_.A("E", {ws_.V("x"), ws_.V("y")})};
+  tgd.head = {ws_.A("E", {ws_.V("y"), ws_.V("z")})};
+  tgd.exist_vars = {ws_.Vid("z")};
+  Instance inst(&ws_.vocab);
+  for (int i = 0; i < 40; ++i) {
+    inst.AddFact(ws_.Fc("E", {"a" + std::to_string(i),
+                              "a" + std::to_string(i + 1)}));
+  }
+  ExecutionBudget budget;
+  budget.max_steps = 1;
+  ResourceGovernor governor(budget);
+  auto violation = FindTgdViolation(ws_.arena, inst, tgd, &governor);
+  EXPECT_TRUE(governor.exhausted());
+  EXPECT_EQ(governor.reason(), StopReason::kStepLimit);
+  // nullopt here means "none found within budget", not "satisfied".
+  EXPECT_FALSE(violation.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Oracles under budgets
+
+TEST(BudgetedOracleTest, ThreeColoringStopsOnStepBudget) {
+  // Odd wheel: not 3-colorable, forcing a full exponential refutation.
+  Graph graph;
+  graph.num_vertices = 12;
+  for (uint32_t i = 1; i < graph.num_vertices; ++i) {
+    graph.edges.push_back({0, i});
+    uint32_t next = (i % (graph.num_vertices - 1)) + 1;
+    graph.edges.push_back({i, next});
+  }
+  ExecutionBudget budget;
+  budget.max_steps = 1;
+  ResourceGovernor governor(budget);
+  EXPECT_EQ(ThreeColorableBudgeted(graph, &governor), std::nullopt);
+  EXPECT_EQ(governor.reason(), StopReason::kStepLimit);
+
+  // Unlimited governor and the unbudgeted overload agree.
+  ResourceGovernor unlimited;
+  EXPECT_EQ(ThreeColorableBudgeted(graph, &unlimited),
+            std::optional<bool>(ThreeColorable(graph)));
+}
+
+TEST(BudgetedOracleTest, QbfEvaluationStopsOnStepBudget) {
+  // ∀x₁∃y₁ ∀x₂∃y₂ … with clauses (xᵢ ∨ yᵢ ∨ ¬yᵢ): trivially true but the
+  // evaluator still walks the quantifier tree.
+  Qbf qbf;
+  qbf.num_pairs = 10;
+  for (uint32_t i = 0; i < qbf.num_pairs; ++i) {
+    qbf.clauses.push_back(
+        {QbfLiteral{QbfLiteral::Kind::kUniversal, i, false},
+         QbfLiteral{QbfLiteral::Kind::kExistential, i, false},
+         QbfLiteral{QbfLiteral::Kind::kExistential, i, true}});
+  }
+  ExecutionBudget budget;
+  budget.max_steps = 1;
+  ResourceGovernor governor(budget);
+  EXPECT_EQ(EvaluateQbfBudgeted(qbf, &governor), std::nullopt);
+  EXPECT_EQ(governor.reason(), StopReason::kStepLimit);
+
+  ResourceGovernor unlimited;
+  EXPECT_EQ(EvaluateQbfBudgeted(qbf, &unlimited),
+            std::optional<bool>(EvaluateQbf(qbf)));
+}
+
+TEST(BudgetedOracleTest, PcpSearchStopsOnStepBudget) {
+  // (11, 1): the overhang grows forever; only the length bound or the
+  // budget ends the BFS.
+  PcpInstance pcp;
+  pcp.alphabet_size = 1;
+  pcp.pairs = {{{1, 1}, {1}}};
+  ExecutionBudget budget;
+  budget.max_steps = 100;
+  ResourceGovernor governor(budget);
+  PcpSearchOutcome outcome = SolvePcpBudgeted(pcp, 1u << 20, &governor);
+  EXPECT_FALSE(outcome.witness.has_value());
+  EXPECT_FALSE(outcome.Complete());
+  EXPECT_EQ(outcome.stop, StopReason::kStepLimit);
+  EXPECT_GT(outcome.configs, 0u);
+}
+
+TEST(BudgetedOracleTest, PcpSearchStopsOnMemoryBudget) {
+  PcpInstance pcp;
+  pcp.alphabet_size = 1;
+  pcp.pairs = {{{1, 1}, {1}}};
+  ExecutionBudget budget;
+  budget.max_memory_bytes = 4096;
+  ResourceGovernor governor(budget);
+  PcpSearchOutcome outcome = SolvePcpBudgeted(pcp, 1u << 20, &governor);
+  EXPECT_FALSE(outcome.Complete());
+  EXPECT_EQ(outcome.stop, StopReason::kMemoryLimit);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the CLI surface of the budget
+
+class BudgetTempFile {
+ public:
+  BudgetTempFile(const std::string& tag, const std::string& content) {
+    static int counter = 0;
+    path_ = testing::TempDir() + "/tgdkit_budget_" + tag + "_" +
+            std::to_string(counter++) + ".txt";
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~BudgetTempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(BudgetCliTest, DeadlineStopsNonTerminatingChaseWithCleanStatus) {
+  // A chase that runs forever must exit 0 under --deadline-ms with a
+  // partial instance and a machine-readable ResourceExhausted status.
+  BudgetTempFile deps("deps", "succ: N(x) -> exists y . N(y) & E(x, y) .\n");
+  BudgetTempFile inst("inst", "N(a) .\n");
+  std::ostringstream out, err;
+  int code = RunCli({"chase", deps.path(), inst.path(), "--deadline-ms",
+                     "200", "--max-depth", "100000000", "--max-rounds",
+                     "100000000", "--max-facts", "1000000000"},
+                    out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_NE(out.str().find("# chase deadline"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find(
+                "# status: ResourceExhausted: chase stopped by deadline"),
+            std::string::npos)
+      << out.str();
+  // The partial instance is printed after the status lines.
+  EXPECT_NE(out.str().find("N(a)"), std::string::npos);
+}
+
+TEST(BudgetCliTest, StepBudgetIsDeterministicThroughTheCli) {
+  BudgetTempFile deps("deps", "succ: N(x) -> exists y . N(y) & E(x, y) .\n");
+  BudgetTempFile inst("inst", "N(a) .\n");
+  std::vector<std::string> args = {
+      "chase",       deps.path(), inst.path(),  "--max-steps",
+      "5000",        "--max-depth", "100000000", "--max-rounds",
+      "100000000"};
+  std::ostringstream out1, out2, err;
+  EXPECT_EQ(RunCli(args, out1, err), 0);
+  EXPECT_EQ(RunCli(args, out2, err), 0);
+  EXPECT_NE(out1.str().find("chase stopped by step-limit"),
+            std::string::npos)
+      << out1.str();
+  EXPECT_EQ(out1.str(), out2.str());
+}
+
+TEST(BudgetCliTest, CheckReportsUnknownWhenTheBudgetRunsOut) {
+  BudgetTempFile deps("deps", "t: E(x, y) -> exists z . E(y, z) .\n");
+  std::string facts;
+  for (int i = 0; i < 30; ++i) {
+    facts += "E(a" + std::to_string(i) + ", a" + std::to_string(i + 1) +
+             ") .\n";
+  }
+  BudgetTempFile inst("inst", facts);
+  std::ostringstream out, err;
+  int code = RunCli({"check", deps.path(), inst.path(), "--max-steps", "1"},
+                    out, err);
+  EXPECT_NE(out.str().find("UNKNOWN (step-limit)"), std::string::npos)
+      << out.str();
+  EXPECT_NE(code, 0);  // not everything verified satisfied
+}
+
+TEST(BudgetCliTest, GlobalCancellationTokenStopsTheChase) {
+  GlobalCancellationToken().Cancel();
+  BudgetTempFile deps("deps", "succ: N(x) -> exists y . N(y) & E(x, y) .\n");
+  BudgetTempFile inst("inst", "N(a) .\n");
+  std::ostringstream out, err;
+  int code = RunCli({"chase", deps.path(), inst.path(), "--max-rounds",
+                     "100000000", "--max-depth", "100000000"},
+                    out, err);
+  GlobalCancellationToken().Reset();
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.str().find("chase stopped by cancelled"), std::string::npos)
+      << out.str();
+}
+
+TEST(BudgetedOracleTest, PcpSearchAgreesWithUnbudgetedSolver) {
+  PcpInstance solvable;
+  solvable.alphabet_size = 2;
+  solvable.pairs = {{{1, 2}, {1}}, {{2}, {2, 2}}};
+  ResourceGovernor unlimited;
+  PcpSearchOutcome outcome = SolvePcpBudgeted(solvable, 12, &unlimited);
+  EXPECT_TRUE(outcome.Complete());
+  ASSERT_TRUE(outcome.witness.has_value());
+  EXPECT_TRUE(CheckPcpSolution(solvable, *outcome.witness));
+  EXPECT_EQ(outcome.witness, SolvePcp(solvable, 12));
+
+  PcpInstance unsolvable;
+  unsolvable.alphabet_size = 2;
+  unsolvable.pairs = {{{1}, {2}}, {{2}, {1}}};
+  ResourceGovernor unlimited2;
+  PcpSearchOutcome no = SolvePcpBudgeted(unsolvable, 12, &unlimited2);
+  EXPECT_TRUE(no.Complete());
+  EXPECT_FALSE(no.witness.has_value());
+}
+
+}  // namespace
+}  // namespace tgdkit

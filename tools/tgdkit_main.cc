@@ -1,12 +1,31 @@
 // The tgdkit command-line tool. All logic lives in src/cli (testable);
-// this file only adapts argv.
+// this file only adapts argv and wires SIGINT to cooperative
+// cancellation: the first ^C asks the engines to stop cleanly (partial
+// output, StopReason::kCancelled); a second ^C falls back to the default
+// disposition and kills the process.
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
 
+namespace {
+
+extern "C" void HandleInterrupt(int) {
+  // Cancel() is a relaxed atomic store: async-signal-safe.
+  tgdkit::GlobalCancellationToken().Cancel();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  // Force the token's construction now, so the handler never triggers a
+  // first-use static initialization (which would allocate) in signal
+  // context.
+  tgdkit::GlobalCancellationToken();
+  std::signal(SIGINT, HandleInterrupt);
   std::vector<std::string> args(argv + 1, argv + argc);
   return tgdkit::RunCli(args, std::cout, std::cerr);
 }
