@@ -54,6 +54,16 @@ void ResourceGovernor::MarkExhausted(StopReason reason) {
   reason_ = reason;
 }
 
+void ResourceGovernor::SetCheckpointHook(uint64_t every_steps,
+                                         uint64_t every_ms,
+                                         std::function<void()> hook) {
+  checkpoint_every_steps_ = every_steps;
+  checkpoint_every_ms_ = every_ms;
+  checkpoint_hook_ = std::move(hook);
+  last_checkpoint_steps_ = steps_;
+  last_checkpoint_ms_ = elapsed_ms();
+}
+
 double ResourceGovernor::elapsed_ms() const {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start_)
@@ -85,6 +95,23 @@ bool ResourceGovernor::SlowPathCheck() {
   if (budget_.max_memory_bytes != 0 && bytes >= budget_.max_memory_bytes) {
     MarkExhausted(StopReason::kMemoryLimit);
     return false;
+  }
+  if (checkpoint_hook_) {
+    // Whichever cadence fires first wins; with both zero, every slow-path
+    // check is due (the most aggressive setting, used by stress tests).
+    double now_ms = elapsed_ms();
+    bool due =
+        (checkpoint_every_steps_ != 0 &&
+         steps_ - last_checkpoint_steps_ >= checkpoint_every_steps_) ||
+        (checkpoint_every_ms_ != 0 &&
+         now_ms - last_checkpoint_ms_ >=
+             static_cast<double>(checkpoint_every_ms_)) ||
+        (checkpoint_every_steps_ == 0 && checkpoint_every_ms_ == 0);
+    if (due) {
+      last_checkpoint_steps_ = steps_;
+      last_checkpoint_ms_ = now_ms;
+      checkpoint_hook_();
+    }
   }
   return true;
 }

@@ -142,14 +142,45 @@ class ResourceGovernor {
   /// recorded reason wins; later calls are ignored.
   void MarkExhausted(StopReason reason);
 
+  /// Checkpoint/resume support: seeds the governor with the consumption a
+  /// restored snapshot already paid for. Prior steps/bytes appear in
+  /// total_steps()/total_charged_bytes() (telemetry) but are NOT charged
+  /// against this governor's max_steps/max_memory budget — a resumed run
+  /// gets the full budget it was launched with, not the remainder of a
+  /// budget from a previous process.
+  void RestorePriorConsumption(uint64_t steps, uint64_t charged_bytes) {
+    prior_steps_ = steps;
+    prior_charged_bytes_ = charged_bytes;
+  }
+
+  /// Registers a periodic checkpoint hook, invoked from the slow path
+  /// (every kCheckInterval steps) once at least `every_steps` steps or
+  /// `every_ms` milliseconds have passed since the previous invocation.
+  /// Zero means "no constraint" for either field; with both zero the hook
+  /// fires on every slow-path check. The hook must not re-enter Poll().
+  void SetCheckpointHook(uint64_t every_steps, uint64_t every_ms,
+                         std::function<void()> hook);
+
   bool exhausted() const { return exhausted_; }
 
   /// kFixpoint while running / completed; the stop reason once exhausted.
   StopReason reason() const { return reason_; }
 
+  /// Steps consumed by THIS governor (excludes restored prior steps —
+  /// budget limits apply to this count).
   uint64_t steps() const { return steps_; }
+  /// Lifetime steps across resumes: restored prior consumption plus this
+  /// governor's own. This is the number engines should report.
+  uint64_t total_steps() const { return prior_steps_ + steps_; }
+  uint64_t prior_steps() const { return prior_steps_; }
   /// Bytes at the last slow-path sample (sources + charged).
   uint64_t memory_bytes() const { return observed_bytes_; }
+  /// Directly charged bytes (ChargeBytes), excluding prior consumption.
+  uint64_t charged_bytes() const { return charged_bytes_; }
+  /// Lifetime charged bytes across resumes.
+  uint64_t total_charged_bytes() const {
+    return prior_charged_bytes_ + charged_bytes_;
+  }
   /// Milliseconds since the governor was constructed.
   double elapsed_ms() const;
 
@@ -175,6 +206,15 @@ class ResourceGovernor {
   uint64_t next_check_ = kCheckInterval;
   bool exhausted_ = false;
   StopReason reason_ = StopReason::kFixpoint;
+  // Consumption restored from a snapshot: reported, never re-charged.
+  uint64_t prior_steps_ = 0;
+  uint64_t prior_charged_bytes_ = 0;
+  // Periodic checkpoint hook (slow-path driven).
+  std::function<void()> checkpoint_hook_;
+  uint64_t checkpoint_every_steps_ = 0;
+  uint64_t checkpoint_every_ms_ = 0;
+  uint64_t last_checkpoint_steps_ = 0;
+  double last_checkpoint_ms_ = 0;
 };
 
 }  // namespace tgdkit

@@ -1,0 +1,48 @@
+// Crash-consistent file I/O for the checkpoint/resume layer.
+//
+// AtomicWriteFile provides the durability contract snapshots rely on: the
+// destination path either keeps its previous contents or holds the complete
+// new contents — never a torn mixture — even if the process is SIGKILLed at
+// any point during the write. The implementation is the classic
+// write-to-temp + fsync + rename(2) + fsync-directory sequence.
+//
+// For the fault-injection harness, the writer honours two environment
+// variables:
+//
+//   TGDKIT_CRASH_AT=<n>        raise(SIGKILL) during the n-th (1-based)
+//                              AtomicWriteFile call of this process
+//   TGDKIT_CRASH_PHASE=<p>     where in that call to die (default "mid"):
+//                                begin  — after creating the temp file,
+//                                         before writing any byte
+//                                mid    — after writing roughly half the
+//                                         payload (a torn temp file)
+//                                commit — after the temp file is complete
+//                                         and fsynced, before the rename
+//
+// The crash counter only advances while TGDKIT_CRASH_AT is set, so forked
+// test children that arm the variable count from zero while the parent
+// process is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace tgdkit {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`. Used to detect
+/// truncated or bit-flipped snapshot payloads.
+uint32_t Crc32(std::string_view data);
+
+/// Atomically replaces `path` with `contents` (write temp + fsync + rename
+/// + fsync directory). On any error the destination is untouched; the temp
+/// file `path + ".tmp"` may be left behind and is overwritten by the next
+/// attempt. Honours the TGDKIT_CRASH_AT fault-injection hook (see above).
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Reads a whole file. NotFound if it cannot be opened.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace tgdkit

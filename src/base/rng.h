@@ -11,9 +11,18 @@
 namespace tgdkit {
 
 /// Deterministic PRNG (splitmix64). Same seed => same sequence everywhere.
+/// The full generator state is the single 64-bit word exposed by state()/
+/// set_state(), so randomized runs can be checkpointed and resumed with a
+/// bit-identical continuation of the stream.
 class Rng {
  public:
   explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// The current generator state (serializable).
+  uint64_t state() const { return state_; }
+  /// Restores a state captured with state(); the next Next() continues the
+  /// original sequence exactly.
+  void set_state(uint64_t state) { state_ = state; }
 
   /// Uniform 64-bit value.
   uint64_t Next() {

@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "Unsupported";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

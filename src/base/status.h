@@ -21,6 +21,9 @@ class Status {
     kResourceExhausted,
     kUnsupported,
     kInternal,
+    /// Stored data is unreadable: truncated, bit-flipped or otherwise
+    /// corrupt (snapshot checksum/structure failures).
+    kDataLoss,
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +46,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -71,6 +71,12 @@ class Vocabulary {
   size_t num_constants() const { return constants_.size(); }
   size_t num_variables() const { return variables_.size(); }
 
+  /// Snapshot support: the fresh-name counter behind FreshVariable /
+  /// FreshFunction. Restoring it keeps post-resume fresh names identical
+  /// to the uninterrupted run's.
+  uint64_t fresh_counter() const { return fresh_counter_; }
+  void RestoreFreshCounter(uint64_t value) { fresh_counter_ = value; }
+
  private:
   SymbolTable relations_;
   SymbolTable functions_;

@@ -61,6 +61,117 @@ ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
   null_provenance_.assign(instance_.num_nulls(), kInvalidTerm);
 }
 
+ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
+                         const SoTgd& rules, ChaseEngineState&& state,
+                         ChaseLimits limits)
+    : arena_(arena),
+      vocab_(vocab),
+      rules_(rules),
+      limits_(limits),
+      governor_(limits.budget),
+      instance_(std::move(state.instance)) {
+  TermArena* arena_ptr = arena_;
+  governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
+  Instance* instance_ptr = &instance_;
+  governor_.AddMemorySource(
+      [instance_ptr] { return instance_ptr->ApproxBytes(); });
+  term_to_value_.insert(state.term_to_value.begin(),
+                        state.term_to_value.end());
+  null_provenance_ = std::move(state.null_provenance);
+  for (const auto& [rel, count] : state.rows_before_prev_round) {
+    rows_before_prev_round_[rel] = count;
+  }
+  for (const auto& [rel, count] : state.rows_before_current_round) {
+    rows_before_current_round_[rel] = count;
+  }
+  rounds_ = state.rounds;
+  facts_created_ = state.facts_created;
+  governor_.RestorePriorConsumption(state.governor_steps,
+                                    state.governor_charged_bytes);
+  if (state.done && state.stop_reason == ChaseStop::kFixpoint) {
+    // A completed chase stays completed; there is nothing to resume.
+    done_ = true;
+    stop_reason_ = ChaseStop::kFixpoint;
+  } else {
+    // Re-open a resource-stopped (or mid-run) state: the next Step()
+    // replays the interrupted round under the restored windows.
+    done_ = false;
+    stop_reason_ = ChaseStop::kFixpoint;
+    replay_round_ = rounds_ > 0;
+  }
+}
+
+ChaseEngineState ChaseEngine::CaptureState() const {
+  ChaseEngineState state(&instance_.vocab());
+  bool torn = rounds_ > 0 && !(done_ && stop_reason_ == ChaseStop::kFixpoint) &&
+              InstanceGrewSinceRoundStart();
+  uint64_t dropped_facts = 0;
+  if (!torn) {
+    state.instance = instance_;
+  } else {
+    // The current round has (partially) committed — e.g. the run halted
+    // inside FlushPending, or the capture fired at the boundary right
+    // after a flush. Replaying over those commits would enumerate extra
+    // triggers and break determinism, so roll the instance back to the
+    // round's start; the resumed engine redoes the round from scratch.
+    // The term-to-value memo and the allocated nulls are kept: the redo
+    // re-derives the same facts with the same nulls, in the same order.
+    state.instance.EnsureNulls(instance_.num_nulls());
+    for (uint32_t i = 0; i < instance_.num_nulls(); ++i) {
+      state.instance.SetNullLabel(i, instance_.NullLabel(i));
+    }
+    for (RelationId rel : instance_.ActiveRelations()) {
+      auto it = rows_before_current_round_.find(rel);
+      size_t keep = it == rows_before_current_round_.end() ? 0 : it->second;
+      for (size_t row = 0; row < keep; ++row) {
+        Fact f;
+        f.relation = rel;
+        std::span<const Value> tuple =
+            instance_.Tuple(rel, static_cast<uint32_t>(row));
+        f.args.assign(tuple.begin(), tuple.end());
+        state.instance.AddFact(f);
+      }
+      dropped_facts += instance_.NumTuples(rel) - keep;
+    }
+  }
+  state.term_to_value.assign(term_to_value_.begin(), term_to_value_.end());
+  std::sort(state.term_to_value.begin(), state.term_to_value.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  state.null_provenance = null_provenance_;
+  state.rows_before_prev_round.assign(rows_before_prev_round_.begin(),
+                                      rows_before_prev_round_.end());
+  std::sort(state.rows_before_prev_round.begin(),
+            state.rows_before_prev_round.end());
+  state.rows_before_current_round.assign(rows_before_current_round_.begin(),
+                                         rows_before_current_round_.end());
+  std::sort(state.rows_before_current_round.begin(),
+            state.rows_before_current_round.end());
+  state.done = done_;
+  state.stop_reason = stop_reason_;
+  state.rounds = rounds_;
+  state.facts_created =
+      dropped_facts > facts_created_ ? 0 : facts_created_ - dropped_facts;
+  state.governor_steps = governor_.total_steps();
+  state.governor_charged_bytes = governor_.total_charged_bytes();
+  return state;
+}
+
+void ChaseEngine::SetCheckpointHook(
+    uint64_t every_steps, uint64_t every_ms,
+    std::function<void(const ChaseEngine&)> hook) {
+  checkpoint_hook_ = std::move(hook);
+  governor_.SetCheckpointHook(every_steps, every_ms, [this] {
+    // During FlushPending the instance holds a half-committed round;
+    // capturing it would not replay deterministically. Defer to the
+    // round's end (a safe point by construction).
+    if (in_flush_) {
+      deferred_checkpoint_ = true;
+    } else {
+      checkpoint_hook_(*this);
+    }
+  });
+}
+
 void ChaseEngine::Halt(StopReason reason) {
   governor_.MarkExhausted(reason);
   stop_reason_ = governor_.reason();
@@ -140,11 +251,13 @@ bool ChaseEngine::ProcessTrigger(const SoPart& part,
 
 bool ChaseEngine::FlushPending(const std::vector<std::vector<Fact>>& pending) {
   ChaseGuard guard(limits_, &governor_);
+  in_flush_ = true;
   bool added = false;
   for (const std::vector<Fact>& trigger : pending) {
     // Triggers commit atomically: either the whole head or nothing.
     if (!guard.CanCommit(instance_.NumFacts(), trigger.size())) {
       Halt(governor_.reason());
+      in_flush_ = false;
       return added;
     }
     for (const Fact& fact : trigger) {
@@ -154,28 +267,30 @@ bool ChaseEngine::FlushPending(const std::vector<std::vector<Fact>>& pending) {
       }
     }
   }
+  in_flush_ = false;
   return added;
 }
 
-bool ChaseEngine::FireRuleFull(const SoPart& part) {
+void ChaseEngine::FireRuleFull(const SoPart& part,
+                               std::vector<std::vector<Fact>>* pending) {
   Matcher matcher(arena_, &instance_, part.body);
   matcher.set_governor(&governor_);
-  // Collect new facts first: inserting while enumerating would let this
-  // round's conclusions re-trigger within the same round (still sound for
-  // the oblivious chase, but rounds would lose their meaning).
-  std::vector<std::vector<Fact>> pending;
+  // Stage only: the instance stays frozen at its round-start contents
+  // until Step() flushes the whole round. Inserting while enumerating
+  // would let this round's conclusions re-trigger within the same round
+  // (still sound for the oblivious chase, but rounds would lose their
+  // meaning — and a replayed round would enumerate differently than the
+  // original, breaking deterministic resume).
   matcher.ForEach({}, [&](const Assignment& assignment) {
-    return ProcessTrigger(part, assignment, &pending);
+    return ProcessTrigger(part, assignment, pending);
   });
   if (governor_.exhausted() && !done_) Halt(governor_.reason());
-  if (done_) return false;
-  return FlushPending(pending);
 }
 
-bool ChaseEngine::FireRuleDelta(const SoPart& part) {
+void ChaseEngine::FireRuleDelta(const SoPart& part,
+                                std::vector<std::vector<Fact>>* pending) {
   Matcher matcher(arena_, &instance_, part.body);
   matcher.set_governor(&governor_);
-  std::vector<std::vector<Fact>> pending;
 
   // For each body atom acting as the pivot, seed the matcher with each
   // fact of the previous round's delta. Triggers touching no delta fact
@@ -216,26 +331,44 @@ bool ChaseEngine::FireRuleDelta(const SoPart& part) {
       }
       if (!consistent) continue;
       matcher.ForEach(seed, [&](const Assignment& assignment) {
-        return ProcessTrigger(part, assignment, &pending);
+        return ProcessTrigger(part, assignment, pending);
       });
     }
   }
   if (governor_.exhausted() && !done_) Halt(governor_.reason());
-  if (done_) return false;
-  return FlushPending(pending);
+}
+
+bool ChaseEngine::InstanceGrewSinceRoundStart() const {
+  for (RelationId rel : instance_.ActiveRelations()) {
+    auto it = rows_before_current_round_.find(rel);
+    size_t at_start = it == rows_before_current_round_.end() ? 0 : it->second;
+    if (instance_.NumTuples(rel) != at_start) return true;
+  }
+  return false;
 }
 
 bool ChaseEngine::Step() {
   if (done_) return false;
   ChaseGuard guard(limits_, &governor_);
-  if (!guard.BeginRound(rounds_)) {
-    Halt(governor_.reason());
-    return false;
-  }
-  ++rounds_;
-
-  bool use_delta = limits_.semi_naive && rounds_ > 1;
-  if (limits_.semi_naive) {
+  bool replay = replay_round_ && rounds_ > 0;
+  replay_round_ = false;
+  if (replay) {
+    // Resume: redo the interrupted round under its restored semi-naive
+    // windows. The round was already counted, so no increment; the budget
+    // is still re-checked before firing anything.
+    if (!governor_.CheckNow()) {
+      Halt(governor_.reason());
+      return false;
+    }
+  } else {
+    if (!guard.BeginRound(rounds_)) {
+      Halt(governor_.reason());
+      return false;
+    }
+    ++rounds_;
+    // Window bookkeeping runs in full evaluation too: it costs one count
+    // per active relation and gives checkpoints (and the replay fixpoint
+    // test below) round-start row counts in either mode.
     rows_before_prev_round_ = std::move(rows_before_current_round_);
     rows_before_current_round_.clear();
     for (RelationId rel : instance_.ActiveRelations()) {
@@ -243,11 +376,30 @@ bool ChaseEngine::Step() {
     }
   }
 
-  bool any = false;
+  bool use_delta = limits_.semi_naive && rounds_ > 1;
+  // Stage the whole round first, then commit once: enumeration always
+  // sees the round-start instance, so replaying a round from any
+  // checkpoint taken inside it re-enumerates identically.
+  std::vector<std::vector<Fact>> pending;
   for (const SoPart& part : rules_.parts) {
-    bool fired = use_delta ? FireRuleDelta(part) : FireRuleFull(part);
-    if (fired) any = true;
+    if (use_delta) {
+      FireRuleDelta(part, &pending);
+    } else {
+      FireRuleFull(part, &pending);
+    }
     if (done_) return false;
+  }
+  bool any = FlushPending(pending);
+  if (deferred_checkpoint_) {
+    deferred_checkpoint_ = false;
+    if (checkpoint_hook_) checkpoint_hook_(*this);
+  }
+  if (done_) return false;
+  if (replay) {
+    // A replayed round re-fires triggers whose facts were committed before
+    // the checkpoint; those insertions deduplicate, so "no fact added this
+    // Step" does not mean fixpoint. Compare against the round's start.
+    any = InstanceGrewSinceRoundStart();
   }
   if (!any) {
     done_ = true;
@@ -278,7 +430,7 @@ ChaseResult Chase(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
   engine.Run();
   ChaseResult result{engine.TakeInstance(), engine.stop_reason(),
                      engine.rounds(), engine.facts_created(), {}};
-  result.budget_steps = engine.governor().steps();
+  result.budget_steps = engine.governor().total_steps();
   result.budget_bytes = engine.governor().memory_bytes();
   uint32_t num_nulls = result.instance.num_nulls();
   result.null_provenance.reserve(num_nulls);
@@ -288,80 +440,176 @@ ChaseResult Chase(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
   return result;
 }
 
+RestrictedChaseEngine::RestrictedChaseEngine(TermArena* arena,
+                                             std::span<const Tgd> tgds,
+                                             const Instance& input,
+                                             ChaseLimits limits)
+    : arena_(arena),
+      tgds_(tgds.begin(), tgds.end()),
+      limits_(limits),
+      governor_(limits.budget),
+      instance_(&input.vocab()) {
+  TermArena* arena_ptr = arena_;
+  governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
+  Instance* instance_ptr = &instance_;
+  governor_.AddMemorySource(
+      [instance_ptr] { return instance_ptr->ApproxBytes(); });
+  CopyFacts(input, &instance_);
+}
+
+RestrictedChaseEngine::RestrictedChaseEngine(TermArena* arena,
+                                             std::span<const Tgd> tgds,
+                                             RestrictedChaseState&& state,
+                                             ChaseLimits limits)
+    : arena_(arena),
+      tgds_(tgds.begin(), tgds.end()),
+      limits_(limits),
+      governor_(limits.budget),
+      instance_(std::move(state.instance)) {
+  TermArena* arena_ptr = arena_;
+  governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
+  Instance* instance_ptr = &instance_;
+  governor_.AddMemorySource(
+      [instance_ptr] { return instance_ptr->ApproxBytes(); });
+  rounds_ = state.rounds;
+  facts_created_ = state.facts_created;
+  governor_.RestorePriorConsumption(state.governor_steps,
+                                    state.governor_charged_bytes);
+  if (state.done && state.stop_reason == ChaseStop::kFixpoint) {
+    done_ = true;
+  }
+  // Resource-stopped states re-open with stop_reason_ = kFixpoint; the
+  // state was captured between rounds, so Run() simply continues.
+}
+
+void RestrictedChaseEngine::Halt(StopReason reason) {
+  governor_.MarkExhausted(reason);
+  stop_reason_ = governor_.exhausted() ? governor_.reason() : reason;
+  done_ = true;
+}
+
+RestrictedChaseState RestrictedChaseEngine::CaptureState() const {
+  RestrictedChaseState state(&instance_.vocab());
+  state.instance = instance_;
+  state.done = done_;
+  state.stop_reason = stop_reason_;
+  state.rounds = rounds_;
+  state.facts_created = facts_created_;
+  state.governor_steps = governor_.total_steps();
+  state.governor_charged_bytes = governor_.total_charged_bytes();
+  return state;
+}
+
+void RestrictedChaseEngine::SetCheckpointHook(
+    uint64_t every_rounds,
+    std::function<void(const RestrictedChaseEngine&)> hook) {
+  checkpoint_every_rounds_ = every_rounds == 0 ? 1 : every_rounds;
+  checkpoint_hook_ = std::move(hook);
+  rounds_since_checkpoint_ = 0;
+}
+
+bool RestrictedChaseEngine::Step() {
+  if (done_) return false;
+  ChaseGuard guard(limits_, &governor_);
+  if (!guard.BeginRound(rounds_)) {
+    Halt(governor_.reason());
+    return false;
+  }
+  ++rounds_;
+  // The restricted chase commits as it fires (fresh nulls per firing), so
+  // a state captured inside a round is not resumable; mark the round
+  // in-flight so Run() withholds the checkpoint hook on a mid-round halt.
+  in_round_ = true;
+  Instance& j = instance_;
+  bool any = false;
+  for (const Tgd& tgd : tgds_) {
+    Matcher body_matcher(arena_, &j, tgd.body);
+    body_matcher.set_governor(&governor_);
+    Matcher head_matcher(arena_, &j, tgd.head);
+    std::vector<Assignment> active;
+    body_matcher.ForEach({}, [&](const Assignment& assignment) {
+      // Restricted chase: fire only when no extension to the existential
+      // variables satisfies the head already.
+      if (!head_matcher.Exists(assignment)) active.push_back(assignment);
+      return true;
+    });
+    if (governor_.exhausted()) {
+      Halt(governor_.reason());
+      return false;
+    }
+    for (const Assignment& assignment : active) {
+      if (!governor_.Poll()) {
+        Halt(governor_.reason());
+        return false;
+      }
+      // Re-check: an earlier firing this round may have satisfied it.
+      if (head_matcher.Exists(assignment)) continue;
+      Assignment extended = assignment;
+      for (VariableId y : tgd.exist_vars) {
+        extended[y] = j.FreshNull();
+      }
+      // Stage the head first so the fact cap applies to the firing as a
+      // whole (triggers commit atomically, as in ChaseEngine).
+      std::vector<Fact> staged;
+      for (const Atom& atom : tgd.head) {
+        Fact fact;
+        fact.relation = atom.relation;
+        for (TermId t : atom.args) {
+          if (arena_->IsVariable(t)) {
+            fact.args.push_back(extended.at(arena_->symbol(t)));
+          } else {
+            fact.args.push_back(Value::Constant(arena_->symbol(t)));
+          }
+        }
+        staged.push_back(std::move(fact));
+      }
+      if (!guard.CanCommit(j.NumFacts(), staged.size())) {
+        Halt(governor_.reason());
+        return false;
+      }
+      for (const Fact& fact : staged) {
+        if (j.AddFact(fact)) ++facts_created_;
+      }
+      any = true;
+    }
+  }
+  in_round_ = false;
+  if (!any) {
+    done_ = true;
+    stop_reason_ = ChaseStop::kFixpoint;
+  }
+  return any;
+}
+
+void RestrictedChaseEngine::Run() {
+  while (Step()) {
+    if (checkpoint_hook_ &&
+        ++rounds_since_checkpoint_ >= checkpoint_every_rounds_) {
+      rounds_since_checkpoint_ = 0;
+      checkpoint_hook_(*this);
+    }
+  }
+  // A final consistent point — unless the run halted inside a round: the
+  // partially-fired round is not resumable, so the last per-round
+  // checkpoint stays the authoritative one.
+  if (checkpoint_hook_ && !in_round_) checkpoint_hook_(*this);
+}
+
+ChaseResult RestrictedChaseEngine::TakeResult() {
+  ChaseResult result{std::move(instance_), stop_reason_, rounds_,
+                     facts_created_, {}};
+  result.budget_steps = governor_.total_steps();
+  result.budget_bytes = governor_.memory_bytes();
+  return result;
+}
+
 ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
                                 std::span<const Tgd> tgds,
                                 const Instance& input, ChaseLimits limits) {
   (void)vocab;
-  ResourceGovernor governor(limits.budget);
-  governor.AddMemorySource([arena] { return arena->ApproxBytes(); });
-  ChaseGuard guard(limits, &governor);
-  ChaseResult result{Instance(&input.vocab()), ChaseStop::kFixpoint, 0, 0};
-  CopyFacts(input, &result.instance);
-  Instance& j = result.instance;
-  governor.AddMemorySource([&j] { return j.ApproxBytes(); });
-
-  auto finish = [&](StopReason reason) -> ChaseResult {
-    governor.MarkExhausted(reason);
-    result.stop_reason = governor.exhausted() ? governor.reason() : reason;
-    result.budget_steps = governor.steps();
-    result.budget_bytes = governor.memory_bytes();
-    return std::move(result);
-  };
-
-  for (;;) {
-    if (!guard.BeginRound(result.rounds)) {
-      return finish(governor.reason());
-    }
-    ++result.rounds;
-    bool any = false;
-    for (const Tgd& tgd : tgds) {
-      Matcher body_matcher(arena, &j, tgd.body);
-      body_matcher.set_governor(&governor);
-      Matcher head_matcher(arena, &j, tgd.head);
-      std::vector<Assignment> active;
-      body_matcher.ForEach({}, [&](const Assignment& assignment) {
-        // Restricted chase: fire only when no extension to the existential
-        // variables satisfies the head already.
-        if (!head_matcher.Exists(assignment)) active.push_back(assignment);
-        return true;
-      });
-      if (governor.exhausted()) return finish(governor.reason());
-      for (const Assignment& assignment : active) {
-        if (!governor.Poll()) return finish(governor.reason());
-        // Re-check: an earlier firing this round may have satisfied it.
-        if (head_matcher.Exists(assignment)) continue;
-        Assignment extended = assignment;
-        for (VariableId y : tgd.exist_vars) {
-          extended[y] = j.FreshNull();
-        }
-        // Stage the head first so the fact cap applies to the firing as a
-        // whole (triggers commit atomically, as in ChaseEngine).
-        std::vector<Fact> staged;
-        for (const Atom& atom : tgd.head) {
-          Fact fact;
-          fact.relation = atom.relation;
-          for (TermId t : atom.args) {
-            if (arena->IsVariable(t)) {
-              fact.args.push_back(extended.at(arena->symbol(t)));
-            } else {
-              fact.args.push_back(Value::Constant(arena->symbol(t)));
-            }
-          }
-          staged.push_back(std::move(fact));
-        }
-        if (!guard.CanCommit(j.NumFacts(), staged.size())) {
-          return finish(governor.reason());
-        }
-        for (const Fact& fact : staged) {
-          if (j.AddFact(fact)) ++result.facts_created;
-        }
-        any = true;
-      }
-    }
-    if (!any) {
-      return finish(StopReason::kFixpoint);
-    }
-  }
+  RestrictedChaseEngine engine(arena, tgds, input, limits);
+  engine.Run();
+  return engine.TakeResult();
 }
 
 }  // namespace tgdkit

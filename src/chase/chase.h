@@ -49,6 +49,38 @@ struct ChaseLimits {
   ExecutionBudget budget;
 };
 
+/// Complete resumable state of a ChaseEngine, as captured by
+/// CaptureState() and restored by the resume constructor. The snapshot
+/// layer (src/snapshot) serializes this struct; the engine itself only
+/// defines what "resumable" means.
+///
+/// Consistency model: a checkpoint may be taken at any governor poll, i.e.
+/// in the middle of a round. On resume the engine REPLAYS the round it was
+/// in from that round's start. The Skolem chase is idempotent (facts
+/// dedup, ground-term-to-null mapping is memoized in term_to_value), so
+/// the replay commits exactly the facts the uninterrupted run would have,
+/// in the same order, and the final result is bit-identical.
+struct ChaseEngineState {
+  explicit ChaseEngineState(const Vocabulary* vocab) : instance(vocab) {}
+
+  Instance instance;
+  /// Ground term -> value memo (term ids index the serialized arena).
+  std::vector<std::pair<TermId, Value>> term_to_value;
+  std::vector<TermId> null_provenance;
+  /// Semi-naive windows: per-relation row counts at the start of the
+  /// previous / current round (row ids are stable, so counts suffice).
+  std::vector<std::pair<RelationId, uint64_t>> rows_before_prev_round;
+  std::vector<std::pair<RelationId, uint64_t>> rows_before_current_round;
+  bool done = false;
+  ChaseStop stop_reason = ChaseStop::kFixpoint;
+  uint64_t rounds = 0;
+  uint64_t facts_created = 0;
+  /// Governor consumption already paid for (telemetry only on resume;
+  /// never re-charged against new budget limits).
+  uint64_t governor_steps = 0;
+  uint64_t governor_charged_bytes = 0;
+};
+
 /// Round-by-round Skolem chase over one SO tgd (= rule set).
 class ChaseEngine {
  public:
@@ -56,6 +88,15 @@ class ChaseEngine {
   /// used for null provenance labels.
   ChaseEngine(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
               const Instance& input, ChaseLimits limits = {});
+
+  /// Resumes from a state captured by CaptureState(). `arena` and `vocab`
+  /// must hold exactly the contents they had at capture time (the
+  /// snapshot layer restores them alongside the state). A state whose
+  /// stop_reason is a resource stop is re-opened: the engine clears
+  /// done and continues (replaying the interrupted round) under the new
+  /// `limits`; a kFixpoint state stays complete.
+  ChaseEngine(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
+              ChaseEngineState&& state, ChaseLimits limits = {});
 
   /// The governor registers the arena and the growing instance as memory
   /// sources; moving the engine would invalidate those hooks.
@@ -84,6 +125,18 @@ class ChaseEngine {
   /// (kInvalidTerm for nulls already present in the input).
   TermId NullProvenance(uint32_t null_index) const;
 
+  /// Deep-copies the engine's resumable state. Safe to call at any
+  /// governor poll (see ChaseEngineState for the consistency model) and
+  /// after the run ended.
+  ChaseEngineState CaptureState() const;
+
+  /// Registers a periodic checkpoint hook on the engine's governor: every
+  /// `every_steps` steps / `every_ms` milliseconds (whichever fires first;
+  /// 0 = unconstrained) the hook receives the live engine to snapshot via
+  /// CaptureState(). The hook must not mutate the engine.
+  void SetCheckpointHook(uint64_t every_steps, uint64_t every_ms,
+                         std::function<void(const ChaseEngine&)> hook);
+
  private:
   /// Maps a value to the ground term representing it.
   TermId ValueToTerm(Value v);
@@ -97,13 +150,21 @@ class ChaseEngine {
   /// nothing (no partial head facts are ever committed).
   bool ProcessTrigger(const SoPart& part, const Assignment& assignment,
                       std::vector<std::vector<Fact>>* pending);
-  /// Fires all triggers of `part` (full evaluation).
-  bool FireRuleFull(const SoPart& part);
-  /// Fires only triggers touching a fact from the previous round's delta.
-  bool FireRuleDelta(const SoPart& part);
+  /// Stages all triggers of `part` (full evaluation) into `pending`.
+  void FireRuleFull(const SoPart& part,
+                    std::vector<std::vector<Fact>>* pending);
+  /// Stages only triggers touching a fact from the previous round's delta.
+  void FireRuleDelta(const SoPart& part,
+                     std::vector<std::vector<Fact>>* pending);
+  /// Commits a whole round's staged triggers. The instance only mutates
+  /// here: enumeration always sees the round-start instance, which is
+  /// what makes round replay (and therefore resume) deterministic.
   bool FlushPending(const std::vector<std::vector<Fact>>& pending);
   /// Records the first stop reason and marks the run done.
   void Halt(StopReason reason);
+  /// True iff any relation gained rows since the current round started
+  /// (fixpoint test for replayed rounds).
+  bool InstanceGrewSinceRoundStart() const;
 
   TermArena* arena_;
   Vocabulary* vocab_;
@@ -121,6 +182,18 @@ class ChaseEngine {
   ChaseStop stop_reason_ = ChaseStop::kFixpoint;
   uint64_t rounds_ = 0;
   uint64_t facts_created_ = 0;
+  /// Resume: the next Step() re-runs the round the captured engine was in
+  /// (same semi-naive windows, no round increment); fixpoint detection for
+  /// that round compares row counts against the round-start windows
+  /// instead of the replay's (deduplicated) insertions.
+  bool replay_round_ = false;
+  /// Checkpoint safety: a capture taken while FlushPending is mutating
+  /// the instance would record a half-committed round, whose replay is
+  /// not deterministic. Hook firings that land inside the flush are
+  /// deferred to the round's end.
+  std::function<void(const ChaseEngine&)> checkpoint_hook_;
+  bool in_flush_ = false;
+  bool deferred_checkpoint_ = false;
 };
 
 struct ChaseResult {
@@ -151,10 +224,90 @@ struct ChaseResult {
 ChaseResult Chase(TermArena* arena, Vocabulary* vocab, const SoTgd& rules,
                   const Instance& input, ChaseLimits limits = {});
 
-/// The classical restricted (standard) chase for first-order tgds: a
-/// trigger fires only if its head cannot be satisfied by any extension
-/// homomorphism; new nulls are fresh per firing. Non-deterministic in
-/// general; this implementation processes triggers in a fixed order.
+/// Resumable state of the restricted chase. Unlike ChaseEngineState this
+/// is round-granular: it is only captured between rounds (the restricted
+/// chase invents fresh, unmemoized nulls per firing, so a mid-round replay
+/// would not be deterministic). The engine's checkpoint hook therefore
+/// fires after completed rounds, never inside one.
+struct RestrictedChaseState {
+  explicit RestrictedChaseState(const Vocabulary* vocab) : instance(vocab) {}
+
+  Instance instance;
+  bool done = false;
+  ChaseStop stop_reason = ChaseStop::kFixpoint;
+  uint64_t rounds = 0;
+  uint64_t facts_created = 0;
+  uint64_t governor_steps = 0;
+  uint64_t governor_charged_bytes = 0;
+};
+
+/// The classical restricted (standard) chase for first-order tgds as a
+/// steppable engine: a trigger fires only if its head cannot be satisfied
+/// by any extension homomorphism; new nulls are fresh per firing.
+/// Non-deterministic in general; this implementation processes triggers in
+/// a fixed order, so runs (and resumed runs) are reproducible.
+class RestrictedChaseEngine {
+ public:
+  RestrictedChaseEngine(TermArena* arena, std::span<const Tgd> tgds,
+                        const Instance& input, ChaseLimits limits = {});
+
+  /// Resumes from a state captured between rounds. `arena` must hold the
+  /// contents it had at capture time. Resource-stopped states are
+  /// re-opened under the new limits; kFixpoint states stay complete.
+  RestrictedChaseEngine(TermArena* arena, std::span<const Tgd> tgds,
+                        RestrictedChaseState&& state,
+                        ChaseLimits limits = {});
+
+  RestrictedChaseEngine(const RestrictedChaseEngine&) = delete;
+  RestrictedChaseEngine& operator=(const RestrictedChaseEngine&) = delete;
+
+  /// Runs one full round. Returns true if at least one trigger fired and
+  /// no limit was hit.
+  bool Step();
+  /// Runs rounds until fixpoint or a limit, invoking the checkpoint hook
+  /// (if any) after each completed round.
+  void Run();
+
+  bool done() const { return done_; }
+  ChaseStop stop_reason() const { return stop_reason_; }
+  const ResourceGovernor& governor() const { return governor_; }
+
+  /// Deep-copies the resumable state. Call between rounds (or after the
+  /// run ended); the checkpoint hook is invoked at exactly such points.
+  RestrictedChaseState CaptureState() const;
+
+  /// Round-granular checkpointing: after each completed round, once at
+  /// least `every_rounds` rounds have passed since the last call (0 = 1),
+  /// the hook receives the live engine to snapshot via CaptureState().
+  void SetCheckpointHook(uint64_t every_rounds,
+                         std::function<void(const RestrictedChaseEngine&)> hook);
+
+  /// Finalizes the run into a ChaseResult (moves the instance out).
+  ChaseResult TakeResult();
+
+ private:
+  void Halt(StopReason reason);
+
+  TermArena* arena_;
+  std::vector<Tgd> tgds_;
+  ChaseLimits limits_;
+  ResourceGovernor governor_;
+  Instance instance_;
+  bool done_ = false;
+  ChaseStop stop_reason_ = ChaseStop::kFixpoint;
+  uint64_t rounds_ = 0;
+  uint64_t facts_created_ = 0;
+  std::function<void(const RestrictedChaseEngine&)> checkpoint_hook_;
+  uint64_t checkpoint_every_rounds_ = 1;
+  uint64_t rounds_since_checkpoint_ = 0;
+  /// True while a round is firing; a halt that leaves this set means the
+  /// engine state is mid-round and must not be offered for checkpointing.
+  bool in_round_ = false;
+};
+
+/// Convenience wrapper: restricted-chases `input` under `tgds` to fixpoint
+/// or limit. (`vocab` is unused but kept for signature symmetry with
+/// Chase.)
 ChaseResult RestrictedChaseTgds(TermArena* arena, Vocabulary* vocab,
                                 std::span<const Tgd> tgds,
                                 const Instance& input, ChaseLimits limits = {});

@@ -6,8 +6,10 @@
 #include <optional>
 #include <sstream>
 
+#include "base/rng.h"
 #include "base/strings.h"
 #include "chase/chase.h"
+#include "snapshot/snapshot.h"
 #include "classify/criteria.h"
 #include "classify/dot.h"
 #include "dep/skolem.h"
@@ -36,12 +38,24 @@ constexpr const char* kUsage =
     "  solve     DEPS INSTANCE        data exchange: universal + core\n"
     "                                 solution (target = head relations)\n"
     "options: --max-rounds N  --max-facts N  --max-depth N\n"
-    "         --max-steps N  --deadline-ms N  --max-memory-mb N\n";
+    "         --max-steps N  --deadline-ms N  --max-memory-mb N\n"
+    "         --seed N\n"
+    "chase checkpointing (see docs/CHECKPOINTS.md):\n"
+    "         --checkpoint PATH            write crash-safe snapshots\n"
+    "         --checkpoint-every-steps N   snapshot cadence (steps)\n"
+    "         --checkpoint-every-ms N      snapshot cadence (wall clock)\n"
+    "         --resume PATH                continue from a snapshot\n"
+    "                                      (no DEPS/INSTANCE arguments)\n";
 
 struct CliContext {
   Vocabulary vocab;
   TermArena arena;
   ChaseLimits limits;
+  uint64_t seed = 0;
+  std::string checkpoint_path;
+  uint64_t checkpoint_every_steps = 0;
+  uint64_t checkpoint_every_ms = 0;
+  std::string resume_path;
   std::vector<std::string> positional;
 };
 
@@ -87,6 +101,18 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
       *slot = parsed;
       return true;
     };
+    auto pathval = [&](std::string* slot) {
+      if (i + 1 >= args.size()) {
+        err << "tgdkit: missing value for " << arg << "\n";
+        return false;
+      }
+      *slot = args[++i];
+      if (slot->empty()) {
+        err << "tgdkit: empty value for " << arg << "\n";
+        return false;
+      }
+      return true;
+    };
     if (arg == "--max-rounds") {
       if (!numeric(&ctx->limits.max_rounds)) return false;
     } else if (arg == "--max-facts") {
@@ -103,6 +129,16 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
       uint64_t mb = 0;
       if (!numeric(&mb)) return false;
       ctx->limits.budget.max_memory_bytes = mb * 1024 * 1024;
+    } else if (arg == "--seed") {
+      if (!numeric(&ctx->seed)) return false;
+    } else if (arg == "--checkpoint") {
+      if (!pathval(&ctx->checkpoint_path)) return false;
+    } else if (arg == "--checkpoint-every-steps") {
+      if (!numeric(&ctx->checkpoint_every_steps)) return false;
+    } else if (arg == "--checkpoint-every-ms") {
+      if (!numeric(&ctx->checkpoint_every_ms)) return false;
+    } else if (arg == "--resume") {
+      if (!pathval(&ctx->resume_path)) return false;
     } else if (arg.rfind("--", 0) == 0) {
       err << "tgdkit: unknown option " << arg << "\n";
       return false;
@@ -233,7 +269,67 @@ int CmdClassify(CliContext* ctx, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Runs a (fresh or resumed) chase engine to completion, writing periodic
+/// and final snapshots when --checkpoint is set, and prints the result.
+/// The final snapshot is written for ANY stop reason — fixpoint included —
+/// so an interrupted pipeline can always pick up from the last state.
+int RunChaseEngine(CliContext* ctx, ChaseEngine* engine,
+                   const Vocabulary& vocab, const TermArena& arena,
+                   const SoTgd& rules, uint64_t seed, Rng* rng,
+                   std::ostream& out, std::ostream& err) {
+  bool checkpoint_failed = false;
+  auto save = [&](const ChaseEngine& e) {
+    Status status =
+        SaveChaseSnapshot(ctx->checkpoint_path, vocab, arena, rules,
+                          e.CaptureState(), seed, rng->state());
+    if (!status.ok()) {
+      // Report once; the run itself continues (a full disk should not
+      // kill an hour-long chase, it just stops being checkpointed).
+      if (!checkpoint_failed) {
+        err << "tgdkit: checkpoint: " << status.ToString() << "\n";
+      }
+      checkpoint_failed = true;
+    }
+  };
+  if (!ctx->checkpoint_path.empty()) {
+    engine->SetCheckpointHook(ctx->checkpoint_every_steps,
+                              ctx->checkpoint_every_ms, save);
+  }
+  engine->Run();
+  if (!ctx->checkpoint_path.empty()) save(*engine);
+  out << "# chase " << ToString(engine->stop_reason()) << " after "
+      << engine->rounds() << " rounds, " << engine->facts_created()
+      << " facts created\n";
+  out << "# status: "
+      << StopReasonToStatus(engine->stop_reason(), "chase").ToString()
+      << " seed=" << seed << "\n";
+  out << engine->instance().ToString();
+  return checkpoint_failed ? 2 : 0;
+}
+
+int CmdChaseResume(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (!ctx->positional.empty()) {
+    err << "tgdkit: --resume is self-contained; no DEPS/INSTANCE "
+           "arguments expected\n";
+    return 1;
+  }
+  Result<ChaseSnapshot> loaded = LoadChaseSnapshot(ctx->resume_path);
+  if (!loaded.ok()) {
+    err << "tgdkit: " << ctx->resume_path << ": "
+        << loaded.status().ToString() << "\n";
+    return 2;
+  }
+  ChaseSnapshot snap = std::move(*loaded);
+  ChaseEngine engine(snap.arena.get(), snap.vocab.get(), snap.rules,
+                     std::move(*snap.state), ctx->limits);
+  Rng rng(snap.seed);
+  rng.set_state(snap.rng_state);
+  return RunChaseEngine(ctx, &engine, *snap.vocab, *snap.arena, snap.rules,
+                        snap.seed, &rng, out, err);
+}
+
 int CmdChase(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (!ctx->resume_path.empty()) return CmdChaseResume(ctx, out, err);
   if (ctx->positional.size() != 2) {
     err << kUsage;
     return 1;
@@ -243,14 +339,11 @@ int CmdChase(CliContext* ctx, std::ostream& out, std::ostream& err) {
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
   if (!instance.has_value()) return 2;
   SoTgd rules = ProgramRules(ctx, *program);
-  ChaseResult result =
-      Chase(&ctx->arena, &ctx->vocab, rules, *instance, ctx->limits);
-  out << "# chase " << ToString(result.stop_reason) << " after "
-      << result.rounds << " rounds, " << result.facts_created
-      << " facts created\n";
-  out << "# status: " << result.ToStatus().ToString() << "\n";
-  out << result.instance.ToString();
-  return 0;
+  ChaseEngine engine(&ctx->arena, &ctx->vocab, rules, *instance,
+                     ctx->limits);
+  Rng rng(ctx->seed);
+  return RunChaseEngine(ctx, &engine, ctx->vocab, ctx->arena, rules,
+                        ctx->seed, &rng, out, err);
 }
 
 int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
@@ -517,6 +610,13 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   ctx.limits.budget.cancel = GlobalCancellationToken();
   if (!ParseOptions(args, &ctx, err)) return 1;
   const std::string& command = args[0];
+  bool wants_checkpointing =
+      !ctx.checkpoint_path.empty() || !ctx.resume_path.empty() ||
+      ctx.checkpoint_every_steps != 0 || ctx.checkpoint_every_ms != 0;
+  if (wants_checkpointing && command != "chase") {
+    err << "tgdkit: --checkpoint/--resume are only supported by 'chase'\n";
+    return 1;
+  }
   // The command itself landed in positional[0]; drop it.
   if (!ctx.positional.empty() && ctx.positional[0] == command) {
     ctx.positional.erase(ctx.positional.begin());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 
 #include "base/strings.h"
 
@@ -133,9 +134,54 @@ std::vector<Fact> Instance::AllFacts() const {
   return out;
 }
 
+namespace {
+
+/// Plain constants render bare; anything else is quoted so the canonical
+/// text parses back. Plain = identifier ([A-Za-z][A-Za-z0-9_$]*) or
+/// integer; a leading '_' would collide with null syntax.
+bool IsPlainConstantName(const std::string& name) {
+  if (name.empty()) return false;
+  unsigned char first = static_cast<unsigned char>(name[0]);
+  if (std::isdigit(first)) {
+    return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+      return std::isdigit(c);
+    });
+  }
+  if (!std::isalpha(first)) return false;
+  return std::all_of(name.begin() + 1, name.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '$';
+  });
+}
+
+std::string QuoteConstantName(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
 std::string Instance::ValueToString(Value v) const {
   if (!v.valid()) return "<invalid>";
-  if (v.is_constant()) return vocab_->ConstantName(v.index());
+  if (v.is_constant()) {
+    const std::string& name = vocab_->ConstantName(v.index());
+    return IsPlainConstantName(name) ? name : QuoteConstantName(name);
+  }
   const std::string& label = null_labels_[v.index()];
   if (!label.empty()) return Cat("_", label);
   return Cat("_N", v.index());
@@ -160,9 +206,193 @@ std::string Instance::ToString() const {
   return out;
 }
 
+std::string Instance::ToExactText() const {
+  std::string out;
+  for (const Fact& f : AllFacts()) {
+    out += vocab_->RelationName(f.relation);
+    out += "(";
+    out += JoinMapped(f.args, ", ", [&](Value v) {
+      if (v.is_null()) return Cat("_N", v.index());
+      return ValueToString(v);
+    });
+    out += ")\n";
+  }
+  return out;
+}
+
 void CopyFacts(const Instance& src, Instance* dst) {
   dst->EnsureNulls(src.num_nulls());
   for (const Fact& f : src.AllFacts()) dst->AddFact(f);
+}
+
+namespace {
+
+/// Minimal scanner for the canonical instance text. Kept separate from
+/// parse/lexer.h: the canonical form has no statement dots, supports
+/// string escapes, and must stay available to the snapshot loader without
+/// pulling the full dependency parser into the data layer.
+class CanonicalScanner {
+ public:
+  explicit CanonicalScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        Cat("instance text line ", line_, ": ", what));
+  }
+
+  /// Identifier or integer token ([A-Za-z0-9_$]+ starting appropriately).
+  bool ReadWord(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (std::isalnum(c) || c == '_' || c == '$') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    out->assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  /// Quoted constant with \" \\ \n escapes. Call after peeking '"'.
+  Status ReadQuoted(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        if (e == 'n') {
+          out->push_back('\n');
+        } else {
+          out->push_back(e);  // \" and \\ (and identity for others)
+        }
+        continue;
+      }
+      if (c == '\n') ++line_;
+      out->push_back(c);
+    }
+    return Error("unterminated quoted constant");
+  }
+
+  bool PeekIs(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+};
+
+/// True iff `label` has the reserved indexed-null spelling N<digits>.
+bool ParseIndexedNull(const std::string& label, uint32_t* index) {
+  if (label.size() < 2 || label[0] != 'N') return false;
+  uint64_t value = 0;
+  for (size_t i = 1; i < label.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(label[i]);
+    if (!std::isdigit(c)) return false;
+    value = value * 10 + (c - '0');
+    if (value > 0x7fffffffu) return false;
+  }
+  *index = static_cast<uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+Status ParseInstanceText(std::string_view text, Vocabulary* vocab,
+                         Instance* out) {
+  CanonicalScanner scan(text);
+  // Labeled nulls resolve to the first existing null with that label.
+  std::unordered_map<std::string, Value> labels;
+  for (uint32_t i = 0; i < out->num_nulls(); ++i) {
+    const std::string& label = out->NullLabel(i);
+    if (!label.empty()) labels.emplace(label, Value::Null(i));
+  }
+
+  while (!scan.AtEnd()) {
+    std::string relation_name;
+    if (!scan.ReadWord(&relation_name) || relation_name.empty() ||
+        std::isdigit(static_cast<unsigned char>(relation_name[0])) ||
+        relation_name[0] == '_') {
+      return scan.Error("expected relation name");
+    }
+    if (!scan.TryConsume('(')) return scan.Error("expected '('");
+    std::vector<Value> args;
+    if (!scan.PeekIs(')')) {
+      for (;;) {
+        if (scan.PeekIs('"')) {
+          std::string name;
+          TGDKIT_RETURN_IF_ERROR(scan.ReadQuoted(&name));
+          args.push_back(Value::Constant(vocab->InternConstant(name)));
+        } else {
+          std::string word;
+          if (!scan.ReadWord(&word)) {
+            return scan.Error("expected constant or null argument");
+          }
+          if (word[0] == '_') {
+            std::string label = word.substr(1);
+            uint32_t index = 0;
+            if (ParseIndexedNull(label, &index)) {
+              out->EnsureNulls(index + 1);
+              args.push_back(Value::Null(index));
+            } else {
+              auto it = labels.find(label);
+              if (it == labels.end()) {
+                it = labels.emplace(label, out->FreshNull(label)).first;
+              }
+              args.push_back(it->second);
+            }
+          } else {
+            args.push_back(Value::Constant(vocab->InternConstant(word)));
+          }
+        }
+        if (scan.TryConsume(',')) continue;
+        break;
+      }
+    }
+    if (!scan.TryConsume(')')) return scan.Error("expected ')'");
+    if (args.empty()) return scan.Error("0-ary facts are not supported");
+    uint32_t arity = static_cast<uint32_t>(args.size());
+    RelationId existing = vocab->FindRelation(relation_name);
+    if (existing != kInvalidSymbol &&
+        vocab->RelationArity(existing) != arity) {
+      return scan.Error(Cat("relation '", relation_name,
+                            "' used with arity ", arity, " but declared ",
+                            vocab->RelationArity(existing)));
+    }
+    out->AddFact(vocab->InternRelation(relation_name, arity), args);
+  }
+  return Status::Ok();
 }
 
 }  // namespace tgdkit

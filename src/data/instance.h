@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/status.h"
 #include "base/vocabulary.h"
 #include "data/value.h"
 
@@ -47,6 +48,10 @@ class Instance {
   Value FreshNull(std::string label = "");
   /// Ensures null indexes [0, count) exist (used by parsers).
   void EnsureNulls(uint32_t count);
+  /// Sets the label of an existing null (snapshot restore).
+  void SetNullLabel(uint32_t null_index, std::string label) {
+    null_labels_[null_index] = std::move(label);
+  }
 
   uint32_t num_nulls() const { return static_cast<uint32_t>(null_labels_.size()); }
   const std::string& NullLabel(uint32_t null_index) const {
@@ -99,10 +104,20 @@ class Instance {
     return approx_bytes_ + null_labels_.size() * kNullOverheadBytes;
   }
 
-  /// Renders all facts sorted lexicographically, one per line.
+  /// Renders all facts sorted lexicographically, one per line, in the
+  /// canonical text format ParseInstanceText reads back (parse ∘ print is
+  /// the identity on the canonical form).
   std::string ToString() const;
 
-  /// Renders a single value ("name" for constants, label or _N<i> for nulls).
+  /// Renders all facts in insertion order (per relation, rows in row-id
+  /// order) with every null spelled by index (_N<i>), so parsing the text
+  /// back reproduces row ids and null indexes exactly. This is the
+  /// instance section of the snapshot format.
+  std::string ToExactText() const;
+
+  /// Renders a single value ("name" for constants, label or _N<i> for
+  /// nulls). Constant names that are not plain identifiers or integers are
+  /// quoted with \" and \\ escapes so the rendering stays parseable.
   std::string ValueToString(Value v) const;
 
  private:
@@ -135,5 +150,19 @@ class Instance {
 
 /// Copies all facts of `src` into `dst` (vocabularies must match).
 void CopyFacts(const Instance& src, Instance* dst);
+
+/// Parses the canonical instance text format produced by Instance::ToString
+/// / ToExactText: one fact per line, `Rel(arg, arg, ...)`, where an arg is
+/// a plain identifier or integer constant, a "quoted constant" (with \" \\
+/// \n escapes), a labeled null `_label`, or an indexed null `_N<i>`.
+///
+/// `_N<i>` binds to null index i exactly (allocating up to it if needed);
+/// other labels reuse the first existing null with that label, else
+/// allocate a fresh one. Labels of the form N<digits> are therefore
+/// reserved for indexed nulls. Relations and constants are interned into
+/// `vocab`; a relation seen with two different arities is a parse error.
+/// Facts are added in text order, so row ids follow the text.
+Status ParseInstanceText(std::string_view text, Vocabulary* vocab,
+                         Instance* out);
 
 }  // namespace tgdkit

@@ -1,0 +1,116 @@
+// Crash-consistent checkpoint/resume for the semi-decision engines.
+//
+// A snapshot is a single self-contained file: it carries the vocabulary,
+// the term arena, the rules and the engine's resumable state, so a
+// resumed process needs nothing but the snapshot (plus fresh limits).
+// See docs/CHECKPOINTS.md for the format specification and the
+// consistency model.
+//
+// Durability: SaveX writes through AtomicWriteFile (temp + fsync +
+// rename), so a crash at any instant leaves either the previous complete
+// snapshot or the new complete snapshot — never a torn file — at `path`.
+// Integrity: the envelope carries the payload length and a CRC-32;
+// truncated or bit-flipped files are rejected with Status::DataLoss and a
+// snapshot written by a different format version with
+// Status::Unsupported. Loading never crashes on corrupt input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/vocabulary.h"
+#include "chase/chase.h"
+#include "dep/dependency.h"
+#include "oracle/oracle.h"
+#include "term/term.h"
+
+namespace tgdkit {
+
+/// First line of every snapshot file: "tgdkit-snapshot v<N> <kind>".
+inline constexpr std::string_view kSnapshotMagic = "tgdkit-snapshot";
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// A loaded Skolem-chase snapshot. `state->instance` references `*vocab`;
+/// the unique_ptrs keep those references stable under moves.
+struct ChaseSnapshot {
+  uint64_t seed = 0;
+  uint64_t rng_state = 0;
+  std::unique_ptr<Vocabulary> vocab;
+  std::unique_ptr<TermArena> arena;
+  SoTgd rules;
+  std::unique_ptr<ChaseEngineState> state;
+};
+
+/// A loaded restricted-chase snapshot (round-granular; see
+/// RestrictedChaseState).
+struct RestrictedSnapshot {
+  uint64_t seed = 0;
+  uint64_t rng_state = 0;
+  std::unique_ptr<Vocabulary> vocab;
+  std::unique_ptr<TermArena> arena;
+  std::vector<Tgd> tgds;
+  std::unique_ptr<RestrictedChaseState> state;
+};
+
+// ---------------------------------------------------------------------------
+// Skolem chase
+
+/// Renders a complete snapshot file (envelope + payload) for a chase
+/// engine state captured with ChaseEngine::CaptureState(). `vocab` and
+/// `arena` must be the ones the engine ran over.
+std::string SerializeChaseSnapshot(const Vocabulary& vocab,
+                                   const TermArena& arena, const SoTgd& rules,
+                                   const ChaseEngineState& state,
+                                   uint64_t seed, uint64_t rng_state);
+
+/// Serializes and atomically writes a chase snapshot to `path`.
+Status SaveChaseSnapshot(const std::string& path, const Vocabulary& vocab,
+                         const TermArena& arena, const SoTgd& rules,
+                         const ChaseEngineState& state, uint64_t seed,
+                         uint64_t rng_state);
+
+/// Parses snapshot bytes. DataLoss on truncation/corruption/garbage,
+/// Unsupported on a format version mismatch, InvalidArgument when the
+/// file is a valid snapshot of a different kind.
+Result<ChaseSnapshot> ParseChaseSnapshot(std::string_view bytes);
+
+/// Reads and parses a chase snapshot file.
+Result<ChaseSnapshot> LoadChaseSnapshot(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Restricted chase
+
+std::string SerializeRestrictedSnapshot(const Vocabulary& vocab,
+                                        const TermArena& arena,
+                                        std::span<const Tgd> tgds,
+                                        const RestrictedChaseState& state,
+                                        uint64_t seed, uint64_t rng_state);
+
+Status SaveRestrictedSnapshot(const std::string& path,
+                              const Vocabulary& vocab, const TermArena& arena,
+                              std::span<const Tgd> tgds,
+                              const RestrictedChaseState& state,
+                              uint64_t seed, uint64_t rng_state);
+
+Result<RestrictedSnapshot> ParseRestrictedSnapshot(std::string_view bytes);
+
+Result<RestrictedSnapshot> LoadRestrictedSnapshot(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// PCP oracle search
+
+std::string SerializePcpCheckpoint(const PcpSearchCheckpoint& checkpoint);
+
+Status SavePcpCheckpoint(const std::string& path,
+                         const PcpSearchCheckpoint& checkpoint);
+
+Result<PcpSearchCheckpoint> ParsePcpCheckpoint(std::string_view bytes);
+
+Result<PcpSearchCheckpoint> LoadPcpCheckpoint(const std::string& path);
+
+}  // namespace tgdkit

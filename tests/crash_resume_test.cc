@@ -1,0 +1,181 @@
+// Kill-and-resume fault injection: a forked child runs the CLI chase with
+// periodic checkpointing and the TGDKIT_CRASH_AT hook armed, so the nth
+// snapshot write SIGKILLs it — before the write, mid-write (torn temp
+// file), or between fsync and rename. The parent then resumes from
+// whatever the dead process left behind and requires the final output to
+// be bit-identical to an uninterrupted run. Kill points are randomized
+// but seeded: failures reproduce.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "cli/cli.h"
+#include "snapshot/snapshot.h"
+
+namespace tgdkit {
+namespace {
+
+constexpr char kRules[] =
+    "t: E(x, y) & E(y, z) -> E(x, z) .\n"
+    "m: E(x, y) -> exists w . M(x, w) .\n";
+
+std::string PathInstanceText(int nodes) {
+  std::string out;
+  for (int i = 0; i + 1 < nodes; ++i) {
+    out += "E(n" + std::to_string(i) + ", n" + std::to_string(i + 1) + ") .\n";
+  }
+  return out;
+}
+
+class CrashResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/tgdkit_crash_" + std::to_string(getpid());
+    ASSERT_EQ(::system(("mkdir -p " + dir_).c_str()), 0);
+    rules_path_ = dir_ + "/rules.tgd";
+    inst_path_ = dir_ + "/input.inst";
+    snap_path_ = dir_ + "/ckpt.snap";
+    std::ofstream(rules_path_) << kRules;
+    std::ofstream(inst_path_) << PathInstanceText(16);
+
+    std::ostringstream out, err;
+    int code = RunCli({"chase", rules_path_, inst_path_, "--seed", "5"},
+                      out, err);
+    ASSERT_EQ(code, 0) << err.str();
+    golden_ = out.str();
+    ASSERT_NE(golden_.find("# status: OK seed=5"), std::string::npos);
+  }
+
+  /// Forks a child that runs the checkpointing chase with the crash hook
+  /// armed to die at snapshot write `crash_at` in `phase`. Returns true
+  /// if the child was SIGKILLed, false if it finished first.
+  bool RunChildToDeath(uint64_t crash_at, const char* phase) {
+    std::remove(snap_path_.c_str());
+    std::remove((snap_path_ + ".tmp").c_str());
+    pid_t pid = fork();
+    if (pid == 0) {
+      setenv("TGDKIT_CRASH_AT", std::to_string(crash_at).c_str(), 1);
+      setenv("TGDKIT_CRASH_PHASE", phase, 1);
+      std::ostringstream out, err;
+      RunCli({"chase", rules_path_, inst_path_, "--seed", "5", "--checkpoint",
+              snap_path_, "--checkpoint-every-steps", "1"},
+             out, err);
+      _exit(0);
+    }
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    if (WIFSIGNALED(status)) {
+      EXPECT_EQ(WTERMSIG(status), SIGKILL);
+      return true;
+    }
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    return false;
+  }
+
+  bool SnapshotExists() const {
+    std::ifstream in(snap_path_, std::ios::binary);
+    return in.good();
+  }
+
+  /// Resumes from the surviving snapshot and requires output bit-identical
+  /// to the uninterrupted run.
+  void ResumeAndCompare(const std::string& label) {
+    std::ostringstream out, err;
+    int code = RunCli({"chase", "--resume", snap_path_}, out, err);
+    ASSERT_EQ(code, 0) << label << ": " << err.str();
+    EXPECT_EQ(out.str(), golden_) << label;
+  }
+
+  std::string dir_, rules_path_, inst_path_, snap_path_, golden_;
+};
+
+TEST_F(CrashResumeTest, TornTempFileNeverParses) {
+  // Mid-write kills leave a half-written .tmp next to the target; the
+  // commit path never renamed it, so the target (if present) is a
+  // complete previous snapshot and the .tmp must be rejected.
+  ASSERT_TRUE(RunChildToDeath(2, "mid"));
+  std::ifstream tmp(snap_path_ + ".tmp", std::ios::binary);
+  ASSERT_TRUE(tmp.good()) << "mid-write kill left no torn temp file";
+  std::ostringstream buffer;
+  buffer << tmp.rdbuf();
+  auto parsed = ParseChaseSnapshot(buffer.str());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Status::Code::kDataLoss);
+  ASSERT_TRUE(SnapshotExists());
+  ResumeAndCompare("after mid-write kill");
+}
+
+TEST_F(CrashResumeTest, RandomizedKillPointsAllResumeBitIdentical) {
+  // At least 20 randomized kill points across all three crash phases.
+  // Every kill that leaves a snapshot must resume to the golden output;
+  // kills before the first commit legitimately leave nothing to resume.
+  Rng rng(0xC0FFEE);
+  const char* phases[] = {"begin", "mid", "commit"};
+  int resumed = 0, no_snapshot = 0, completed = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    uint64_t crash_at = 1 + rng.Below(8);
+    const char* phase = phases[rng.Below(3)];
+    std::string label = "trial " + std::to_string(trial) + ": crash_at=" +
+                        std::to_string(crash_at) + " phase=" + phase;
+    bool killed = RunChildToDeath(crash_at, phase);
+    if (!killed) {
+      // The run finished before the nth write: the final snapshot must
+      // still resume (to the already-complete result).
+      ++completed;
+      ASSERT_TRUE(SnapshotExists()) << label;
+      ResumeAndCompare(label + " (completed)");
+      continue;
+    }
+    if (!SnapshotExists()) {
+      ++no_snapshot;
+      EXPECT_EQ(crash_at, 1u) << label
+                              << ": only a first-write kill may leave nothing";
+      continue;
+    }
+    ++resumed;
+    ResumeAndCompare(label);
+  }
+  // The randomized mix must actually exercise resume-after-kill.
+  EXPECT_GE(resumed, 10) << "resumed=" << resumed
+                         << " no_snapshot=" << no_snapshot
+                         << " completed=" << completed;
+}
+
+TEST_F(CrashResumeTest, ChainedKillsConvergeToGolden) {
+  // Kill, resume with a checkpoint, kill the resumed leg, resume again:
+  // the snapshot file is overwritten atomically each leg, so any prefix
+  // of legs may die and the final leg still reaches the golden output.
+  ASSERT_TRUE(RunChildToDeath(3, "mid"));
+  ASSERT_TRUE(SnapshotExists());
+
+  std::remove((snap_path_ + ".tmp").c_str());
+  pid_t pid = fork();
+  if (pid == 0) {
+    setenv("TGDKIT_CRASH_AT", "2", 1);
+    setenv("TGDKIT_CRASH_PHASE", "commit", 1);
+    std::ostringstream out, err;
+    RunCli({"chase", "--resume", snap_path_, "--checkpoint", snap_path_,
+            "--checkpoint-every-steps", "1"},
+           out, err);
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "second leg was expected to die at its second snapshot write";
+  ASSERT_TRUE(SnapshotExists());
+  ResumeAndCompare("after two chained kills");
+}
+
+}  // namespace
+}  // namespace tgdkit

@@ -1,8 +1,9 @@
 // The tgdkit command-line tool. All logic lives in src/cli (testable);
-// this file only adapts argv and wires SIGINT to cooperative
-// cancellation: the first ^C asks the engines to stop cleanly (partial
-// output, StopReason::kCancelled); a second ^C falls back to the default
-// disposition and kills the process.
+// this file only adapts argv and wires SIGINT/SIGTERM to cooperative
+// cancellation: the first signal asks the engines to stop cleanly
+// (partial output, StopReason::kCancelled, and — with --checkpoint — a
+// final snapshot); a second falls back to the default disposition and
+// kills the process.
 #include <csignal>
 #include <iostream>
 #include <string>
@@ -12,10 +13,10 @@
 
 namespace {
 
-extern "C" void HandleInterrupt(int) {
+extern "C" void HandleInterrupt(int signum) {
   // Cancel() is a relaxed atomic store: async-signal-safe.
   tgdkit::GlobalCancellationToken().Cancel();
-  std::signal(SIGINT, SIG_DFL);
+  std::signal(signum, SIG_DFL);
 }
 
 }  // namespace
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   // context.
   tgdkit::GlobalCancellationToken();
   std::signal(SIGINT, HandleInterrupt);
+  std::signal(SIGTERM, HandleInterrupt);
   std::vector<std::string> args(argv + 1, argv + argc);
   return tgdkit::RunCli(args, std::cout, std::cerr);
 }
