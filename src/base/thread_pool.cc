@@ -1,0 +1,86 @@
+#include "base/thread_pool.h"
+
+namespace tgdkit {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (unsigned i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainIndexes(const std::function<void(size_t)>& body,
+                              size_t n) {
+  for (;;) {
+    size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    body(i);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (generation_ != seen && job_body_ != nullptr);
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      body = job_body_;
+      n = job_size_;
+      // Claims only happen inside this active bracket, so the caller's
+      // completion wait (completed == n AND no active workers) guarantees
+      // no stale claim can race a later job's counter reset.
+      ++active_workers_;
+    }
+    DrainIndexes(*body, n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_body_ = &body;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread is a lane too.
+  DrainIndexes(body, n);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) == job_size_ &&
+           active_workers_ == 0;
+  });
+  job_body_ = nullptr;
+}
+
+}  // namespace tgdkit

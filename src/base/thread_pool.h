@@ -1,0 +1,65 @@
+// Fixed-size thread pool for data-parallel engine phases.
+//
+// The chase engines stage each round's trigger matching as a list of
+// independent slices and fan them out with ParallelFor. The pool is
+// deliberately minimal: one job at a time, dynamic index claiming for
+// load balance, and a hard completion barrier — determinism is the
+// *caller's* contract (write results into per-index slots, merge in index
+// order), which keeps the pool itself free of ordering policy.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tgdkit {
+
+/// A fixed-size pool of `threads` execution lanes: threads-1 worker
+/// threads plus the calling thread. With threads == 1 no workers are
+/// spawned and ParallelFor degenerates to an inline loop, so single- and
+/// multi-threaded callers share one code path.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread).
+  unsigned threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs body(i) exactly once for every i in [0, n), distributing
+  /// indexes dynamically over all lanes, and returns only after every
+  /// call has finished. `body` must not throw; it runs concurrently with
+  /// itself, so everything it touches must be read-only, per-index, or
+  /// synchronized. Not reentrant: one job at a time per pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs indexes of the current job until none remain.
+  void DrainIndexes(const std::function<void(size_t)>& body, size_t n);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // wakes workers for a new generation
+  std::condition_variable done_cv_;  // wakes the caller at job completion
+  uint64_t generation_ = 0;          // guarded by mutex_
+  bool shutdown_ = false;            // guarded by mutex_
+  size_t job_size_ = 0;              // guarded by mutex_ at handoff
+  const std::function<void(size_t)>* job_body_ = nullptr;  // likewise
+  size_t active_workers_ = 0;        // workers inside DrainIndexes
+  std::atomic<size_t> next_index_{0};
+  std::atomic<size_t> completed_{0};
+};
+
+}  // namespace tgdkit

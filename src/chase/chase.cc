@@ -1,12 +1,167 @@
 #include "chase/chase.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <thread>
 
 #include "base/strings.h"
 
 namespace tgdkit {
 
 namespace {
+
+/// Root-candidate / delta rows per staging slice. Fixed independently of
+/// the thread count: the slice list, the per-slice step totals, and the
+/// merge-time PollN sequence are therefore identical for every `threads`
+/// setting — which is what makes N-thread runs byte-identical to serial
+/// ones, including governor slow-path check points, checkpoint-hook
+/// firing steps, and snapshot contents.
+constexpr size_t kSliceRows = 64;
+
+unsigned ResolveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// First-cause abort latch shared by one round's staging workers. Only
+/// inherently time-based stops (deadline, cancellation) abort staging from
+/// inside a worker; deterministic budgets (steps, memory, structural caps)
+/// are enforced solely at the serial merge so their trip points cannot
+/// depend on scheduling.
+struct StageAbort {
+  std::atomic<bool> requested{false};
+  std::atomic<uint8_t> reason{static_cast<uint8_t>(StopReason::kFixpoint)};
+
+  void Request(StopReason r) {
+    reason.store(static_cast<uint8_t>(r), std::memory_order_relaxed);
+    requested.store(true, std::memory_order_release);
+  }
+  bool Requested() const {
+    return requested.load(std::memory_order_relaxed);
+  }
+  StopReason Reason() const {
+    return static_cast<StopReason>(reason.load(std::memory_order_relaxed));
+  }
+};
+
+/// The advisory check workers run at slice starts and every
+/// SearchControls::kPeriodicCheckStride matcher probes. Reads only
+/// immutable governor state (start time) and atomics, so it is safe from
+/// any thread; the engine re-records the cause via Halt after the barrier.
+std::function<bool()> MakePeriodicCheck(const ChaseLimits& limits,
+                                        const ResourceGovernor& governor,
+                                        StageAbort* abort) {
+  return [&limits, &governor, abort] {
+    if (abort->Requested()) return false;
+    if (limits.budget.cancel.cancelled()) {
+      abort->Request(StopReason::kCancelled);
+      return false;
+    }
+    if (limits.budget.deadline_ms != 0 &&
+        governor.elapsed_ms() >=
+            static_cast<double>(limits.budget.deadline_ms)) {
+      abort->Request(StopReason::kDeadline);
+      return false;
+    }
+    return true;
+  };
+}
+
+/// One unit of staged matching: a contiguous range of root candidates
+/// (full evaluation) or of one pivot's delta rows (semi-naive), or a
+/// whole un-shardable search (query with no atoms).
+struct MatchSlice {
+  size_t part = 0;  // rule part / tgd index
+  bool whole_search = false;
+  bool delta = false;
+  size_t pivot = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Per-slice output slot: the matched assignments in enumeration order
+/// plus the staged step count (matcher probes, and for delta slices one
+/// step per delta row scanned — the serial engine's historical
+/// accounting). Charged to the governor at merge time.
+struct SliceResult {
+  std::vector<Assignment> matches;
+  uint64_t steps = 0;
+};
+
+/// Appends `slices` entries covering [begin, end) in kSliceRows chunks.
+void PushRowSlices(size_t part, bool delta, size_t pivot, size_t begin,
+                   size_t end, std::vector<MatchSlice>* slices) {
+  for (size_t b = begin; b < end; b += kSliceRows) {
+    MatchSlice s;
+    s.part = part;
+    s.delta = delta;
+    s.pivot = pivot;
+    s.begin = b;
+    s.end = std::min(end, b + kSliceRows);
+    slices->push_back(s);
+  }
+}
+
+/// Stages one slice: read-only matching against the round-frozen instance
+/// into `out`. `head_filter` (restricted chase) drops assignments whose
+/// head already holds; `pivot_atom` must be set for delta slices. Runs
+/// concurrently with itself on other slices — everything it touches is
+/// immutable, per-slice, or atomic.
+void RunSlice(const Matcher& matcher, const Matcher::RootSplit& split,
+              const TermArena& arena, const Instance& instance,
+              const Atom* pivot_atom, const Matcher* head_filter,
+              const MatchSlice& slice, const std::function<bool()>& periodic,
+              const StageAbort& abort, SliceResult* out) {
+  if (!periodic()) return;
+  SearchControls controls;
+  controls.probe_counter = &out->steps;
+  controls.periodic_check = periodic;
+  std::function<bool(const Assignment&)> emit = [&](const Assignment& a) {
+    if (head_filter == nullptr || !head_filter->Exists(a)) {
+      out->matches.push_back(a);
+    }
+    return !abort.Requested();
+  };
+  if (slice.whole_search) {
+    matcher.ForEach({}, emit, controls);
+    return;
+  }
+  if (!slice.delta) {
+    for (size_t i = slice.begin; i < slice.end; ++i) {
+      matcher.ForEachFromRoot({}, split, split.Row(i), emit, controls);
+      if (abort.Requested()) return;
+    }
+    return;
+  }
+  for (size_t row = slice.begin; row < slice.end; ++row) {
+    ++out->steps;  // one step per delta row scanned
+    if (abort.Requested()) return;
+    std::span<const Value> tuple =
+        instance.Tuple(pivot_atom->relation, static_cast<uint32_t>(row));
+    Assignment seed;
+    bool consistent = true;
+    for (size_t i = 0; i < pivot_atom->args.size(); ++i) {
+      TermId t = pivot_atom->args[i];
+      if (arena.IsConstant(t)) {
+        if (Value::Constant(arena.symbol(t)) != tuple[i]) {
+          consistent = false;
+          break;
+        }
+      } else {
+        VariableId v = arena.symbol(t);
+        auto [it, inserted] = seed.emplace(v, tuple[i]);
+        if (!inserted && it->second != tuple[i]) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (!consistent) continue;
+    matcher.ForEach(seed, emit, controls);
+  }
+}
 
 /// Round/fact bookkeeping shared by ChaseEngine and RestrictedChaseTgds:
 /// both engines historically duplicated these checks; they now funnel
@@ -51,6 +206,7 @@ ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
       rules_(rules),
       limits_(limits),
       governor_(limits.budget),
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(limits.threads))),
       instance_(&input.vocab()) {
   TermArena* arena_ptr = arena_;
   governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
@@ -69,6 +225,7 @@ ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
       rules_(rules),
       limits_(limits),
       governor_(limits.budget),
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(limits.threads))),
       instance_(std::move(state.instance)) {
   TermArena* arena_ptr = arena_;
   governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
@@ -271,71 +428,90 @@ bool ChaseEngine::FlushPending(const std::vector<std::vector<Fact>>& pending) {
   return added;
 }
 
-void ChaseEngine::FireRuleFull(const SoPart& part,
-                               std::vector<std::vector<Fact>>* pending) {
-  Matcher matcher(arena_, &instance_, part.body);
-  matcher.set_governor(&governor_);
-  // Stage only: the instance stays frozen at its round-start contents
-  // until Step() flushes the whole round. Inserting while enumerating
-  // would let this round's conclusions re-trigger within the same round
-  // (still sound for the oblivious chase, but rounds would lose their
-  // meaning — and a replayed round would enumerate differently than the
-  // original, breaking deterministic resume).
-  matcher.ForEach({}, [&](const Assignment& assignment) {
-    return ProcessTrigger(part, assignment, pending);
-  });
-  if (governor_.exhausted() && !done_) Halt(governor_.reason());
-}
-
-void ChaseEngine::FireRuleDelta(const SoPart& part,
-                                std::vector<std::vector<Fact>>* pending) {
-  Matcher matcher(arena_, &instance_, part.body);
-  matcher.set_governor(&governor_);
-
-  // For each body atom acting as the pivot, seed the matcher with each
-  // fact of the previous round's delta. Triggers touching no delta fact
-  // were already fired in an earlier round (Skolem-chase idempotence makes
-  // re-fired overlapping triggers harmless).
-  for (size_t pivot = 0; pivot < part.body.size() && !done_; ++pivot) {
-    const Atom& atom = part.body[pivot];
-    auto prev_it = rows_before_prev_round_.find(atom.relation);
-    size_t delta_begin =
-        prev_it == rows_before_prev_round_.end() ? 0 : prev_it->second;
-    auto cur_it = rows_before_current_round_.find(atom.relation);
-    size_t delta_end =
-        cur_it == rows_before_current_round_.end() ? 0 : cur_it->second;
-    for (size_t row = delta_begin; row < delta_end && !done_; ++row) {
-      if (!governor_.Poll()) {
-        Halt(governor_.reason());
-        break;
+bool ChaseEngine::StageAndMergeRound(
+    bool use_delta, std::vector<std::vector<Fact>>* pending) {
+  // STAGE (parallel, read-only): enumeration always sees the round-start
+  // instance — the instance stays frozen until Step() flushes the whole
+  // round. Inserting while enumerating would let this round's conclusions
+  // re-trigger within the same round (still sound for the oblivious
+  // chase, but rounds would lose their meaning — and a replayed round
+  // would enumerate differently than the original, breaking deterministic
+  // resume). That freeze is also what makes staging embarrassingly
+  // parallel: workers share the instance, the arena and one const Matcher
+  // per rule part without synchronization.
+  const size_t num_parts = rules_.parts.size();
+  std::vector<Matcher> matchers;
+  matchers.reserve(num_parts);
+  std::vector<Matcher::RootSplit> splits(num_parts);
+  std::vector<MatchSlice> slices;
+  for (size_t p = 0; p < num_parts; ++p) {
+    const SoPart& part = rules_.parts[p];
+    matchers.emplace_back(arena_, &instance_, part.body);
+    if (use_delta) {
+      // For each body atom acting as the pivot, the slices cover the
+      // previous round's delta rows. Triggers touching no delta fact were
+      // already fired in an earlier round (Skolem-chase idempotence makes
+      // re-fired overlapping triggers harmless).
+      for (size_t pivot = 0; pivot < part.body.size(); ++pivot) {
+        const Atom& atom = part.body[pivot];
+        auto prev_it = rows_before_prev_round_.find(atom.relation);
+        size_t delta_begin =
+            prev_it == rows_before_prev_round_.end() ? 0 : prev_it->second;
+        auto cur_it = rows_before_current_round_.find(atom.relation);
+        size_t delta_end =
+            cur_it == rows_before_current_round_.end() ? 0 : cur_it->second;
+        PushRowSlices(p, /*delta=*/true, pivot, delta_begin, delta_end,
+                      &slices);
       }
-      std::span<const Value> tuple =
-          instance_.Tuple(atom.relation, static_cast<uint32_t>(row));
-      Assignment seed;
-      bool consistent = true;
-      for (size_t i = 0; i < atom.args.size(); ++i) {
-        TermId t = atom.args[i];
-        if (arena_->IsConstant(t)) {
-          if (Value::Constant(arena_->symbol(t)) != tuple[i]) {
-            consistent = false;
-            break;
-          }
-        } else {
-          VariableId v = arena_->symbol(t);
-          auto [it, inserted] = seed.emplace(v, tuple[i]);
-          if (!inserted && it->second != tuple[i]) {
-            consistent = false;
-            break;
-          }
-        }
+    } else {
+      splits[p] = matchers[p].PlanRoot({});
+      if (splits[p].atom < 0) {
+        MatchSlice s;
+        s.part = p;
+        s.whole_search = true;
+        slices.push_back(s);
+      } else {
+        PushRowSlices(p, /*delta=*/false, 0, 0, splits[p].NumCandidates(),
+                      &slices);
       }
-      if (!consistent) continue;
-      matcher.ForEach(seed, [&](const Assignment& assignment) {
-        return ProcessTrigger(part, assignment, pending);
-      });
     }
   }
-  if (governor_.exhausted() && !done_) Halt(governor_.reason());
+
+  std::vector<SliceResult> results(slices.size());
+  StageAbort abort;
+  std::function<bool()> periodic =
+      MakePeriodicCheck(limits_, governor_, &abort);
+  pool_->ParallelFor(slices.size(), [&](size_t i) {
+    const MatchSlice& s = slices[i];
+    const Atom* pivot_atom =
+        s.delta ? &rules_.parts[s.part].body[s.pivot] : nullptr;
+    RunSlice(matchers[s.part], splits[s.part], *arena_, instance_,
+             pivot_atom, /*head_filter=*/nullptr, s, periodic, abort,
+             &results[i]);
+  });
+  if (abort.Requested()) {
+    // Time-based abort (deadline/cancel): discard the staged round whole.
+    // Nothing was committed, so the instance is still the round-start
+    // instance — the same state a serial run stopping mid-round leaves.
+    Halt(abort.Reason());
+    return false;
+  }
+
+  // MERGE (serial, deterministic): charge each slice's staged work, then
+  // process its triggers, in slice order — the order the serial engine
+  // enumerates. Step/fact/depth budgets trip here at thread-count-
+  // independent points.
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (!governor_.PollN(results[i].steps)) {
+      Halt(governor_.reason());
+      return false;
+    }
+    const SoPart& part = rules_.parts[slices[i].part];
+    for (const Assignment& assignment : results[i].matches) {
+      if (!ProcessTrigger(part, assignment, pending)) return false;
+    }
+  }
+  return true;
 }
 
 bool ChaseEngine::InstanceGrewSinceRoundStart() const {
@@ -381,14 +557,7 @@ bool ChaseEngine::Step() {
   // sees the round-start instance, so replaying a round from any
   // checkpoint taken inside it re-enumerates identically.
   std::vector<std::vector<Fact>> pending;
-  for (const SoPart& part : rules_.parts) {
-    if (use_delta) {
-      FireRuleDelta(part, &pending);
-    } else {
-      FireRuleFull(part, &pending);
-    }
-    if (done_) return false;
-  }
+  if (!StageAndMergeRound(use_delta, &pending)) return false;
   bool any = FlushPending(pending);
   if (deferred_checkpoint_) {
     deferred_checkpoint_ = false;
@@ -448,6 +617,7 @@ RestrictedChaseEngine::RestrictedChaseEngine(TermArena* arena,
       tgds_(tgds.begin(), tgds.end()),
       limits_(limits),
       governor_(limits.budget),
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(limits.threads))),
       instance_(&input.vocab()) {
   TermArena* arena_ptr = arena_;
   governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
@@ -465,6 +635,7 @@ RestrictedChaseEngine::RestrictedChaseEngine(TermArena* arena,
       tgds_(tgds.begin(), tgds.end()),
       limits_(limits),
       governor_(limits.budget),
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(limits.threads))),
       instance_(std::move(state.instance)) {
   TermArena* arena_ptr = arena_;
   governor_.AddMemorySource([arena_ptr] { return arena_ptr->ApproxBytes(); });
@@ -500,6 +671,45 @@ RestrictedChaseState RestrictedChaseEngine::CaptureState() const {
   return state;
 }
 
+bool RestrictedChaseEngine::StageActive(const Matcher& body_matcher,
+                                        const Matcher& head_matcher,
+                                        std::vector<Assignment>* active) {
+  Matcher::RootSplit split = body_matcher.PlanRoot({});
+  std::vector<MatchSlice> slices;
+  if (split.atom < 0) {
+    MatchSlice s;
+    s.whole_search = true;
+    slices.push_back(s);
+  } else {
+    PushRowSlices(0, /*delta=*/false, 0, 0, split.NumCandidates(), &slices);
+  }
+  std::vector<SliceResult> results(slices.size());
+  StageAbort abort;
+  std::function<bool()> periodic =
+      MakePeriodicCheck(limits_, governor_, &abort);
+  pool_->ParallelFor(slices.size(), [&](size_t i) {
+    // Restricted chase: fire only when no extension to the existential
+    // variables satisfies the head already. The Exists filter runs in the
+    // worker (it is read-only and uncounted, as in serial evaluation).
+    RunSlice(body_matcher, split, *arena_, instance_, /*pivot_atom=*/nullptr,
+             &head_matcher, slices[i], periodic, abort, &results[i]);
+  });
+  if (abort.Requested()) {
+    Halt(abort.Reason());
+    return false;
+  }
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (!governor_.PollN(results[i].steps)) {
+      Halt(governor_.reason());
+      return false;
+    }
+    for (Assignment& assignment : results[i].matches) {
+      active->push_back(std::move(assignment));
+    }
+  }
+  return true;
+}
+
 void RestrictedChaseEngine::SetCheckpointHook(
     uint64_t every_rounds,
     std::function<void(const RestrictedChaseEngine&)> hook) {
@@ -523,20 +733,14 @@ bool RestrictedChaseEngine::Step() {
   Instance& j = instance_;
   bool any = false;
   for (const Tgd& tgd : tgds_) {
+    // The restricted chase commits inside the round (tgd k+1 must see tgd
+    // k's firings), so staging parallelizes per tgd: enumerate + filter
+    // this tgd's triggers against the current instance in parallel, then
+    // fire serially.
     Matcher body_matcher(arena_, &j, tgd.body);
-    body_matcher.set_governor(&governor_);
     Matcher head_matcher(arena_, &j, tgd.head);
     std::vector<Assignment> active;
-    body_matcher.ForEach({}, [&](const Assignment& assignment) {
-      // Restricted chase: fire only when no extension to the existential
-      // variables satisfies the head already.
-      if (!head_matcher.Exists(assignment)) active.push_back(assignment);
-      return true;
-    });
-    if (governor_.exhausted()) {
-      Halt(governor_.reason());
-      return false;
-    }
+    if (!StageActive(body_matcher, head_matcher, &active)) return false;
     for (const Assignment& assignment : active) {
       if (!governor_.Poll()) {
         Halt(governor_.reason());

@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/budget.h"
+#include "base/thread_pool.h"
 #include "dep/dependency.h"
 #include "homo/matcher.h"
 
@@ -45,8 +47,15 @@ struct ChaseLimits {
   bool semi_naive = true;
   /// Cross-cutting resource budget (deadline, bytes, steps, cancellation)
   /// enforced by a ResourceGovernor on top of the structural caps above.
-  /// One chase step = one trigger processed or one delta row probed.
+  /// One chase step = one trigger processed or one matcher/delta row
+  /// probed.
   ExecutionBudget budget;
+  /// Execution lanes for round staging (1 = serial, 0 = one per hardware
+  /// thread). Any value produces byte-identical results — instance text,
+  /// stop reason, step counts and snapshots — because trigger matching is
+  /// staged over fixed-geometry slices whose results merge in a
+  /// deterministic order (see docs/PARALLELISM.md).
+  uint32_t threads = 1;
 };
 
 /// Complete resumable state of a ChaseEngine, as captured by
@@ -121,6 +130,10 @@ class ChaseEngine {
   /// The governor enforcing limits_.budget (for steps/bytes telemetry).
   const ResourceGovernor& governor() const { return governor_; }
 
+  /// Effective execution lanes (ChaseLimits::threads with 0 resolved to
+  /// the hardware thread count).
+  unsigned threads() const { return pool_->threads(); }
+
   /// Provenance: the ground Skolem term a chase-created null stands for
   /// (kInvalidTerm for nulls already present in the input).
   TermId NullProvenance(uint32_t null_index) const;
@@ -150,12 +163,15 @@ class ChaseEngine {
   /// nothing (no partial head facts are ever committed).
   bool ProcessTrigger(const SoPart& part, const Assignment& assignment,
                       std::vector<std::vector<Fact>>* pending);
-  /// Stages all triggers of `part` (full evaluation) into `pending`.
-  void FireRuleFull(const SoPart& part,
-                    std::vector<std::vector<Fact>>* pending);
-  /// Stages only triggers touching a fact from the previous round's delta.
-  void FireRuleDelta(const SoPart& part,
-                     std::vector<std::vector<Fact>>* pending);
+  /// One round's trigger enumeration: stages matching over fixed-geometry
+  /// slices fanned across the pool (read-only against the round-frozen
+  /// instance), then merges the per-slice results serially in slice order
+  /// — charging governor steps and running ProcessTrigger for each match.
+  /// The slice geometry and merge order are independent of the thread
+  /// count, so any `threads` setting observes the identical step/trigger
+  /// sequence. Returns false when the round halted (reason recorded).
+  bool StageAndMergeRound(bool use_delta,
+                          std::vector<std::vector<Fact>>* pending);
   /// Commits a whole round's staged triggers. The instance only mutates
   /// here: enumeration always sees the round-start instance, which is
   /// what makes round replay (and therefore resume) deterministic.
@@ -171,6 +187,8 @@ class ChaseEngine {
   SoTgd rules_;
   ChaseLimits limits_;
   ResourceGovernor governor_;
+  /// Staging lanes (never serialized; rebuilt from limits on resume).
+  std::unique_ptr<ThreadPool> pool_;
   Instance instance_;
   std::unordered_map<TermId, Value> term_to_value_;
   std::vector<TermId> null_provenance_;  // null index -> ground term
@@ -272,6 +290,10 @@ class RestrictedChaseEngine {
   ChaseStop stop_reason() const { return stop_reason_; }
   const ResourceGovernor& governor() const { return governor_; }
 
+  /// Effective execution lanes (ChaseLimits::threads with 0 resolved to
+  /// the hardware thread count).
+  unsigned threads() const { return pool_->threads(); }
+
   /// Deep-copies the resumable state. Call between rounds (or after the
   /// run ended); the checkpoint hook is invoked at exactly such points.
   RestrictedChaseState CaptureState() const;
@@ -287,11 +309,20 @@ class RestrictedChaseEngine {
 
  private:
   void Halt(StopReason reason);
+  /// Stages one tgd's body matches in parallel over fixed-geometry root
+  /// slices, filtering out triggers whose head is already satisfiable
+  /// (Exists is uncounted, as in serial evaluation), then merges the
+  /// surviving assignments into `active` in slice order — the serial
+  /// enumeration order. Returns false when the round halted.
+  bool StageActive(const Matcher& body_matcher, const Matcher& head_matcher,
+                   std::vector<Assignment>* active);
 
   TermArena* arena_;
   std::vector<Tgd> tgds_;
   ChaseLimits limits_;
   ResourceGovernor governor_;
+  /// Staging lanes (never serialized; rebuilt from limits on resume).
+  std::unique_ptr<ThreadPool> pool_;
   Instance instance_;
   bool done_ = false;
   ChaseStop stop_reason_ = ChaseStop::kFixpoint;

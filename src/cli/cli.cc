@@ -40,6 +40,9 @@ constexpr const char* kUsage =
     "options: --max-rounds N  --max-facts N  --max-depth N\n"
     "         --max-steps N  --deadline-ms N  --max-memory-mb N\n"
     "         --seed N\n"
+    "         --threads N   chase staging lanes (0 = all hardware\n"
+    "                       threads); output is byte-identical for every\n"
+    "                       N (see docs/PARALLELISM.md)\n"
     "chase checkpointing (see docs/CHECKPOINTS.md):\n"
     "         --checkpoint PATH            write crash-safe snapshots\n"
     "         --checkpoint-every-steps N   snapshot cadence (steps)\n"
@@ -131,6 +134,14 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
       ctx->limits.budget.max_memory_bytes = mb * 1024 * 1024;
     } else if (arg == "--seed") {
       if (!numeric(&ctx->seed)) return false;
+    } else if (arg == "--threads") {
+      uint64_t threads = 0;
+      if (!numeric(&threads)) return false;
+      if (threads > 256) {
+        err << "tgdkit: --threads must be between 0 and 256\n";
+        return false;
+      }
+      ctx->limits.threads = static_cast<uint32_t>(threads);
     } else if (arg == "--checkpoint") {
       if (!pathval(&ctx->checkpoint_path)) return false;
     } else if (arg == "--checkpoint-every-steps") {
@@ -302,7 +313,7 @@ int RunChaseEngine(CliContext* ctx, ChaseEngine* engine,
       << " facts created\n";
   out << "# status: "
       << StopReasonToStatus(engine->stop_reason(), "chase").ToString()
-      << " seed=" << seed << "\n";
+      << " seed=" << seed << " threads=" << engine->threads() << "\n";
   out << engine->instance().ToString();
   return checkpoint_failed ? 2 : 0;
 }

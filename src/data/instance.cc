@@ -40,14 +40,17 @@ bool Instance::AddFact(RelationId relation, std::span<const Value> args) {
   }
   uint32_t row = static_cast<uint32_t>(data.NumTuples());
   data.flat.insert(data.flat.end(), args.begin(), args.end());
-  data.dedup[h].push_back(row);
+  std::vector<uint32_t>& bucket = data.dedup[h];
+  if (bucket.empty()) index_bytes_ += kIndexNodeBytes;
+  bucket.push_back(row);
+  index_bytes_ += sizeof(uint32_t);
   for (uint32_t pos = 0; pos < data.arity; ++pos) {
-    data.position_index[pos][args[pos]].push_back(row);
+    std::vector<uint32_t>& posting = data.position_index[pos][args[pos]];
+    if (posting.empty()) index_bytes_ += kIndexNodeBytes;
+    posting.push_back(row);
+    index_bytes_ += sizeof(uint32_t);
   }
-  // Tuple storage + one dedup row id + one index row id per position,
-  // with amortized node overhead for the hash maps involved.
-  approx_bytes_ += args.size() * sizeof(Value) +
-                   (args.size() + 1) * sizeof(uint32_t) + kRowOverheadBytes;
+  row_bytes_ += args.size() * sizeof(Value) + kRowOverheadBytes;
   return true;
 }
 

@@ -92,17 +92,25 @@ class Instance {
     }
     relations_.clear();
     active_relations_.clear();
-    approx_bytes_ = 0;
+    row_bytes_ = 0;
+    index_bytes_ = 0;
     for (const Fact& f : kept) AddFact(f);
   }
 
   /// Approximate heap footprint in bytes, for memory-budget accounting
   /// (ResourceGovernor memory source). Maintained incrementally: tuple
-  /// storage plus amortized dedup/index entries per inserted fact, plus
-  /// null bookkeeping.
+  /// storage, the dedup + per-position index structures (see IndexBytes),
+  /// and null bookkeeping.
   uint64_t ApproxBytes() const {
-    return approx_bytes_ + null_labels_.size() * kNullOverheadBytes;
+    return row_bytes_ + index_bytes_ +
+           null_labels_.size() * kNullOverheadBytes;
   }
+
+  /// The index share of ApproxBytes: dedup buckets and per-position
+  /// posting lists (amortized hash-node overhead for fresh keys plus one
+  /// row id per entry). Split out so `--max-memory-mb` observably charges
+  /// the accelerating structures, not just raw rows.
+  uint64_t IndexBytes() const { return index_bytes_; }
 
   /// Renders all facts sorted lexicographically, one per line, in the
   /// canonical text format ParseInstanceText reads back (parse ∘ print is
@@ -136,16 +144,19 @@ class Instance {
   RelationData& GetOrCreate(RelationId relation);
   static size_t TupleHash(std::span<const Value> args);
 
-  /// Estimated per-null and per-row index overheads (map/vector nodes).
+  /// Estimated per-null and per-row overheads, and the amortized cost of a
+  /// fresh hash-map key (node + bucket share) in the dedup/position maps.
   static constexpr uint64_t kNullOverheadBytes = 48;
   static constexpr uint64_t kRowOverheadBytes = 24;
+  static constexpr uint64_t kIndexNodeBytes = 48;
 
   const Vocabulary* vocab_;
   std::unordered_map<RelationId, RelationData> relations_;
   std::vector<RelationId> active_relations_;
   std::vector<std::string> null_labels_;
   std::vector<uint32_t> empty_rows_;
-  uint64_t approx_bytes_ = 0;
+  uint64_t row_bytes_ = 0;
+  uint64_t index_bytes_ = 0;
 };
 
 /// Copies all facts of `src` into `dst` (vocabularies must match).

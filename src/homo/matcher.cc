@@ -5,6 +5,33 @@
 
 namespace tgdkit {
 
+namespace {
+// Below this candidate count a second index lookup costs more than the
+// TryBindTuple probes it would save.
+constexpr size_t kIntersectThreshold = 16;
+
+// Two-pointer intersection of two ascending posting lists; the result is
+// ascending, so candidate enumeration order is unchanged (rows dropped
+// here would have failed TryBindTuple anyway).
+void IntersectAscending(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b,
+                        std::vector<uint32_t>* out) {
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+}  // namespace
+
 Matcher::Matcher(const TermArena* arena, const Instance* instance,
                  std::span<const Atom> atoms)
     : arena_(arena), instance_(instance) {
@@ -62,6 +89,36 @@ int Matcher::PickNextAtom(const std::vector<Value>& binding,
   return best;
 }
 
+const std::vector<uint32_t>* Matcher::Candidates(
+    const AtomPlan& plan, const std::vector<Value>& binding,
+    std::vector<uint32_t>* scratch, size_t* scan_rows) const {
+  const std::vector<uint32_t>* best = nullptr;
+  const std::vector<uint32_t>* second = nullptr;
+  for (size_t pos = 0; pos < plan.slots.size(); ++pos) {
+    const ArgSlot& slot = plan.slots[pos];
+    Value bound = slot.is_variable ? binding[slot.local_var] : slot.constant;
+    if (!bound.valid()) continue;
+    const std::vector<uint32_t>& candidate = instance_->RowsWithValue(
+        plan.relation, static_cast<uint32_t>(pos), bound);
+    if (best == nullptr || candidate.size() < best->size()) {
+      second = best;
+      best = &candidate;
+    } else if (second == nullptr || candidate.size() < second->size()) {
+      second = &candidate;
+    }
+  }
+  if (best == nullptr) {
+    *scan_rows = instance_->NumTuples(plan.relation);
+    return nullptr;
+  }
+  if (second != nullptr && second != best &&
+      best->size() > kIntersectThreshold) {
+    IntersectAscending(*best, *second, scratch);
+    return scratch;
+  }
+  return best;
+}
+
 bool Matcher::TryBindTuple(const AtomPlan& plan, std::span<const Value> tuple,
                            std::vector<Value>* binding,
                            std::vector<uint32_t>* trail) const {
@@ -82,64 +139,102 @@ bool Matcher::TryBindTuple(const AtomPlan& plan, std::span<const Value> tuple,
   return true;
 }
 
-bool Matcher::Search(
-    std::vector<Value>* binding, std::vector<bool>* done, size_t remaining,
-    const std::function<bool(const std::vector<Value>&)>& emit,
-    bool* stopped) const {
-  if (remaining == 0) {
-    if (!emit(*binding)) *stopped = true;
-    return true;
+bool Matcher::TryRow(SearchState* state, const AtomPlan& plan, uint32_t row,
+                     size_t remaining, bool* any,
+                     std::vector<uint32_t>* trail) const {
+  const SearchControls& controls = *state->controls;
+  if (controls.governor != nullptr && !controls.governor->Poll()) {
+    state->stopped = true;
+    return false;
   }
-  int idx = PickNextAtom(*binding, *done);
-  assert(idx >= 0);
-  const AtomPlan& plan = plans_[idx];
-  (*done)[idx] = true;
-
-  // Candidate rows: the most selective bound position's index, else a scan.
-  const std::vector<uint32_t>* rows = nullptr;
-  size_t best_rows = std::numeric_limits<size_t>::max();
-  for (size_t pos = 0; pos < plan.slots.size(); ++pos) {
-    const ArgSlot& slot = plan.slots[pos];
-    Value bound =
-        slot.is_variable ? (*binding)[slot.local_var] : slot.constant;
-    if (!bound.valid()) continue;
-    const std::vector<uint32_t>& candidate = instance_->RowsWithValue(
-        plan.relation, static_cast<uint32_t>(pos), bound);
-    if (candidate.size() < best_rows) {
-      best_rows = candidate.size();
-      rows = &candidate;
+  if (controls.probe_counter != nullptr) ++*controls.probe_counter;
+  if (controls.periodic_check && --state->probes_until_check == 0) {
+    state->probes_until_check = SearchControls::kPeriodicCheckStride;
+    if (!controls.periodic_check()) {
+      state->stopped = true;
+      return false;
     }
   }
+  trail->clear();
+  std::span<const Value> tuple = instance_->Tuple(plan.relation, row);
+  if (TryBindTuple(plan, tuple, &state->binding, trail)) {
+    if (Search(state, remaining)) *any = true;
+  }
+  for (uint32_t var : *trail) state->binding[var] = Value();
+  return !state->stopped;
+}
+
+bool Matcher::Search(SearchState* state, size_t remaining) const {
+  if (remaining == 0) {
+    if (!(*state->emit)(state->binding)) state->stopped = true;
+    return true;
+  }
+  int idx = PickNextAtom(state->binding, state->done);
+  assert(idx >= 0);
+  const AtomPlan& plan = plans_[idx];
+  state->done[idx] = true;
+
+  std::vector<uint32_t> scratch;
+  size_t scan_rows = 0;
+  const std::vector<uint32_t>* rows =
+      Candidates(plan, state->binding, &scratch, &scan_rows);
 
   bool any = false;
   std::vector<uint32_t> trail;
-  auto try_row = [&](uint32_t row) {
-    if (governor_ != nullptr && !governor_->Poll()) {
-      *stopped = true;
-      return false;
-    }
-    trail.clear();
-    std::span<const Value> tuple = instance_->Tuple(plan.relation, row);
-    if (TryBindTuple(plan, tuple, binding, &trail)) {
-      if (Search(binding, done, remaining - 1, emit, stopped)) any = true;
-    }
-    for (uint32_t var : trail) (*binding)[var] = Value();
-    return !*stopped;
-  };
-
   if (rows != nullptr) {
     for (uint32_t row : *rows) {
-      if (!try_row(row)) break;
+      if (!TryRow(state, plan, row, remaining - 1, &any, &trail)) break;
     }
   } else {
-    size_t n = instance_->NumTuples(plan.relation);
-    for (uint32_t row = 0; row < n; ++row) {
-      if (!try_row(row)) break;
+    for (uint32_t row = 0; row < scan_rows; ++row) {
+      if (!TryRow(state, plan, row, remaining - 1, &any, &trail)) break;
     }
   }
 
-  (*done)[idx] = false;
+  state->done[idx] = false;
   return any;
+}
+
+void Matcher::SeedBinding(const Assignment& seed,
+                          std::vector<Value>* binding) const {
+  for (const auto& [var, value] : seed) {
+    auto it = var_index_.find(var);
+    if (it != var_index_.end()) (*binding)[it->second] = value;
+  }
+}
+
+size_t Matcher::RunSearch(
+    const Assignment& seed,
+    const std::function<bool(const Assignment&)>& callback,
+    const SearchControls& controls, const RootSplit* split,
+    uint32_t root_row) const {
+  SearchState state;
+  state.binding.assign(variables_.size(), Value());
+  SeedBinding(seed, &state.binding);
+  state.done.assign(plans_.size(), false);
+  state.controls = &controls;
+  size_t count = 0;
+  std::function<bool(const std::vector<Value>&)> emit =
+      [&](const std::vector<Value>& full) {
+        Assignment out = seed;
+        for (size_t i = 0; i < variables_.size(); ++i) {
+          out[variables_[i]] = full[i];
+        }
+        ++count;
+        return callback(out);
+      };
+  state.emit = &emit;
+  if (split == nullptr) {
+    Search(&state, plans_.size());
+  } else {
+    assert(split->atom >= 0);
+    const AtomPlan& plan = plans_[split->atom];
+    state.done[split->atom] = true;
+    bool any = false;
+    std::vector<uint32_t> trail;
+    TryRow(&state, plan, root_row, plans_.size() - 1, &any, &trail);
+  }
+  return count;
 }
 
 bool Matcher::FindOne(Assignment* seed) const {
@@ -155,24 +250,45 @@ bool Matcher::FindOne(Assignment* seed) const {
 size_t Matcher::ForEach(
     const Assignment& seed,
     const std::function<bool(const Assignment&)>& callback) const {
+  SearchControls controls;
+  controls.governor = governor_;
+  return RunSearch(seed, callback, controls, nullptr, 0);
+}
+
+size_t Matcher::ForEach(
+    const Assignment& seed,
+    const std::function<bool(const Assignment&)>& callback,
+    const SearchControls& controls) const {
+  return RunSearch(seed, callback, controls, nullptr, 0);
+}
+
+Matcher::RootSplit Matcher::PlanRoot(const Assignment& seed) const {
+  RootSplit split;
+  if (plans_.empty()) return split;  // shard-less query
   std::vector<Value> binding(variables_.size(), Value());
-  for (const auto& [var, value] : seed) {
-    auto it = var_index_.find(var);
-    if (it != var_index_.end()) binding[it->second] = value;
-  }
+  SeedBinding(seed, &binding);
   std::vector<bool> done(plans_.size(), false);
-  size_t count = 0;
-  bool stopped = false;
-  auto emit = [&](const std::vector<Value>& full) {
-    Assignment out = seed;
-    for (size_t i = 0; i < variables_.size(); ++i) {
-      out[variables_[i]] = full[i];
-    }
-    ++count;
-    return callback(out);
-  };
-  Search(&binding, &done, plans_.size(), emit, &stopped);
-  return count;
+  split.atom = PickNextAtom(binding, done);
+  std::vector<uint32_t> scratch;
+  size_t scan_rows = 0;
+  const std::vector<uint32_t>* rows =
+      Candidates(plans_[split.atom], binding, &scratch, &scan_rows);
+  if (rows == &scratch) {
+    split.use_owned = true;
+    split.owned_rows = std::move(scratch);
+  } else if (rows != nullptr) {
+    split.index_rows = rows;
+  } else {
+    split.scan_rows = scan_rows;
+  }
+  return split;
+}
+
+size_t Matcher::ForEachFromRoot(
+    const Assignment& seed, const RootSplit& split, uint32_t row,
+    const std::function<bool(const Assignment&)>& callback,
+    const SearchControls& controls) const {
+  return RunSearch(seed, callback, controls, &split, row);
 }
 
 }  // namespace tgdkit

@@ -1,0 +1,112 @@
+// Unit tests for the fixed-size fork-join pool behind parallel chase
+// rounds. The contract under test: every index in [0, n) is executed
+// exactly once per ParallelFor, the pool is reusable across many calls
+// (generations), and degenerate shapes (n == 0, n == 1, threads == 1)
+// run inline without touching worker threads.
+
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tgdkit {
+namespace {
+
+TEST(ThreadPoolTest, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(8, [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, EveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<uint32_t>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndOneItemJobs) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  // n == 1 runs inline on the caller: no synchronization needed to
+  // observe the write afterwards.
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen{};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossGenerations) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  uint64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    size_t n = static_cast<size_t>(round % 7);  // exercises n == 0 too
+    pool.ParallelFor(n, [&](size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    expected += n * (n + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, CallerParticipatesAsALane) {
+  // With many more items than workers the caller must drain items too;
+  // otherwise this would deadlock (workers alone can't finish before
+  // the caller's wait) or at least leave indexes unclaimed.
+  ThreadPool pool(2);
+  constexpr size_t kN = 4096;
+  std::vector<std::atomic<uint8_t>> hit(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hit[i].store(1, std::memory_order_relaxed);
+  });
+  size_t total = 0;
+  for (auto& h : hit) total += h.load();
+  EXPECT_EQ(total, kN);
+}
+
+TEST(ThreadPoolTest, HammeredSmallJobs) {
+  // Rapid-fire tiny generations: the regression this guards against is a
+  // worker from generation g claiming indexes of generation g+1 after
+  // the counters were reset (stale-claim race).
+  ThreadPool pool(4);
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<uint32_t> count{0};
+    pool.ParallelFor(3, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 3u) << "generation " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroResolvesToAtLeastOneLane) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+  std::atomic<uint32_t> count{0};
+  pool.ParallelFor(100, [&](size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+}  // namespace
+}  // namespace tgdkit
