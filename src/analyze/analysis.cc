@@ -1,0 +1,882 @@
+#include "analyze/analysis.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+#include "dep/skolem.h"
+#include "transform/nested.h"
+
+namespace tgdkit {
+
+namespace {
+
+void TermVariables(const TermArena& arena, TermId t,
+                   std::set<VariableId>* out) {
+  std::vector<VariableId> vars;
+  arena.CollectVariables(t, &vars);
+  out->insert(vars.begin(), vars.end());
+}
+
+std::set<VariableId> BodyVariables(const TermArena& arena,
+                                   const SoPart& part) {
+  std::set<VariableId> vars;
+  for (const Atom& atom : part.body) {
+    for (TermId t : atom.args) TermVariables(arena, t, &vars);
+  }
+  return vars;
+}
+
+/// Top-level body occurrences (atom index, arg index) per variable.
+std::map<VariableId, std::vector<std::pair<uint32_t, uint32_t>>>
+BodyOccurrences(const TermArena& arena, const SoPart& part) {
+  std::map<VariableId, std::vector<std::pair<uint32_t, uint32_t>>> out;
+  for (uint32_t a = 0; a < part.body.size(); ++a) {
+    const Atom& atom = part.body[a];
+    for (uint32_t i = 0; i < atom.args.size(); ++i) {
+      if (arena.IsVariable(atom.args[i])) {
+        out[arena.symbol(atom.args[i])].emplace_back(a, i);
+      }
+    }
+  }
+  return out;
+}
+
+/// Distinct body positions per variable (top level).
+std::map<VariableId, std::set<Position>> BodyPositions(
+    const TermArena& arena, const SoPart& part) {
+  std::map<VariableId, std::set<Position>> out;
+  for (const Atom& atom : part.body) {
+    for (uint32_t i = 0; i < atom.args.size(); ++i) {
+      if (arena.IsVariable(atom.args[i])) {
+        out[arena.symbol(atom.args[i])].insert({atom.relation, i});
+      }
+    }
+  }
+  return out;
+}
+
+bool OccursTopLevel(const TermArena& arena, VariableId var, const Atom& atom) {
+  for (TermId t : atom.args) {
+    if (arena.IsVariable(t) && arena.symbol(t) == var) return true;
+  }
+  return false;
+}
+
+// --- artifact builders ------------------------------------------------------
+
+PositionGraph BuildPositionGraph(const TermArena& arena,
+                                 const std::vector<AnalyzedRule>& rules) {
+  PositionGraph graph;
+  auto node = [&graph](const Position& p) {
+    auto [it, inserted] = graph.node_index.emplace(
+        p, static_cast<uint32_t>(graph.nodes.size()));
+    if (inserted) graph.nodes.push_back(p);
+    return it->second;
+  };
+  // Every position mentioned by a rule is a node, even an isolated one:
+  // the graph is an artifact in its own right, not just cycle fodder.
+  for (const AnalyzedRule& rule : rules) {
+    for (const Atom& atom : rule.part.body) {
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        node({atom.relation, i});
+      }
+    }
+    for (const Atom& atom : rule.part.head) {
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        node({atom.relation, i});
+      }
+    }
+  }
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const SoPart& part = rules[r].part;
+    for (const auto& [var, positions] : BodyPositions(arena, part)) {
+      for (const Position& from : positions) {
+        uint32_t from_node = node(from);
+        for (uint32_t a = 0; a < part.head.size(); ++a) {
+          const Atom& atom = part.head[a];
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            TermId t = atom.args[i];
+            if (arena.IsVariable(t) && arena.symbol(t) == var) {
+              graph.edges.push_back({from_node, node({atom.relation, i}),
+                                     /*special=*/false, r, var, a, i});
+            } else if (arena.IsFunction(t)) {
+              std::set<VariableId> term_vars;
+              TermVariables(arena, t, &term_vars);
+              if (term_vars.count(var)) {
+                graph.edges.push_back({from_node, node({atom.relation, i}),
+                                       /*special=*/true, r, var, a, i});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  graph.out_edges.assign(graph.nodes.size(), {});
+  for (uint32_t e = 0; e < graph.edges.size(); ++e) {
+    graph.out_edges[graph.edges[e].from].push_back(e);
+  }
+  return graph;
+}
+
+AffectedAnalysis BuildAffected(const TermArena& arena,
+                               const std::vector<AnalyzedRule>& rules) {
+  AffectedAnalysis out;
+  // (1) Head positions carrying functional terms.
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const SoPart& part = rules[r].part;
+    for (uint32_t a = 0; a < part.head.size(); ++a) {
+      const Atom& atom = part.head[a];
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        if (!arena.IsFunction(atom.args[i])) continue;
+        Position p{atom.relation, i};
+        if (out.affected.insert(p).second) {
+          out.reasons[p] = {AffectedReason::Kind::kFunctionalHead, r, a, i,
+                            /*var=*/0};
+        }
+      }
+    }
+  }
+  // (2) Propagate through variables occurring only at affected positions.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      const SoPart& part = rules[r].part;
+      for (const auto& [var, positions] : BodyPositions(arena, part)) {
+        bool all_affected = std::all_of(
+            positions.begin(), positions.end(),
+            [&out](const Position& p) { return out.affected.count(p) != 0; });
+        if (!all_affected) continue;
+        for (uint32_t a = 0; a < part.head.size(); ++a) {
+          const Atom& atom = part.head[a];
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            TermId t = atom.args[i];
+            if (!arena.IsVariable(t) || arena.symbol(t) != var) continue;
+            Position p{atom.relation, i};
+            if (out.affected.insert(p).second) {
+              out.reasons[p] = {AffectedReason::Kind::kPropagated, r, a, i,
+                                var};
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The Calì–Gottlob–Pieris marking procedure, per-rule. A variable is
+/// marked in a rule when (initial step) some head atom of the rule drops
+/// it, or (propagation) it flows into a head position that holds a marked
+/// body occurrence somewhere in the rule set.
+StickyMarking BuildMarking(const TermArena& arena,
+                           const std::vector<AnalyzedRule>& rules) {
+  StickyMarking marking;
+  marking.marked_vars.resize(rules.size());
+  auto mark = [&](uint32_t r, VariableId var, const MarkReason& reason) {
+    auto [it, inserted] = marking.marked_vars[r].emplace(var, reason);
+    if (!inserted) return false;
+    auto positions = BodyPositions(arena, rules[r].part);
+    marking.marked_positions.insert(positions[var].begin(),
+                                    positions[var].end());
+    return true;
+  };
+  // Initial step: mark variables missing from some head atom.
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const SoPart& part = rules[r].part;
+    for (const auto& [var, positions] : BodyPositions(arena, part)) {
+      for (uint32_t a = 0; a < part.head.size(); ++a) {
+        if (!OccursTopLevel(arena, var, part.head[a])) {
+          mark(r, var, {MarkReason::Kind::kDropped, a, 0, {0, 0}});
+          break;
+        }
+      }
+    }
+  }
+  // Propagation: follow head occurrences into marked positions.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      const SoPart& part = rules[r].part;
+      for (const auto& [var, positions] : BodyPositions(arena, part)) {
+        if (marking.IsMarked(r, var)) continue;
+        for (uint32_t a = 0; a < part.head.size() && !changed; ++a) {
+          const Atom& atom = part.head[a];
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            TermId t = atom.args[i];
+            if (!arena.IsVariable(t) || arena.symbol(t) != var) continue;
+            Position p{atom.relation, i};
+            if (!marking.marked_positions.count(p)) continue;
+            if (mark(r, var, {MarkReason::Kind::kPropagated, a, i, p})) {
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return marking;
+}
+
+// --- verdict builders -------------------------------------------------------
+
+CriterionVerdict JudgeFull(const TermArena& arena,
+                           const std::vector<AnalyzedRule>& rules) {
+  CriterionVerdict v{Criterion::kFull, true, {}};
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const SoPart& part = rules[r].part;
+    if (!part.equalities.empty()) {
+      v.holds = false;
+      v.witness = FullWitness{r, /*head_atom=*/0, /*head_arg=*/0,
+                              part.equalities[0].lhs, /*equality=*/true};
+      return v;
+    }
+    for (uint32_t a = 0; a < part.head.size(); ++a) {
+      const Atom& atom = part.head[a];
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        TermId t = atom.args[i];
+        if (arena.IsFunction(t) || arena.HasNestedFunction(t)) {
+          v.holds = false;
+          v.witness = FullWitness{r, a, i, t, /*equality=*/false};
+          return v;
+        }
+      }
+    }
+  }
+  return v;
+}
+
+CriterionVerdict JudgeLinear(const std::vector<AnalyzedRule>& rules) {
+  CriterionVerdict v{Criterion::kLinear, true, {}};
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    if (rules[r].part.body.size() != 1) {
+      v.holds = false;
+      v.witness = LinearWitness{
+          r, static_cast<uint32_t>(rules[r].part.body.size())};
+      return v;
+    }
+  }
+  return v;
+}
+
+/// Shared guard search: does some body atom of `part` contain every
+/// variable of `required`? If not, fills `missing` with one absent
+/// required variable per body atom.
+bool FindGuard(const TermArena& arena, const SoPart& part,
+               const std::set<VariableId>& required,
+               std::vector<VariableId>* missing) {
+  missing->clear();
+  for (const Atom& atom : part.body) {
+    std::set<VariableId> atom_vars;
+    for (TermId t : atom.args) TermVariables(arena, t, &atom_vars);
+    VariableId absent = 0;
+    bool covers = true;
+    for (VariableId v : required) {
+      if (!atom_vars.count(v)) {
+        covers = false;
+        absent = v;
+        break;
+      }
+    }
+    if (covers) return true;
+    missing->push_back(absent);
+  }
+  return false;
+}
+
+CriterionVerdict JudgeGuarded(const TermArena& arena,
+                              const std::vector<AnalyzedRule>& rules) {
+  CriterionVerdict v{Criterion::kGuarded, true, {}};
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    std::set<VariableId> body_vars = BodyVariables(arena, rules[r].part);
+    std::vector<VariableId> missing;
+    if (FindGuard(arena, rules[r].part, body_vars, &missing)) continue;
+    v.holds = false;
+    v.witness = GuardWitness{
+        r, {body_vars.begin(), body_vars.end()}, std::move(missing)};
+    return v;
+  }
+  return v;
+}
+
+CriterionVerdict JudgeWeaklyGuarded(const TermArena& arena,
+                                    const std::vector<AnalyzedRule>& rules,
+                                    const AffectedAnalysis& affected) {
+  CriterionVerdict v{Criterion::kWeaklyGuarded, true, {}};
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const SoPart& part = rules[r].part;
+    std::set<VariableId> must_guard;
+    for (const auto& [var, positions] : BodyPositions(arena, part)) {
+      bool all_affected = std::all_of(
+          positions.begin(), positions.end(), [&affected](const Position& p) {
+            return affected.affected.count(p) != 0;
+          });
+      if (all_affected) must_guard.insert(var);
+    }
+    if (must_guard.empty()) continue;
+    std::vector<VariableId> missing;
+    if (FindGuard(arena, part, must_guard, &missing)) continue;
+    v.holds = false;
+    v.witness = GuardWitness{
+        r, {must_guard.begin(), must_guard.end()}, std::move(missing)};
+    return v;
+  }
+  return v;
+}
+
+CriterionVerdict JudgeWeaklyAcyclic(const PositionGraph& graph) {
+  CriterionVerdict v{Criterion::kWeaklyAcyclic, true, {}};
+  for (uint32_t se = 0; se < graph.edges.size(); ++se) {
+    if (!graph.edges[se].special) continue;
+    // A special edge (u, v) lies on a cycle iff v reaches u. BFS with
+    // parent edges so the witness is the actual closed walk.
+    uint32_t u = graph.edges[se].from;
+    uint32_t start = graph.edges[se].to;
+    std::vector<int64_t> parent_edge(graph.nodes.size(), -1);
+    std::vector<bool> seen(graph.nodes.size(), false);
+    std::vector<uint32_t> queue{start};
+    seen[start] = true;
+    bool found = (start == u);
+    for (size_t q = 0; q < queue.size() && !found; ++q) {
+      for (uint32_t e : graph.out_edges[queue[q]]) {
+        uint32_t to = graph.edges[e].to;
+        if (seen[to]) continue;
+        seen[to] = true;
+        parent_edge[to] = e;
+        if (to == u) {
+          found = true;
+          break;
+        }
+        queue.push_back(to);
+      }
+    }
+    if (!found) continue;
+    CycleWitness witness;
+    witness.edges.push_back(se);
+    std::vector<uint32_t> path;
+    for (uint32_t at = u; at != start;) {
+      uint32_t e = static_cast<uint32_t>(parent_edge[at]);
+      path.push_back(e);
+      at = graph.edges[e].from;
+    }
+    std::reverse(path.begin(), path.end());
+    witness.edges.insert(witness.edges.end(), path.begin(), path.end());
+    v.holds = false;
+    v.witness = std::move(witness);
+    return v;
+  }
+  return v;
+}
+
+CriterionVerdict JudgeSticky(const TermArena& arena,
+                             const std::vector<AnalyzedRule>& rules,
+                             const StickyMarking& marking, bool join_only) {
+  CriterionVerdict v{join_only ? Criterion::kStickyJoin : Criterion::kSticky,
+                     true,
+                     {}};
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    for (const auto& [var, occurrences] :
+         BodyOccurrences(arena, rules[r].part)) {
+      if (occurrences.size() < 2 || !marking.IsMarked(r, var)) continue;
+      if (join_only) {
+        // Sticky-join tolerates repeats inside a single atom (a selection,
+        // compilable away); only a repeat across two atoms is a join.
+        for (size_t i = 1; i < occurrences.size(); ++i) {
+          if (occurrences[i].first != occurrences[0].first) {
+            v.holds = false;
+            v.witness = StickyWitness{r, var, occurrences[0].first,
+                                      occurrences[0].second,
+                                      occurrences[i].first,
+                                      occurrences[i].second};
+            return v;
+          }
+        }
+      } else {
+        v.holds = false;
+        v.witness = StickyWitness{r, var, occurrences[0].first,
+                                  occurrences[0].second,
+                                  occurrences[1].first,
+                                  occurrences[1].second};
+        return v;
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* CriterionName(Criterion criterion) {
+  switch (criterion) {
+    case Criterion::kFull:
+      return "full";
+    case Criterion::kWeaklyAcyclic:
+      return "weakly-acyclic";
+    case Criterion::kLinear:
+      return "linear";
+    case Criterion::kGuarded:
+      return "guarded";
+    case Criterion::kWeaklyGuarded:
+      return "weakly-guarded";
+    case Criterion::kSticky:
+      return "sticky";
+    case Criterion::kStickyJoin:
+      return "sticky-join";
+  }
+  return "?";
+}
+
+Figure2Membership ProgramAnalysis::Membership() const {
+  Figure2Membership m;
+  m.full = verdict(Criterion::kFull).holds;
+  m.weakly_acyclic = verdict(Criterion::kWeaklyAcyclic).holds;
+  m.linear = verdict(Criterion::kLinear).holds;
+  m.guarded = verdict(Criterion::kGuarded).holds;
+  m.weakly_guarded = verdict(Criterion::kWeaklyGuarded).holds;
+  m.sticky = verdict(Criterion::kSticky).holds;
+  m.sticky_join = verdict(Criterion::kStickyJoin).holds;
+  return m;
+}
+
+ProgramAnalysis AnalyzeRules(const TermArena& arena,
+                             std::vector<AnalyzedRule> rules) {
+  ProgramAnalysis analysis;
+  analysis.arena = &arena;
+  analysis.rules = std::move(rules);
+  analysis.graph = BuildPositionGraph(arena, analysis.rules);
+  analysis.affected = BuildAffected(arena, analysis.rules);
+  analysis.marking = BuildMarking(arena, analysis.rules);
+  analysis.verdicts.push_back(JudgeFull(arena, analysis.rules));
+  analysis.verdicts.push_back(JudgeWeaklyAcyclic(analysis.graph));
+  analysis.verdicts.push_back(JudgeLinear(analysis.rules));
+  analysis.verdicts.push_back(JudgeGuarded(arena, analysis.rules));
+  analysis.verdicts.push_back(
+      JudgeWeaklyGuarded(arena, analysis.rules, analysis.affected));
+  analysis.verdicts.push_back(
+      JudgeSticky(arena, analysis.rules, analysis.marking, false));
+  analysis.verdicts.push_back(
+      JudgeSticky(arena, analysis.rules, analysis.marking, true));
+  return analysis;
+}
+
+ProgramAnalysis AnalyzeSo(const TermArena& arena, const SoTgd& so) {
+  std::vector<AnalyzedRule> rules;
+  for (uint32_t j = 0; j < so.parts.size(); ++j) {
+    AnalyzedRule rule;
+    rule.part = so.parts[j];
+    rule.dep_index = 0;
+    rule.part_index = j;
+    rule.label = "#1";
+    rules.push_back(std::move(rule));
+  }
+  return AnalyzeRules(arena, std::move(rules));
+}
+
+std::vector<AnalyzedRule> FlattenProgram(TermArena* arena, Vocabulary* vocab,
+                                         const DependencyProgram& program) {
+  std::vector<AnalyzedRule> rules;
+  for (uint32_t i = 0; i < program.dependencies.size(); ++i) {
+    const ParsedDependency& dep = program.dependencies[i];
+    SoTgd so;
+    switch (dep.kind) {
+      case ParsedDependency::Kind::kTgd:
+        so = TgdToSo(arena, vocab, dep.tgd);
+        break;
+      case ParsedDependency::Kind::kSo:
+        so = dep.so;
+        break;
+      case ParsedDependency::Kind::kNested:
+        so = NestedToSo(arena, vocab, dep.nested);
+        break;
+      case ParsedDependency::Kind::kHenkin:
+        so = HenkinToSo(arena, vocab, dep.henkin);
+        break;
+    }
+    for (uint32_t j = 0; j < so.parts.size(); ++j) {
+      AnalyzedRule rule;
+      rule.part = so.parts[j];
+      rule.dep_index = i;
+      rule.part_index = j;
+      rule.label = dep.label.empty() ? Cat("#", i + 1) : dep.label;
+      rule.line = dep.line;
+      rule.column = dep.column;
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+ProgramAnalysis AnalyzeProgram(TermArena* arena, Vocabulary* vocab,
+                               const DependencyProgram& program) {
+  return AnalyzeRules(*arena, FlattenProgram(arena, vocab, program));
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+
+namespace {
+
+Status Fail(const std::string& what) {
+  return Status::InvalidArgument(Cat("witness replay failed: ", what));
+}
+
+Status ReplayFull(const TermArena& arena, const ProgramAnalysis& analysis,
+                  const FullWitness& w) {
+  if (w.rule >= analysis.rules.size()) return Fail("rule out of range");
+  const SoPart& part = analysis.rules[w.rule].part;
+  if (w.equality) {
+    if (part.equalities.empty()) return Fail("rule has no equalities");
+    return Status::Ok();
+  }
+  if (w.head_atom >= part.head.size()) return Fail("head atom out of range");
+  const Atom& atom = part.head[w.head_atom];
+  if (w.head_arg >= atom.args.size()) return Fail("head arg out of range");
+  TermId t = atom.args[w.head_arg];
+  if (t != w.term) return Fail("term does not match head occurrence");
+  if (!arena.IsFunction(t) && !arena.HasNestedFunction(t)) {
+    return Fail("cited term is not functional");
+  }
+  return Status::Ok();
+}
+
+Status ReplayLinear(const ProgramAnalysis& analysis, const LinearWitness& w) {
+  if (w.rule >= analysis.rules.size()) return Fail("rule out of range");
+  size_t atoms = analysis.rules[w.rule].part.body.size();
+  if (atoms != w.body_atoms) return Fail("body atom count mismatch");
+  if (atoms == 1) return Fail("rule is linear after all");
+  return Status::Ok();
+}
+
+Status ReplayGuard(const TermArena& arena, const ProgramAnalysis& analysis,
+                   const GuardWitness& w, bool weakly) {
+  if (w.rule >= analysis.rules.size()) return Fail("rule out of range");
+  const SoPart& part = analysis.rules[w.rule].part;
+  if (w.required.empty()) return Fail("empty required set");
+  std::set<VariableId> required(w.required.begin(), w.required.end());
+  std::set<VariableId> body_vars = BodyVariables(arena, part);
+  for (VariableId v : required) {
+    if (!body_vars.count(v)) return Fail("required variable not in body");
+  }
+  if (!weakly && required != body_vars) {
+    return Fail("guarded witness must require every body variable");
+  }
+  if (weakly) {
+    // Every required variable must occur only at affected positions.
+    auto positions = BodyPositions(arena, part);
+    for (VariableId v : required) {
+      for (const Position& p : positions[v]) {
+        if (!analysis.affected.affected.count(p)) {
+          return Fail("required variable occurs at an unaffected position");
+        }
+      }
+    }
+  }
+  if (w.missing.size() != part.body.size()) {
+    return Fail("missing list must cover every body atom");
+  }
+  for (uint32_t a = 0; a < part.body.size(); ++a) {
+    VariableId absent = w.missing[a];
+    if (!required.count(absent)) return Fail("missing variable not required");
+    std::set<VariableId> atom_vars;
+    for (TermId t : part.body[a].args) TermVariables(arena, t, &atom_vars);
+    if (atom_vars.count(absent)) {
+      return Fail("cited variable actually occurs in the atom");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReplayCycle(const ProgramAnalysis& analysis, const CycleWitness& w) {
+  if (w.edges.empty()) return Fail("empty cycle");
+  const PositionGraph& graph = analysis.graph;
+  bool has_special = false;
+  for (size_t i = 0; i < w.edges.size(); ++i) {
+    if (w.edges[i] >= graph.edges.size()) return Fail("edge out of range");
+    const PositionEdge& edge = graph.edges[w.edges[i]];
+    has_special |= edge.special;
+    const PositionEdge& next =
+        graph.edges[w.edges[(i + 1) % w.edges.size()]];
+    if (edge.to != next.from) return Fail("cycle edges do not chain");
+  }
+  if (!has_special) return Fail("cycle has no special edge");
+  return Status::Ok();
+}
+
+Status ReplaySticky(const TermArena& arena, const ProgramAnalysis& analysis,
+                    const StickyWitness& w, bool join_only) {
+  if (w.rule >= analysis.rules.size()) return Fail("rule out of range");
+  const SoPart& part = analysis.rules[w.rule].part;
+  auto occurrence_is_var = [&](uint32_t atom, uint32_t arg) {
+    if (atom >= part.body.size()) return false;
+    if (arg >= part.body[atom].args.size()) return false;
+    TermId t = part.body[atom].args[arg];
+    return arena.IsVariable(t) && arena.symbol(t) == w.var;
+  };
+  if (!occurrence_is_var(w.atom1, w.arg1) ||
+      !occurrence_is_var(w.atom2, w.arg2)) {
+    return Fail("cited occurrence does not hold the variable");
+  }
+  if (w.atom1 == w.atom2 && w.arg1 == w.arg2) {
+    return Fail("witness cites one occurrence twice");
+  }
+  if (join_only && w.atom1 == w.atom2) {
+    return Fail("sticky-join witness must span two atoms");
+  }
+  if (!analysis.marking.IsMarked(w.rule, w.var)) {
+    return Fail("variable is not marked in the rule");
+  }
+  // Replay the marking derivation itself.
+  const MarkReason& reason =
+      analysis.marking.marked_vars[w.rule].at(w.var);
+  if (reason.kind == MarkReason::Kind::kDropped) {
+    if (reason.head_atom >= part.head.size()) {
+      return Fail("mark reason head atom out of range");
+    }
+    if (OccursTopLevel(arena, w.var, part.head[reason.head_atom])) {
+      return Fail("mark reason claims a drop but the head keeps the variable");
+    }
+  } else {
+    if (reason.head_atom >= part.head.size()) {
+      return Fail("mark reason head atom out of range");
+    }
+    const Atom& atom = part.head[reason.head_atom];
+    if (reason.head_arg >= atom.args.size()) {
+      return Fail("mark reason head arg out of range");
+    }
+    TermId t = atom.args[reason.head_arg];
+    if (!arena.IsVariable(t) || arena.symbol(t) != w.var) {
+      return Fail("mark reason head occurrence does not hold the variable");
+    }
+    if (Position{atom.relation, reason.head_arg} != reason.via) {
+      return Fail("mark reason position mismatch");
+    }
+    if (!analysis.marking.marked_positions.count(reason.via)) {
+      return Fail("mark reason cites an unmarked position");
+    }
+    // The via position must hold a marked occurrence somewhere.
+    bool justified = false;
+    for (uint32_t r = 0; r < analysis.rules.size() && !justified; ++r) {
+      for (const auto& [var, positions] :
+           BodyPositions(arena, analysis.rules[r].part)) {
+        if (positions.count(reason.via) &&
+            analysis.marking.IsMarked(r, var)) {
+          justified = true;
+          break;
+        }
+      }
+    }
+    if (!justified) {
+      return Fail("no marked occurrence justifies the via position");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReplayWitness(const TermArena& arena, const ProgramAnalysis& analysis,
+                     const CriterionVerdict& verdict) {
+  if (verdict.holds) {
+    if (!std::holds_alternative<std::monostate>(verdict.witness)) {
+      return Fail("positive verdict carries a witness");
+    }
+    return Status::Ok();
+  }
+  switch (verdict.criterion) {
+    case Criterion::kFull:
+      return ReplayFull(arena, analysis,
+                        std::get<FullWitness>(verdict.witness));
+    case Criterion::kLinear:
+      return ReplayLinear(analysis,
+                          std::get<LinearWitness>(verdict.witness));
+    case Criterion::kGuarded:
+      return ReplayGuard(arena, analysis,
+                         std::get<GuardWitness>(verdict.witness), false);
+    case Criterion::kWeaklyGuarded:
+      return ReplayGuard(arena, analysis,
+                         std::get<GuardWitness>(verdict.witness), true);
+    case Criterion::kWeaklyAcyclic:
+      return ReplayCycle(analysis, std::get<CycleWitness>(verdict.witness));
+    case Criterion::kSticky:
+      return ReplaySticky(arena, analysis,
+                          std::get<StickyWitness>(verdict.witness), false);
+    case Criterion::kStickyJoin:
+      return ReplaySticky(arena, analysis,
+                          std::get<StickyWitness>(verdict.witness), true);
+  }
+  return Fail("unknown criterion");
+}
+
+Status ReplayAllWitnesses(const TermArena& arena,
+                          const ProgramAnalysis& analysis) {
+  for (const CriterionVerdict& verdict : analysis.verdicts) {
+    Status status = ReplayWitness(arena, analysis, verdict);
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          Cat(CriterionName(verdict.criterion), ": ", status.ToString()));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+namespace {
+
+std::string PositionName(const Vocabulary& vocab, const Position& p) {
+  return Cat(vocab.RelationName(p.first), ".", p.second);
+}
+
+std::string RuleRef(const ProgramAnalysis& analysis, uint32_t rule) {
+  const AnalyzedRule& r = analysis.rules[rule];
+  std::string out = Cat("rule ", r.label);
+  bool multi_part = r.part_index > 0 ||
+                    (rule + 1 < analysis.rules.size() &&
+                     analysis.rules[rule + 1].dep_index == r.dep_index);
+  if (multi_part) out += Cat("/", r.part_index + 1);
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainAffected(const Vocabulary& vocab,
+                            const ProgramAnalysis& analysis,
+                            const Position& position) {
+  std::string out;
+  std::set<Position> visited;
+  Position at = position;
+  const TermArena* arena = analysis.arena;
+  for (;;) {
+    auto it = analysis.affected.reasons.find(at);
+    if (it == analysis.affected.reasons.end()) {
+      return out + Cat(PositionName(vocab, at), " (unexplained)");
+    }
+    if (!visited.insert(at).second) return out + "(cycle)";
+    const AffectedReason& reason = it->second;
+    if (reason.kind == AffectedReason::Kind::kFunctionalHead ||
+        arena == nullptr) {
+      return out + Cat(PositionName(vocab, at),
+                       " receives a functional term in ",
+                       RuleRef(analysis, reason.rule));
+    }
+    out += Cat(PositionName(vocab, at), " <- variable ",
+               vocab.VariableName(reason.var), " of ",
+               RuleRef(analysis, reason.rule),
+               " bound only at affected positions, e.g. ");
+    // Continue through one of the variable's body positions (all affected
+    // by construction; pick the smallest for determinism).
+    auto positions =
+        BodyPositions(*arena, analysis.rules[reason.rule].part)[reason.var];
+    if (positions.empty()) return out + "(none)";
+    at = *positions.begin();
+  }
+}
+
+std::string ExplainMarked(const Vocabulary& vocab,
+                          const ProgramAnalysis& analysis, uint32_t rule,
+                          VariableId var) {
+  std::string out;
+  std::set<std::pair<uint32_t, VariableId>> visited;
+  uint32_t r = rule;
+  VariableId v = var;
+  for (;;) {
+    if (!analysis.marking.IsMarked(r, v)) {
+      return out +
+             Cat(vocab.VariableName(v), " unmarked in ", RuleRef(analysis, r));
+    }
+    if (!visited.insert({r, v}).second) return out + "(cycle)";
+    const MarkReason& reason = analysis.marking.marked_vars[r].at(v);
+    if (reason.kind == MarkReason::Kind::kDropped) {
+      return out + Cat(vocab.VariableName(v), " dropped from head atom ",
+                       reason.head_atom + 1, " of ", RuleRef(analysis, r));
+    }
+    out += Cat(vocab.VariableName(v), " of ", RuleRef(analysis, r),
+               " flows into marked position ", PositionName(vocab, reason.via),
+               " <- ");
+    // Chain on to a marked occurrence justifying `via`.
+    bool found = false;
+    if (analysis.arena != nullptr) {
+      for (uint32_t r2 = 0; r2 < analysis.rules.size() && !found; ++r2) {
+        for (const auto& [v2, positions] :
+             BodyPositions(*analysis.arena, analysis.rules[r2].part)) {
+          if (positions.count(reason.via) && analysis.marking.IsMarked(r2, v2)) {
+            r = r2;
+            v = v2;
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!found) return out + "(marked occurrence)";
+  }
+}
+
+std::string WitnessToString(const TermArena& arena, const Vocabulary& vocab,
+                            const ProgramAnalysis& analysis,
+                            const CriterionVerdict& verdict) {
+  if (verdict.holds) return "";
+  if (const auto* w = std::get_if<FullWitness>(&verdict.witness)) {
+    if (w->equality) {
+      return Cat(RuleRef(analysis, w->rule), ": body carries an equality");
+    }
+    const Atom& atom = analysis.rules[w->rule].part.head[w->head_atom];
+    return Cat(RuleRef(analysis, w->rule), ": functional term ",
+               arena.ToString(w->term, vocab), " at ",
+               PositionName(vocab, {atom.relation, w->head_arg}));
+  }
+  if (const auto* w = std::get_if<LinearWitness>(&verdict.witness)) {
+    return Cat(RuleRef(analysis, w->rule), ": body has ", w->body_atoms,
+               " atoms (linear needs exactly 1)");
+  }
+  if (const auto* w = std::get_if<GuardWitness>(&verdict.witness)) {
+    const SoPart& part = analysis.rules[w->rule].part;
+    std::string vars = JoinMapped(w->required, ", ", [&](VariableId v) {
+      return vocab.VariableName(v);
+    });
+    std::string out = Cat(RuleRef(analysis, w->rule),
+                          ": no body atom covers {", vars, "}");
+    for (uint32_t a = 0; a < w->missing.size() && a < part.body.size(); ++a) {
+      out += Cat("; ", ToString(arena, vocab, part.body[a]), " misses ",
+                 vocab.VariableName(w->missing[a]));
+    }
+    return out;
+  }
+  if (const auto* w = std::get_if<CycleWitness>(&verdict.witness)) {
+    std::string out = "cycle ";
+    for (size_t i = 0; i < w->edges.size(); ++i) {
+      const PositionEdge& edge = analysis.graph.edges[w->edges[i]];
+      if (i == 0) out += PositionName(vocab, analysis.graph.nodes[edge.from]);
+      out += edge.special ? " -*-> " : " -> ";
+      out += PositionName(vocab, analysis.graph.nodes[edge.to]);
+    }
+    std::set<std::string> labels;
+    for (uint32_t e : w->edges) {
+      labels.insert(analysis.rules[analysis.graph.edges[e].rule].label);
+    }
+    out += Cat(" (rules ", JoinMapped(labels, ", ", [](const std::string& l) {
+                 return l;
+               }),
+               ")");
+    return out;
+  }
+  if (const auto* w = std::get_if<StickyWitness>(&verdict.witness)) {
+    const SoPart& part = analysis.rules[w->rule].part;
+    return Cat(RuleRef(analysis, w->rule), ": marked variable ",
+               vocab.VariableName(w->var), " joins ",
+               PositionName(vocab,
+                            {part.body[w->atom1].relation, w->arg1}),
+               " and ",
+               PositionName(vocab,
+                            {part.body[w->atom2].relation, w->arg2}),
+               " (", ExplainMarked(vocab, analysis, w->rule, w->var), ")");
+  }
+  return "";
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,71 @@
+// Lint checks over dependency programs, built on the static analyzer.
+//
+// A lint run parses the program leniently (so ill-formed statements still
+// get located diagnostics), runs the Figure 2 analyses, and emits
+// diagnostics pinned to statement spans:
+//
+//   error   invalid-statement          statement fails semantic validation
+//   error   non-range-restricted-head  head variable missing from the body
+//   warning no-decidable-class         not weakly acyclic, weakly guarded
+//                                      or sticky-join — with one witness
+//                                      per failed criterion
+//   warning shared-skolem-function     a function symbol existentially
+//                                      quantified by two statements
+//   note    unused-body-variable       variable occurs once, only in the
+//                                      body (often a typo)
+//   note    duplicate-atom             the same atom twice in a body/head
+//
+// Reports render as text ("file:line:col: severity [check] message"),
+// JSON, or SARIF 2.1.0 (docs/ANALYSIS.md documents the schemas).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+
+namespace tgdkit {
+
+enum class LintSeverity : uint8_t { kNote, kWarning, kError };
+
+/// Name as rendered in diagnostics ("note" / "warning" / "error").
+const char* LintSeverityName(LintSeverity severity);
+
+/// Parses "note" / "warning" / "error"; false on anything else.
+bool ParseLintSeverity(const std::string& text, LintSeverity* out);
+
+struct LintDiagnostic {
+  LintSeverity severity = LintSeverity::kNote;
+  std::string check;    // stable check name, e.g. "unused-body-variable"
+  std::string message;
+  uint32_t line = 0;    // 1-based; 0 = no span (whole program)
+  uint32_t column = 0;
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+  /// The analysis the Figure 2 checks were computed from (for dot export
+  /// and witness replay by callers).
+  ProgramAnalysis analysis;
+
+  /// True iff some diagnostic is at least `threshold` severe.
+  bool HasAtLeast(LintSeverity threshold) const;
+};
+
+/// Runs every lint check over `program` (parsed leniently). Diagnostics
+/// come back sorted by (line, column, check).
+LintReport LintProgram(TermArena* arena, Vocabulary* vocab,
+                       const DependencyProgram& program);
+
+/// "file:line:col: severity [check] message" per diagnostic, one per line.
+/// Diagnostics without a span render as "file: severity [check] message".
+std::string RenderLintText(const std::string& file, const LintReport& report);
+
+/// {"file": ..., "diagnostics": [{line, column, severity, check, message}]}
+std::string RenderLintJson(const std::string& file, const LintReport& report);
+
+/// Minimal SARIF 2.1.0 log: one run, one rule per distinct check, one
+/// result per diagnostic with a physicalLocation region.
+std::string RenderLintSarif(const std::string& file, const LintReport& report);
+
+}  // namespace tgdkit

@@ -1,310 +1,46 @@
 #include "classify/criteria.h"
 
-#include <map>
-#include <unordered_set>
-#include <vector>
+#include "analyze/analysis.h"
 
 namespace tgdkit {
 
-namespace {
-
-/// Distinct variables of a term, including those nested inside functions.
-void TermVariables(const TermArena& arena, TermId t,
-                   std::set<VariableId>* out) {
-  std::vector<VariableId> vars;
-  arena.CollectVariables(t, &vars);
-  out->insert(vars.begin(), vars.end());
-}
-
-std::set<VariableId> BodyVariables(const TermArena& arena,
-                                   const SoPart& part) {
-  std::set<VariableId> vars;
-  for (const Atom& atom : part.body) {
-    for (TermId t : atom.args) TermVariables(arena, t, &vars);
-  }
-  return vars;
-}
-
-/// Body positions of each variable in a part.
-std::map<VariableId, std::set<Position>> BodyPositions(
-    const TermArena& arena, const SoPart& part) {
-  std::map<VariableId, std::set<Position>> out;
-  for (const Atom& atom : part.body) {
-    for (uint32_t i = 0; i < atom.args.size(); ++i) {
-      if (arena.IsVariable(atom.args[i])) {
-        out[arena.symbol(atom.args[i])].insert({atom.relation, i});
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+// The classifiers are thin wrappers over the static analyzer
+// (analyze/analysis.h): one source of truth builds the position graph,
+// the affected fixpoint and the sticky marking table, and renders a
+// verdict — with a concrete witness on failure — per criterion. The
+// boolean API below is kept for callers that only need the bit.
 
 bool IsFull(const TermArena& arena, const SoTgd& so) {
-  for (const SoPart& part : so.parts) {
-    if (!part.equalities.empty()) return false;
-    for (const Atom& atom : part.head) {
-      for (TermId t : atom.args) {
-        if (arena.IsFunction(t) || arena.HasNestedFunction(t)) return false;
-      }
-    }
-  }
-  return true;
+  return AnalyzeSo(arena, so).verdict(Criterion::kFull).holds;
 }
 
 bool IsLinear(const TermArena& arena, const SoTgd& so) {
-  (void)arena;
-  for (const SoPart& part : so.parts) {
-    if (part.body.size() != 1) return false;
-  }
-  return true;
+  return AnalyzeSo(arena, so).verdict(Criterion::kLinear).holds;
 }
 
 bool IsGuarded(const TermArena& arena, const SoTgd& so) {
-  for (const SoPart& part : so.parts) {
-    std::set<VariableId> body_vars = BodyVariables(arena, part);
-    bool has_guard = false;
-    for (const Atom& atom : part.body) {
-      std::set<VariableId> atom_vars;
-      for (TermId t : atom.args) TermVariables(arena, t, &atom_vars);
-      if (atom_vars == body_vars) {
-        has_guard = true;
-        break;
-      }
-    }
-    if (!has_guard) return false;
-  }
-  return true;
+  return AnalyzeSo(arena, so).verdict(Criterion::kGuarded).holds;
 }
 
 std::set<Position> AffectedPositions(const TermArena& arena,
                                      const SoTgd& so) {
-  std::set<Position> affected;
-  // (1) Head positions carrying functional terms.
-  for (const SoPart& part : so.parts) {
-    for (const Atom& atom : part.head) {
-      for (uint32_t i = 0; i < atom.args.size(); ++i) {
-        if (arena.IsFunction(atom.args[i])) {
-          affected.insert({atom.relation, i});
-        }
-      }
-    }
-  }
-  // (2) Propagate through universal variables occurring only at affected
-  // body positions.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const SoPart& part : so.parts) {
-      auto positions = BodyPositions(arena, part);
-      for (const auto& [var, body_positions] : positions) {
-        bool all_affected = true;
-        for (const Position& p : body_positions) {
-          if (!affected.count(p)) {
-            all_affected = false;
-            break;
-          }
-        }
-        if (!all_affected) continue;
-        // Every head position where `var` occurs (at the top level)
-        // becomes affected.
-        for (const Atom& atom : part.head) {
-          for (uint32_t i = 0; i < atom.args.size(); ++i) {
-            TermId t = atom.args[i];
-            if (arena.IsVariable(t) && arena.symbol(t) == var) {
-              if (affected.insert({atom.relation, i}).second) changed = true;
-            }
-          }
-        }
-      }
-    }
-  }
-  return affected;
+  return AnalyzeSo(arena, so).affected.affected;
 }
 
 bool IsWeaklyGuarded(const TermArena& arena, const SoTgd& so) {
-  std::set<Position> affected = AffectedPositions(arena, so);
-  for (const SoPart& part : so.parts) {
-    auto positions = BodyPositions(arena, part);
-    // Variables occurring only at affected positions in this body.
-    std::set<VariableId> must_guard;
-    for (const auto& [var, body_positions] : positions) {
-      bool all_affected = true;
-      for (const Position& p : body_positions) {
-        if (!affected.count(p)) {
-          all_affected = false;
-          break;
-        }
-      }
-      if (all_affected) must_guard.insert(var);
-    }
-    if (must_guard.empty()) continue;
-    bool has_guard = false;
-    for (const Atom& atom : part.body) {
-      std::set<VariableId> atom_vars;
-      for (TermId t : atom.args) TermVariables(arena, t, &atom_vars);
-      bool covers = true;
-      for (VariableId v : must_guard) {
-        if (!atom_vars.count(v)) {
-          covers = false;
-          break;
-        }
-      }
-      if (covers) {
-        has_guard = true;
-        break;
-      }
-    }
-    if (!has_guard) return false;
-  }
-  return true;
+  return AnalyzeSo(arena, so).verdict(Criterion::kWeaklyGuarded).holds;
 }
 
 bool IsWeaklyAcyclic(const TermArena& arena, const SoTgd& so) {
-  // Build the position dependency graph.
-  std::map<Position, size_t> index;
-  auto node = [&](Position p) {
-    auto [it, inserted] = index.emplace(p, index.size());
-    return it->second;
-  };
-  std::vector<std::pair<size_t, size_t>> regular, special;
-  for (const SoPart& part : so.parts) {
-    auto body_positions = BodyPositions(arena, part);
-    for (const auto& [var, positions] : body_positions) {
-      for (const Position& from : positions) {
-        size_t from_node = node(from);
-        for (const Atom& atom : part.head) {
-          for (uint32_t i = 0; i < atom.args.size(); ++i) {
-            TermId t = atom.args[i];
-            if (arena.IsVariable(t) && arena.symbol(t) == var) {
-              regular.emplace_back(from_node, node({atom.relation, i}));
-            } else if (arena.IsFunction(t)) {
-              // Special edge if `var` occurs inside the functional term
-              // (the null's value depends on it), per Fagin et al.
-              std::set<VariableId> term_vars;
-              TermVariables(arena, t, &term_vars);
-              if (term_vars.count(var)) {
-                special.emplace_back(from_node, node({atom.relation, i}));
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-  size_t n = index.size();
-  // Weak acyclicity fails iff some special edge (u, v) lies on a cycle,
-  // i.e. v reaches u through any edges. Compute reachability.
-  std::vector<std::vector<size_t>> adjacency(n);
-  for (const auto& [u, v] : regular) adjacency[u].push_back(v);
-  for (const auto& [u, v] : special) adjacency[u].push_back(v);
-  auto reaches = [&](size_t from, size_t to) {
-    std::vector<bool> seen(n, false);
-    std::vector<size_t> stack{from};
-    seen[from] = true;
-    while (!stack.empty()) {
-      size_t u = stack.back();
-      stack.pop_back();
-      if (u == to) return true;
-      for (size_t v : adjacency[u]) {
-        if (!seen[v]) {
-          seen[v] = true;
-          stack.push_back(v);
-        }
-      }
-    }
-    return false;
-  };
-  for (const auto& [u, v] : special) {
-    if (reaches(v, u)) return false;
-  }
-  return true;
+  return AnalyzeSo(arena, so).verdict(Criterion::kWeaklyAcyclic).holds;
 }
 
 bool IsSticky(const TermArena& arena, const SoTgd& so) {
-  // Marking procedure of Calì, Gottlob & Pieris, applied to Skolemized
-  // rules. Occurrences are TOP-LEVEL only: a variable hidden inside a
-  // Skolem term corresponds, in the original dependency, to a position
-  // held by an existential variable — the universal itself does not
-  // appear there, so it counts as dropped (exactly the reading under
-  // which the marking is defined on tgds).
-  std::set<Position> marked;
-
-  auto occurs_top_level = [&](VariableId var, const Atom& atom) {
-    for (TermId t : atom.args) {
-      if (arena.IsVariable(t) && arena.symbol(t) == var) return true;
-    }
-    return false;
-  };
-
-  // Initial marking: for each rule and body variable v, if some head atom
-  // does not contain v (top level), mark all body positions of v.
-  for (const SoPart& part : so.parts) {
-    auto body_positions = BodyPositions(arena, part);
-    for (const auto& [var, positions] : body_positions) {
-      bool in_all_heads = true;
-      for (const Atom& atom : part.head) {
-        if (!occurs_top_level(var, atom)) {
-          in_all_heads = false;
-          break;
-        }
-      }
-      if (!in_all_heads) {
-        marked.insert(positions.begin(), positions.end());
-      }
-    }
-  }
-
-  // Propagation: if v occurs (top level) in the head of a rule at a
-  // marked position, mark all body positions of v in that rule.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const SoPart& part : so.parts) {
-      auto body_positions = BodyPositions(arena, part);
-      for (const auto& [var, positions] : body_positions) {
-        bool propagates = false;
-        for (const Atom& atom : part.head) {
-          for (uint32_t i = 0; i < atom.args.size(); ++i) {
-            if (!marked.count({atom.relation, i})) continue;
-            TermId t = atom.args[i];
-            if (arena.IsVariable(t) && arena.symbol(t) == var) {
-              propagates = true;
-              break;
-            }
-          }
-          if (propagates) break;
-        }
-        if (!propagates) continue;
-        for (const Position& p : positions) {
-          if (marked.insert(p).second) changed = true;
-        }
-      }
-    }
-  }
-
-  // Sticky iff no marked variable occurs more than once in a body.
-  for (const SoPart& part : so.parts) {
-    std::map<VariableId, int> occurrence_count;
-    std::map<VariableId, bool> is_marked;
-    for (const Atom& atom : part.body) {
-      for (uint32_t i = 0; i < atom.args.size(); ++i) {
-        if (!arena.IsVariable(atom.args[i])) continue;
-        VariableId v = arena.symbol(atom.args[i]);
-        occurrence_count[v] += 1;
-        if (marked.count({atom.relation, i})) is_marked[v] = true;
-      }
-    }
-    for (const auto& [var, count] : occurrence_count) {
-      if (count > 1 && is_marked[var]) return false;
-    }
-  }
-  return true;
+  return AnalyzeSo(arena, so).verdict(Criterion::kSticky).holds;
 }
 
 bool IsStickyJoin(const TermArena& arena, const SoTgd& so) {
-  return IsSticky(arena, so) || IsLinear(arena, so);
+  return AnalyzeSo(arena, so).verdict(Criterion::kStickyJoin).holds;
 }
 
 CriticalInstanceReport TerminatesOnCriticalInstance(
@@ -325,15 +61,7 @@ CriticalInstanceReport TerminatesOnCriticalInstance(
 }
 
 Figure2Membership ClassifyFigure2(const TermArena& arena, const SoTgd& so) {
-  Figure2Membership m;
-  m.full = IsFull(arena, so);
-  m.weakly_acyclic = IsWeaklyAcyclic(arena, so);
-  m.linear = IsLinear(arena, so);
-  m.guarded = IsGuarded(arena, so);
-  m.weakly_guarded = IsWeaklyGuarded(arena, so);
-  m.sticky = IsSticky(arena, so);
-  m.sticky_join = IsStickyJoin(arena, so);
-  return m;
+  return AnalyzeSo(arena, so).Membership();
 }
 
 std::string ToString(const Figure2Membership& m) {

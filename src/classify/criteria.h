@@ -11,8 +11,8 @@
 //   guarded family:     linear ⊂ guarded ⊂ weakly guarded   (Calì et al.)
 //   sticky family:      sticky ⊂ sticky-join            (Calì et al. 2010)
 //
-// The sticky-join check here is the closure sticky ∨ linear — sound for
-// every inclusion edge of Figure 2 (see DESIGN.md §5 for the caveat).
+// These predicates are thin wrappers over the witness-producing analyzer
+// in analyze/analysis.h, which also explains every negative answer.
 #pragma once
 
 #include <cstdint>
@@ -63,7 +63,10 @@ bool IsWeaklyAcyclic(const TermArena& arena, const SoTgd& so);
 /// body positions of one rule.
 bool IsSticky(const TermArena& arena, const SoTgd& so);
 
-/// Sticky-join, approximated as sticky ∨ linear (DESIGN.md §5).
+/// Sticky-join (Calì, Gottlob & Pieris 2010): same marking as sticky,
+/// but a marked variable only violates when it occurs in two DISTINCT
+/// body atoms — a within-atom repeat is a selection, not a join. Keeps
+/// both sticky ⊂ sticky-join and linear ⊂ sticky-join.
 bool IsStickyJoin(const TermArena& arena, const SoTgd& so);
 
 /// Empirical termination check via the critical instance (Marnette 2009):

@@ -30,6 +30,41 @@ std::map<VariableId, std::set<Position>> BodyPositionsOf(
 
 }  // namespace
 
+std::string AnalysisDot(const Vocabulary& vocab,
+                        const ProgramAnalysis& analysis) {
+  const PositionGraph& graph = analysis.graph;
+  std::set<uint32_t> cycle_edges;
+  const CriterionVerdict& wa = analysis.verdict(Criterion::kWeaklyAcyclic);
+  if (const auto* w = std::get_if<CycleWitness>(&wa.witness)) {
+    cycle_edges.insert(w->edges.begin(), w->edges.end());
+  }
+  std::string out = "digraph analysis {\n  rankdir=LR;\n";
+  for (const Position& p : graph.nodes) {
+    out += Cat("  \"", PositionName(vocab, p), "\"");
+    std::vector<std::string> attrs;
+    if (analysis.affected.affected.count(p)) {
+      attrs.push_back("style=filled, fillcolor=lightgray");
+    }
+    if (analysis.marking.marked_positions.count(p)) {
+      attrs.push_back("penwidth=2, color=blue");
+    }
+    if (!attrs.empty()) out += Cat(" [", Join(attrs, ", "), "]");
+    out += ";\n";
+  }
+  for (uint32_t e = 0; e < graph.edges.size(); ++e) {
+    const PositionEdge& edge = graph.edges[e];
+    out += Cat("  \"", PositionName(vocab, graph.nodes[edge.from]),
+               "\" -> \"", PositionName(vocab, graph.nodes[edge.to]),
+               "\" [label=\"", analysis.rules[edge.rule].label, "/",
+               vocab.VariableName(edge.var), "\"");
+    if (edge.special) out += ", style=dashed";
+    if (cycle_edges.count(e)) out += ", color=red, penwidth=2";
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
 std::string PositionGraphDot(const TermArena& arena, const Vocabulary& vocab,
                              const SoTgd& so) {
   std::set<Position> affected = AffectedPositions(arena, so);

@@ -6,10 +6,19 @@
 
 #include <string>
 
+#include "analyze/analysis.h"
 #include "classify/criteria.h"
 #include "dep/dependency.h"
 
 namespace tgdkit {
+
+/// The analyzer's position dependency graph with full provenance: nodes
+/// are relation positions (affected ones shaded, sticky-marked ones with
+/// a bold border), edges carry "rule label / variable" labels, special
+/// edges are dashed, and — when the weak-acyclicity verdict failed — the
+/// witness cycle is drawn in red.
+std::string AnalysisDot(const Vocabulary& vocab,
+                        const ProgramAnalysis& analysis);
 
 /// The position dependency graph of `so`: nodes are relation positions,
 /// solid edges are regular, dashed edges are special (they introduce

@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analyze/lint.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "chase/chase.h"
@@ -28,6 +29,11 @@ namespace {
 constexpr const char* kUsage =
     "usage: tgdkit COMMAND ARGS...\n"
     "  classify  DEPS                 Figure 1 + Figure 2 membership\n"
+    "                                 (+ one '# witness:' line per\n"
+    "                                 failed Figure 2 criterion)\n"
+    "  lint      DEPS                 static analysis diagnostics\n"
+    "                                 (--format=text|json|sarif,\n"
+    "                                 --fail-on=note|warning|error)\n"
     "  chase     DEPS INSTANCE        chase to fixpoint/budget\n"
     "  check     DEPS INSTANCE        model-check each dependency\n"
     "  certain   DEPS INSTANCE QUERY  certain answers to a query\n"
@@ -59,6 +65,8 @@ struct CliContext {
   uint64_t checkpoint_every_steps = 0;
   uint64_t checkpoint_every_ms = 0;
   std::string resume_path;
+  std::string lint_format = "text";
+  LintSeverity fail_on = LintSeverity::kError;
   std::vector<std::string> positional;
 };
 
@@ -150,6 +158,29 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
       if (!numeric(&ctx->checkpoint_every_ms)) return false;
     } else if (arg == "--resume") {
       if (!pathval(&ctx->resume_path)) return false;
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0 ||
+               arg == "--fail-on" || arg.rfind("--fail-on=", 0) == 0) {
+      // Lint options take "--opt value" or "--opt=value".
+      std::string name = arg, value;
+      if (auto eq = arg.find('='); eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+      } else if (i + 1 < args.size()) {
+        value = args[++i];
+      } else {
+        err << "tgdkit: missing value for " << name << "\n";
+        return false;
+      }
+      if (name == "--format") {
+        if (value != "text" && value != "json" && value != "sarif") {
+          err << "tgdkit: --format must be text, json or sarif\n";
+          return false;
+        }
+        ctx->lint_format = value;
+      } else if (!ParseLintSeverity(value, &ctx->fail_on)) {
+        err << "tgdkit: --fail-on must be note, warning or error\n";
+        return false;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       err << "tgdkit: unknown option " << arg << "\n";
       return false;
@@ -256,8 +287,28 @@ int CmdClassify(CliContext* ctx, std::ostream& out, std::ostream& err) {
     out << LabelOf(dep, i) << " (" << KindName(dep.kind) << ")\n";
     out << "  figure-1: " << ToString(ClassifyFigure1(ctx->arena, so))
         << "\n";
-    out << "  figure-2: " << ToString(ClassifyFigure2(ctx->arena, so))
-        << "\n";
+    // Per-statement analysis, labeled so witnesses read naturally. The
+    // membership row itself stays byte-identical to the pre-analyzer
+    // output; witnesses ride along as '#'-prefixed extra lines.
+    std::vector<AnalyzedRule> rules;
+    for (uint32_t j = 0; j < so.parts.size(); ++j) {
+      AnalyzedRule rule;
+      rule.part = so.parts[j];
+      rule.dep_index = static_cast<uint32_t>(i);
+      rule.part_index = j;
+      rule.label = LabelOf(dep, i);
+      rule.line = dep.line;
+      rule.column = dep.column;
+      rules.push_back(std::move(rule));
+    }
+    ProgramAnalysis analysis = AnalyzeRules(ctx->arena, std::move(rules));
+    out << "  figure-2: " << ToString(analysis.Membership()) << "\n";
+    for (const CriterionVerdict& verdict : analysis.verdicts) {
+      if (verdict.holds) continue;
+      out << "  # witness: not " << CriterionName(verdict.criterion) << ": "
+          << WitnessToString(ctx->arena, ctx->vocab, analysis, verdict)
+          << "\n";
+    }
   }
   // Whole-program termination check via the critical instance.
   SoTgd rules = ProgramRules(ctx, *program);
@@ -581,6 +632,33 @@ int CmdSolve(CliContext* ctx, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int CmdLint(CliContext* ctx, std::ostream& out, std::ostream& err) {
+  if (ctx->positional.size() != 1) {
+    err << kUsage;
+    return 1;
+  }
+  const std::string& path = ctx->positional[0];
+  std::optional<std::string> text = ReadFile(path, err);
+  if (!text.has_value()) return 2;
+  Parser parser(&ctx->arena, &ctx->vocab);
+  // Lenient parse: semantic validation failures become located lint
+  // errors instead of aborting; only grammar errors stop the run.
+  Result<DependencyProgram> program = parser.ParseDependenciesLenient(*text);
+  if (!program.ok()) {
+    err << "tgdkit: " << path << ": " << program.status().ToString() << "\n";
+    return 2;
+  }
+  LintReport report = LintProgram(&ctx->arena, &ctx->vocab, *program);
+  if (ctx->lint_format == "json") {
+    out << RenderLintJson(path, report);
+  } else if (ctx->lint_format == "sarif") {
+    out << RenderLintSarif(path, report);
+  } else {
+    out << RenderLintText(path, report);
+  }
+  return report.HasAtLeast(ctx->fail_on) ? 1 : 0;
+}
+
 int CmdDot(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 1) {
     err << kUsage;
@@ -591,6 +669,10 @@ int CmdDot(CliContext* ctx, std::ostream& out, std::ostream& err) {
   SoTgd rules = ProgramRules(ctx, *program);
   out << "// position dependency graph (dashed = special edges)\n";
   out << PositionGraphDot(ctx->arena, ctx->vocab, rules);
+  out << "// analysis graph (edges labeled rule/variable; affected "
+         "shaded, marked bold; witness cycle red)\n";
+  out << AnalysisDot(ctx->vocab,
+                     AnalyzeProgram(&ctx->arena, &ctx->vocab, *program));
   for (size_t i = 0; i < program->dependencies.size(); ++i) {
     const ParsedDependency& dep = program->dependencies[i];
     if (dep.kind == ParsedDependency::Kind::kHenkin) {
@@ -633,6 +715,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     ctx.positional.erase(ctx.positional.begin());
   }
   if (command == "classify") return CmdClassify(&ctx, out, err);
+  if (command == "lint") return CmdLint(&ctx, out, err);
   if (command == "chase") return CmdChase(&ctx, out, err);
   if (command == "check") return CmdCheck(&ctx, out, err);
   if (command == "certain") return CmdCertain(&ctx, out, err);

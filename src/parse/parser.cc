@@ -439,6 +439,16 @@ Result<HenkinTgd> ParseHenkinTgd(Cursor* c) {
 }  // namespace
 
 Result<DependencyProgram> Parser::ParseDependencies(std::string_view text) {
+  return ParseDependencyProgram(text, /*validate=*/true);
+}
+
+Result<DependencyProgram> Parser::ParseDependenciesLenient(
+    std::string_view text) {
+  return ParseDependencyProgram(text, /*validate=*/false);
+}
+
+Result<DependencyProgram> Parser::ParseDependencyProgram(
+    std::string_view text, bool validate) {
   Result<std::vector<Token>> tokens = Tokenize(text);
   if (!tokens.ok()) return tokens.status();
   Cursor c(std::move(*tokens), arena_, vocab_);
@@ -446,6 +456,8 @@ Result<DependencyProgram> Parser::ParseDependencies(std::string_view text) {
   DependencyProgram program;
   while (!c.At(TokenKind::kEnd)) {
     ParsedDependency dep;
+    dep.line = c.Peek().line;
+    dep.column = c.Peek().column;
     // Optional "label :" prefix.
     if (c.At(TokenKind::kIdent) && !Keywords().count(c.Peek().text) &&
         c.Peek(1).kind == TokenKind::kColon) {
@@ -457,25 +469,29 @@ Result<DependencyProgram> Parser::ParseDependencies(std::string_view text) {
       Result<SoTgd> so = ParseSoTgd(&c);
       if (!so.ok()) return so.status();
       dep.so = std::move(*so);
-      TGDKIT_RETURN_IF_ERROR(ValidateSoTgd(*arena_, dep.so));
+      if (validate) TGDKIT_RETURN_IF_ERROR(ValidateSoTgd(*arena_, dep.so));
     } else if (c.TryTakeKeyword("nested")) {
       dep.kind = ParsedDependency::Kind::kNested;
       Result<NestedTgd> nested = ParseNestedTgd(&c);
       if (!nested.ok()) return nested.status();
       dep.nested = std::move(*nested);
-      TGDKIT_RETURN_IF_ERROR(ValidateNestedTgd(*arena_, dep.nested));
+      if (validate) {
+        TGDKIT_RETURN_IF_ERROR(ValidateNestedTgd(*arena_, dep.nested));
+      }
     } else if (c.TryTakeKeyword("henkin")) {
       dep.kind = ParsedDependency::Kind::kHenkin;
       Result<HenkinTgd> henkin = ParseHenkinTgd(&c);
       if (!henkin.ok()) return henkin.status();
       dep.henkin = std::move(*henkin);
-      TGDKIT_RETURN_IF_ERROR(ValidateHenkinTgd(*arena_, dep.henkin));
+      if (validate) {
+        TGDKIT_RETURN_IF_ERROR(ValidateHenkinTgd(*arena_, dep.henkin));
+      }
     } else {
       dep.kind = ParsedDependency::Kind::kTgd;
       Result<Tgd> tgd = ParseTgd(&c);
       if (!tgd.ok()) return tgd.status();
       dep.tgd = std::move(*tgd);
-      TGDKIT_RETURN_IF_ERROR(ValidateTgd(*arena_, dep.tgd));
+      if (validate) TGDKIT_RETURN_IF_ERROR(ValidateTgd(*arena_, dep.tgd));
     }
     TGDKIT_RETURN_IF_ERROR(c.Expect(TokenKind::kDot));
     program.dependencies.push_back(std::move(dep));

@@ -53,6 +53,10 @@ struct ParsedDependency {
   SoTgd so;
   NestedTgd nested;
   HenkinTgd henkin;
+  /// Source span of the statement (its first token, label included);
+  /// 1-based, 0 when the dependency was built programmatically.
+  uint32_t line = 0;
+  uint32_t column = 0;
 };
 
 struct DependencyProgram {
@@ -74,6 +78,13 @@ class Parser {
   /// Parses a dependency program. All parsed dependencies are validated.
   Result<DependencyProgram> ParseDependencies(std::string_view text);
 
+  /// Like ParseDependencies, but skips semantic validation (ValidateTgd
+  /// and friends), so structurally complete but ill-formed statements
+  /// still come back with their source spans. Used by the static analyzer
+  /// to turn validation failures into located diagnostics instead of
+  /// aborting at the first offender. Grammar errors still fail the parse.
+  Result<DependencyProgram> ParseDependenciesLenient(std::string_view text);
+
   /// Parses facts into `out` (which must use this parser's vocabulary).
   Status ParseInstanceInto(std::string_view text, Instance* out);
 
@@ -81,6 +92,9 @@ class Parser {
   Result<ConjunctiveQuery> ParseQuery(std::string_view text);
 
  private:
+  Result<DependencyProgram> ParseDependencyProgram(std::string_view text,
+                                                   bool validate);
+
   TermArena* arena_;
   Vocabulary* vocab_;
 };

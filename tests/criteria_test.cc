@@ -129,6 +129,36 @@ TEST_F(CriteriaTest, StickinessPropagatesThroughRules) {
       "P(x, y) & Q(y, z) -> R(x, y, z) .\n"
       "R(x, y, z) -> S(x, z) .");
   EXPECT_FALSE(IsSticky(ws_.arena, so));
+  // The two marked occurrences of y sit in distinct body atoms, so
+  // sticky-join fails too.
+  EXPECT_FALSE(IsStickyJoin(ws_.arena, so));
+}
+
+TEST_F(CriteriaTest, MarkingIsPerRuleNotPerPosition) {
+  // Rule 1 drops x, marking position R.0. Rule 2's u occurs at R2.0 and
+  // R2.1 — different relation — and rule 2 keeps u, so u is unmarked and
+  // the program is sticky. Same story when u sits at the marked R.0
+  // itself: marking is a property of (rule, variable), not of positions,
+  // so a different rule's variable at a marked position stays clean.
+  SoTgd so = ParseSo(
+      "R(x, y) -> S(y) .\n"
+      "R(u, u) -> T(u, u) .");
+  EXPECT_TRUE(IsSticky(ws_.arena, so));
+  EXPECT_TRUE(IsStickyJoin(ws_.arena, so));
+}
+
+TEST_F(CriteriaTest, StickyJoinToleratesWithinAtomRepeatsOnly) {
+  // The marked variable x repeats within ONE atom (a selection): not
+  // sticky, but sticky-join — and this time the rule is not linear, so
+  // sticky-join is doing real work beyond the linear ⊂ SJ inclusion.
+  SoTgd within = ParseSo("P(x, x, y) & Q(y, z) -> R(y, z) .");
+  EXPECT_FALSE(IsLinear(ws_.arena, within));
+  EXPECT_FALSE(IsSticky(ws_.arena, within));
+  EXPECT_TRUE(IsStickyJoin(ws_.arena, within));
+  // A marked variable spanning two atoms breaks sticky-join.
+  SoTgd across = ParseSo("P2(x, y) & Q2(y, z) -> R2(x, z) .");
+  EXPECT_FALSE(IsSticky(ws_.arena, across));
+  EXPECT_FALSE(IsStickyJoin(ws_.arena, across));
 }
 
 TEST_F(CriteriaTest, StickyWithFunctionalTerms) {
