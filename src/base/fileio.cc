@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <array>
@@ -144,6 +145,57 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     // durability but not atomicity; do not fail the write over them.
     fsync(dfd);
     close(dfd);
+  }
+  return Status::Ok();
+}
+
+Status AppendLineDurable(const std::string& path, std::string_view line) {
+  CrashPoint crash;
+  int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                0644);
+  if (fd < 0) return IoError("cannot open for append", path);
+  crash.Maybe(CrashPhase::kBegin);
+  // One buffer, two writes: the mid-phase crash leaves a torn trailing
+  // line with no newline — exactly the artifact ledger readers must skip.
+  std::string record(line);
+  record += '\n';
+  std::string_view all = record;
+  std::string_view first = all.substr(0, all.size() / 2);
+  std::string_view second = all.substr(all.size() / 2);
+  if (!WriteAll(fd, first)) {
+    close(fd);
+    return IoError("cannot append to", path);
+  }
+  crash.Maybe(CrashPhase::kMid);
+  if (!WriteAll(fd, second)) {
+    close(fd);
+    return IoError("cannot append to", path);
+  }
+  crash.Maybe(CrashPhase::kCommit);
+  if (fsync(fd) != 0) {
+    close(fd);
+    return IoError("cannot fsync", path);
+  }
+  if (close(fd) != 0) return IoError("cannot close", path);
+  return Status::Ok();
+}
+
+Status MakeDirectories(const std::string& path) {
+  if (path.empty()) return Status::Ok();
+  std::string prefix;
+  size_t start = 0;
+  if (path[0] == '/') prefix = "/";
+  while (start < path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    if (slash > start) {
+      prefix.append(path, start, slash - start);
+      if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return IoError("cannot create directory", prefix);
+      }
+      prefix += '/';
+    }
+    start = slash + 1;
   }
   return Status::Ok();
 }

@@ -42,6 +42,20 @@ uint32_t Crc32(std::string_view data);
 /// attempt. Honours the TGDKIT_CRASH_AT fault-injection hook (see above).
 Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
+/// Durably appends `line` plus a trailing '\n' to `path` (O_APPEND +
+/// fsync), creating the file if needed. `line` must not itself contain a
+/// newline. A crash mid-append can leave at most one torn trailing line
+/// without its newline; readers of append-only logs must ignore a final
+/// unterminated line (see LoadLedger in src/supervise/ledger.h). Shares
+/// the TGDKIT_CRASH_AT counter with AtomicWriteFile, with the same three
+/// phases: begin (nothing appended), mid (half the line, torn), commit
+/// (line complete, fsync skipped).
+Status AppendLineDurable(const std::string& path, std::string_view line);
+
+/// mkdir -p: creates `path` and any missing ancestors. Ok if it already
+/// exists as a directory.
+Status MakeDirectories(const std::string& path);
+
 /// Reads a whole file. NotFound if it cannot be opened.
 Result<std::string> ReadFileBytes(const std::string& path);
 

@@ -1,10 +1,14 @@
 #include "cli/cli.h"
 
+#include <csignal>
+
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "analyze/lint.h"
 #include "base/rng.h"
@@ -19,6 +23,8 @@
 #include "exchange/exchange.h"
 #include "parse/parser.h"
 #include "query/query.h"
+#include "supervise/manifest.h"
+#include "supervise/supervisor.h"
 #include "transform/composition.h"
 #include "transform/nested.h"
 
@@ -43,6 +49,11 @@ constexpr const char* kUsage =
     "  compose   DEPS12 DEPS23 [...]  compose s-t tgd mappings -> SO tgd\n"
     "  solve     DEPS INSTANCE        data exchange: universal + core\n"
     "                                 solution (target = head relations)\n"
+    "  batch     MANIFEST             supervise a task manifest with\n"
+    "                                 fault-isolated workers, retries and\n"
+    "                                 a durable run ledger (docs/BATCH.md)\n"
+    "exit codes (docs/FORMAT.md): 0 ok, 1 usage, 2 input, 3 negative\n"
+    "verdict, 4 resource-stopped (partial result), 5 internal\n"
     "options: --max-rounds N  --max-facts N  --max-depth N\n"
     "         --max-steps N  --deadline-ms N  --max-memory-mb N\n"
     "         --seed N\n"
@@ -54,7 +65,15 @@ constexpr const char* kUsage =
     "         --checkpoint-every-steps N   snapshot cadence (steps)\n"
     "         --checkpoint-every-ms N      snapshot cadence (wall clock)\n"
     "         --resume PATH                continue from a snapshot\n"
-    "                                      (no DEPS/INSTANCE arguments)\n";
+    "                                      (no DEPS/INSTANCE arguments)\n"
+    "batch supervision (see docs/BATCH.md):\n"
+    "         --run-dir DIR      artifacts + checkpoints (MANIFEST.runs)\n"
+    "         --ledger PATH      run ledger (RUN_DIR/ledger.jsonl)\n"
+    "         --worker PATH      fork+exec this binary per task instead\n"
+    "                            of in-process forks\n"
+    "         --max-parallel N  --retries N  --backoff-ms N\n"
+    "         --backoff-cap-ms N  --grace-ms N  --task-deadline-ms N\n"
+    "         --escalate-factor N  --accept-resource\n";
 
 struct CliContext {
   Vocabulary vocab;
@@ -277,10 +296,10 @@ SoTgd SkolemizeOne(CliContext* ctx, const ParsedDependency& dep) {
 int CmdClassify(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 1) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   for (size_t i = 0; i < program->dependencies.size(); ++i) {
     const ParsedDependency& dep = program->dependencies[i];
     SoTgd so = SkolemizeOne(ctx, dep);
@@ -328,7 +347,9 @@ int CmdClassify(CliContext* ctx, std::ostream& out, std::ostream& err) {
                             : "no fixpoint within budget")
       << " (" << report.rounds << " rounds, " << report.facts
       << " facts)\n";
-  return 0;
+  // The termination probe is expected to hit its budget on
+  // non-terminating programs; its verdict is in-band, not an exit code.
+  return kExitOk;
 }
 
 /// Runs a (fresh or resumed) chase engine to completion, writing periodic
@@ -366,20 +387,23 @@ int RunChaseEngine(CliContext* ctx, ChaseEngine* engine,
       << StopReasonToStatus(engine->stop_reason(), "chase").ToString()
       << " seed=" << seed << " threads=" << engine->threads() << "\n";
   out << engine->instance().ToString();
-  return checkpoint_failed ? 2 : 0;
+  // A failed checkpoint outranks the engine verdict: the caller asked for
+  // durability and did not get it.
+  if (checkpoint_failed) return kExitInternal;
+  return ExitCodeForStop(engine->stop_reason());
 }
 
 int CmdChaseResume(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (!ctx->positional.empty()) {
     err << "tgdkit: --resume is self-contained; no DEPS/INSTANCE "
            "arguments expected\n";
-    return 1;
+    return kExitUsage;
   }
   Result<ChaseSnapshot> loaded = LoadChaseSnapshot(ctx->resume_path);
   if (!loaded.ok()) {
     err << "tgdkit: " << ctx->resume_path << ": "
         << loaded.status().ToString() << "\n";
-    return 2;
+    return kExitInput;
   }
   ChaseSnapshot snap = std::move(*loaded);
   ChaseEngine engine(snap.arena.get(), snap.vocab.get(), snap.rules,
@@ -394,12 +418,12 @@ int CmdChase(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (!ctx->resume_path.empty()) return CmdChaseResume(ctx, out, err);
   if (ctx->positional.size() != 2) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
-  if (!instance.has_value()) return 2;
+  if (!instance.has_value()) return kExitInput;
   SoTgd rules = ProgramRules(ctx, *program);
   ChaseEngine engine(&ctx->arena, &ctx->vocab, rules, *instance,
                      ctx->limits);
@@ -411,13 +435,14 @@ int CmdChase(CliContext* ctx, std::ostream& out, std::ostream& err) {
 int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 2) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
-  if (!instance.has_value()) return 2;
-  bool all_ok = true;
+  if (!instance.has_value()) return kExitInput;
+  bool violated = false;
+  std::optional<StopReason> unknown;
   McOptions mc_options;
   mc_options.budget = ctx->limits.budget;
   for (size_t i = 0; i < program->dependencies.size(); ++i) {
@@ -429,6 +454,7 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
         auto violation =
             FindTgdViolation(ctx->arena, *instance, dep.tgd, &governor);
         if (governor.exhausted()) {
+          unknown = governor.reason();
           verdict = Cat("UNKNOWN (", ToString(governor.reason()), ")");
         } else if (violation.has_value()) {
           verdict = Cat("VIOLATED at ",
@@ -444,6 +470,7 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
             FindNestedViolation(ctx->arena, *instance, dep.nested,
                                 &governor);
         if (governor.exhausted()) {
+          unknown = governor.reason();
           verdict = Cat("UNKNOWN (", ToString(governor.reason()), ")");
         } else if (violation.has_value()) {
           verdict = Cat("VIOLATED at ",
@@ -456,6 +483,7 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
       case ParsedDependency::Kind::kHenkin: {
         McResult result = CheckHenkin(&ctx->arena, &ctx->vocab, *instance,
                                       dep.henkin, mc_options);
+        if (result.budget_exceeded) unknown = result.stop;
         verdict = result.budget_exceeded
                       ? Cat("UNKNOWN (", ToString(result.stop), ")")
                   : result.satisfied ? "satisfied"
@@ -464,6 +492,7 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
       }
       case ParsedDependency::Kind::kSo: {
         McResult result = CheckSo(ctx->arena, *instance, dep.so, mc_options);
+        if (result.budget_exceeded) unknown = result.stop;
         verdict = result.budget_exceeded
                       ? Cat("UNKNOWN (", ToString(result.stop), ")")
                   : result.satisfied ? "satisfied"
@@ -471,52 +500,69 @@ int CmdCheck(CliContext* ctx, std::ostream& out, std::ostream& err) {
         break;
       }
     }
-    all_ok &= (verdict == "satisfied");
+    violated |= verdict.rfind("VIOLATED", 0) == 0;
     out << LabelOf(dep, i) << " (" << KindName(dep.kind)
         << "): " << verdict << "\n";
   }
-  return all_ok ? 0 : 3;
+  // A definite violation outranks an UNKNOWN: the negative verdict stands
+  // no matter how much budget a bigger run would get.
+  if (violated) {
+    out << "# status: OK\n";
+    return kExitVerdict;
+  }
+  if (unknown.has_value()) {
+    out << "# status: " << StopReasonToStatus(*unknown, "check").ToString()
+        << "\n";
+    return kExitResource;
+  }
+  out << "# status: OK\n";
+  return kExitOk;
 }
 
 int CmdCertain(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 3) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
-  if (!instance.has_value()) return 2;
+  if (!instance.has_value()) return kExitInput;
   Parser parser(&ctx->arena, &ctx->vocab);
   Result<ConjunctiveQuery> query = parser.ParseQuery(ctx->positional[2]);
   if (!query.ok()) {
     err << "tgdkit: query: " << query.status().ToString() << "\n";
-    return 2;
+    return kExitInput;
   }
   SoTgd rules = ProgramRules(ctx, *program);
   CertainAnswers answers = ComputeCertainAnswers(
       &ctx->arena, &ctx->vocab, rules, *instance, *query, ctx->limits);
   out << "# " << (answers.Complete() ? "complete" : "TRUNCATED")
       << " (chase " << answers.chase_rounds << " rounds)\n";
+  out << "# status: "
+      << StopReasonToStatus(answers.chase_stop, "certain").ToString()
+      << "\n";
   if (query->IsBoolean()) {
     out << (answers.answers.empty() ? "false" : "true") << "\n";
-    return 0;
+  } else {
+    for (const auto& row : answers.answers) {
+      out << JoinMapped(row, ", ",
+                        [&](Value v) { return instance->ValueToString(v); })
+          << "\n";
+    }
   }
-  for (const auto& row : answers.answers) {
-    out << JoinMapped(row, ", ",
-                      [&](Value v) { return instance->ValueToString(v); })
-        << "\n";
-  }
-  return 0;
+  // Truncated answers are sound but incomplete: a resource exit so
+  // pipelines (and the batch supervisor) can escalate budgets.
+  return ExitCodeForStop(answers.chase_stop);
 }
 
 int CmdNormalize(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 1) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   for (size_t i = 0; i < program->dependencies.size(); ++i) {
     const ParsedDependency& dep = program->dependencies[i];
     if (dep.kind != ParsedDependency::Kind::kNested) continue;
@@ -537,44 +583,47 @@ int CmdNormalize(CliContext* ctx, std::ostream& out, std::ostream& err) {
       out << "    " << ToString(ctx->arena, ctx->vocab, henkin) << "\n";
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 int CmdExplain(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 2) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
-  if (!instance.has_value()) return 2;
+  if (!instance.has_value()) return kExitInput;
   SoTgd rules = ProgramRules(ctx, *program);
   ChaseResult result =
       Chase(&ctx->arena, &ctx->vocab, rules, *instance, ctx->limits);
   out << "# chase " << ToString(result.stop_reason) << "; "
       << result.instance.num_nulls() << " nulls\n";
+  out << "# status: "
+      << StopReasonToStatus(result.stop_reason, "explain").ToString()
+      << "\n";
   for (uint32_t i = 0; i < result.instance.num_nulls(); ++i) {
     Value null = Value::Null(i);
     out << result.instance.ValueToString(null) << " = "
         << result.ExplainValue(ctx->arena, ctx->vocab, null) << "\n";
   }
-  return 0;
+  return ExitCodeForStop(result.stop_reason);
 }
 
 int CmdCompose(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() < 2) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   std::vector<std::vector<Tgd>> chain;
   for (const std::string& path : ctx->positional) {
     auto program = LoadDependencies(ctx, path, err);
-    if (!program.has_value()) return 2;
+    if (!program.has_value()) return kExitInput;
     std::vector<Tgd> tgds = program->Tgds();
     if (tgds.empty()) {
       err << "tgdkit: " << path << ": composition needs plain tgds\n";
-      return 2;
+      return kExitInput;
     }
     chain.push_back(std::move(tgds));
   }
@@ -584,25 +633,25 @@ int CmdCompose(CliContext* ctx, std::ostream& out, std::ostream& err) {
           : ComposeChain(&ctx->arena, &ctx->vocab, chain);
   if (!composed.ok()) {
     err << "tgdkit: " << composed.status().ToString() << "\n";
-    return 2;
+    return kExitInput;
   }
   if (composed->parts.empty()) {
     out << "// empty composition: the second mapping never fires\n";
-    return 0;
+    return kExitOk;
   }
   out << ToString(ctx->arena, ctx->vocab, *composed) << " .\n";
-  return 0;
+  return kExitOk;
 }
 
 int CmdSolve(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 2) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
-  if (!instance.has_value()) return 2;
+  if (!instance.has_value()) return kExitInput;
   SchemaMapping mapping;
   mapping.rules = ProgramRules(ctx, *program);
   // Infer the split: body relations are source, head relations target.
@@ -618,7 +667,7 @@ int CmdSolve(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (!status.ok()) {
     err << "tgdkit: mapping is not source-to-target: "
         << status.ToString() << "\n";
-    return 2;
+    return kExitInput;
   }
   ExchangeResult result = Solve(&ctx->arena, &ctx->vocab, mapping,
                                 *instance, ctx->limits);
@@ -629,24 +678,26 @@ int CmdSolve(CliContext* ctx, std::ostream& out, std::ostream& err) {
                                ctx->limits);
   out << "# core solution (" << core.NumFacts() << " facts)\n";
   out << core.ToString();
-  return 0;
+  out << "# status: "
+      << StopReasonToStatus(result.chase_stop, "solve").ToString() << "\n";
+  return ExitCodeForStop(result.chase_stop);
 }
 
 int CmdLint(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 1) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   const std::string& path = ctx->positional[0];
   std::optional<std::string> text = ReadFile(path, err);
-  if (!text.has_value()) return 2;
+  if (!text.has_value()) return kExitInput;
   Parser parser(&ctx->arena, &ctx->vocab);
   // Lenient parse: semantic validation failures become located lint
   // errors instead of aborting; only grammar errors stop the run.
   Result<DependencyProgram> program = parser.ParseDependenciesLenient(*text);
   if (!program.ok()) {
     err << "tgdkit: " << path << ": " << program.status().ToString() << "\n";
-    return 2;
+    return kExitInput;
   }
   LintReport report = LintProgram(&ctx->arena, &ctx->vocab, *program);
   if (ctx->lint_format == "json") {
@@ -656,16 +707,19 @@ int CmdLint(CliContext* ctx, std::ostream& out, std::ostream& err) {
   } else {
     out << RenderLintText(path, report);
   }
-  return report.HasAtLeast(ctx->fail_on) ? 1 : 0;
+  // Findings are a negative verdict, not a usage error: exit 3 so the
+  // batch supervisor records them as completed-with-verdict instead of
+  // quarantining the task as misconfigured.
+  return report.HasAtLeast(ctx->fail_on) ? kExitVerdict : kExitOk;
 }
 
 int CmdDot(CliContext* ctx, std::ostream& out, std::ostream& err) {
   if (ctx->positional.size() != 1) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
   auto program = LoadDependencies(ctx, ctx->positional[0], err);
-  if (!program.has_value()) return 2;
+  if (!program.has_value()) return kExitInput;
   SoTgd rules = ProgramRules(ctx, *program);
   out << "// position dependency graph (dashed = special edges)\n";
   out << PositionGraphDot(ctx->arena, ctx->vocab, rules);
@@ -683,7 +737,192 @@ int CmdDot(CliContext* ctx, std::ostream& out, std::ostream& err) {
       out << NestingTreeDot(ctx->arena, ctx->vocab, dep.nested);
     }
   }
-  return 0;
+  return kExitOk;
+}
+
+/// Hidden test command: a worker with scriptable misbehaviour, so the
+/// batch supervisor's crash/timeout/escalation paths are testable
+/// deterministically and without a real engine. Not in kUsage on purpose.
+///
+///   tgdkit selftest [--stdout-lines N] [--stderr-lines N] [--spin-ms N]
+///                   [--ignore-term] [--die-signal N] [--die-exit N]
+///
+/// Order: print, optionally ignore SIGTERM, spin (checking cooperative
+/// cancellation unless --ignore-term), then die as instructed.
+int CmdSelftest(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  uint64_t stdout_lines = 0, stderr_lines = 0, spin_ms = 0;
+  uint64_t die_signal = 0, die_exit = 0;
+  bool has_die_exit = false, ignore_term = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto numeric = [&](uint64_t* slot) {
+      if (i + 1 >= args.size()) {
+        err << "tgdkit: missing value for " << arg << "\n";
+        return false;
+      }
+      *slot = std::strtoull(args[++i].c_str(), nullptr, 10);
+      return true;
+    };
+    if (arg == "--stdout-lines") {
+      if (!numeric(&stdout_lines)) return kExitUsage;
+    } else if (arg == "--stderr-lines") {
+      if (!numeric(&stderr_lines)) return kExitUsage;
+    } else if (arg == "--spin-ms") {
+      if (!numeric(&spin_ms)) return kExitUsage;
+    } else if (arg == "--die-signal") {
+      if (!numeric(&die_signal)) return kExitUsage;
+    } else if (arg == "--die-exit") {
+      if (!numeric(&die_exit)) return kExitUsage;
+      has_die_exit = true;
+    } else if (arg == "--ignore-term") {
+      ignore_term = true;
+    } else {
+      err << "tgdkit: selftest: unknown option " << arg << "\n";
+      return kExitUsage;
+    }
+  }
+  for (uint64_t i = 0; i < stdout_lines; ++i) {
+    out << "selftest stdout line " << i << "\n";
+  }
+  for (uint64_t i = 0; i < stderr_lines; ++i) {
+    err << "selftest stderr line " << i << "\n";
+  }
+  out.flush();
+  err.flush();
+  if (ignore_term) std::signal(SIGTERM, SIG_IGN);
+  if (spin_ms > 0) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(spin_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!ignore_term && GlobalCancellationToken().cancelled()) {
+        out << "# status: "
+            << StopReasonToStatus(StopReason::kCancelled, "selftest")
+                   .ToString()
+            << "\n";
+        return kExitResource;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  if (die_signal != 0) {
+    out.flush();
+    err.flush();
+    std::raise(static_cast<int>(die_signal));
+  }
+  if (has_die_exit) return static_cast<int>(die_exit);
+  out << "# status: OK\n";
+  return kExitOk;
+}
+
+/// `tgdkit batch MANIFEST`: parses its own flag set (task argvs already
+/// carry the engine options), merges CLI > manifest `batch` directives >
+/// built-in defaults, and hands off to the supervisor.
+int CmdBatch(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  SupervisorOptions options;
+  SupervisorCliOverrides set;
+  std::vector<std::string> positional;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto numeric = [&](uint64_t* slot, bool* explicit_flag) {
+      if (i + 1 >= args.size()) {
+        err << "tgdkit: missing value for " << arg << "\n";
+        return false;
+      }
+      const std::string& value = args[++i];
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        err << "tgdkit: invalid value '" << value << "' for " << arg
+            << "\n";
+        return false;
+      }
+      *slot = std::strtoull(value.c_str(), nullptr, 10);
+      if (explicit_flag != nullptr) *explicit_flag = true;
+      return true;
+    };
+    auto pathval = [&](std::string* slot) {
+      if (i + 1 >= args.size()) {
+        err << "tgdkit: missing value for " << arg << "\n";
+        return false;
+      }
+      *slot = args[++i];
+      return !slot->empty();
+    };
+    if (arg == "--run-dir") {
+      if (!pathval(&options.run_dir)) return kExitUsage;
+    } else if (arg == "--ledger") {
+      if (!pathval(&options.ledger_path)) return kExitUsage;
+    } else if (arg == "--worker") {
+      if (!pathval(&options.worker_binary)) return kExitUsage;
+    } else if (arg == "--max-parallel") {
+      if (!numeric(&options.max_parallel, &set.max_parallel)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--retries") {
+      if (!numeric(&options.retries, &set.retries)) return kExitUsage;
+    } else if (arg == "--backoff-ms") {
+      if (!numeric(&options.backoff_ms, &set.backoff_ms)) return kExitUsage;
+    } else if (arg == "--backoff-cap-ms") {
+      if (!numeric(&options.backoff_cap_ms, &set.backoff_cap_ms)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--grace-ms") {
+      if (!numeric(&options.grace_ms, &set.grace_ms)) return kExitUsage;
+    } else if (arg == "--task-deadline-ms") {
+      if (!numeric(&options.task_deadline_ms, &set.task_deadline_ms)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--escalate-factor") {
+      if (!numeric(&options.escalate_factor, &set.escalate_factor)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--checkpoint-every-steps") {
+      if (!numeric(&options.checkpoint_every_steps,
+                   &set.checkpoint_every_steps)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--checkpoint-every-ms") {
+      if (!numeric(&options.checkpoint_every_ms,
+                   &set.checkpoint_every_ms)) {
+        return kExitUsage;
+      }
+    } else if (arg == "--accept-resource") {
+      options.accept_resource = true;
+      set.accept_resource = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      err << "tgdkit: batch: unknown option " << arg << "\n";
+      return kExitUsage;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    err << kUsage;
+    return kExitUsage;
+  }
+  options.manifest_path = positional[0];
+  Result<Manifest> manifest = LoadManifest(options.manifest_path);
+  if (!manifest.ok()) {
+    err << "tgdkit: " << options.manifest_path << ": "
+        << manifest.status().ToString() << "\n";
+    return ExitCodeForStatus(manifest.status());
+  }
+  ApplyManifestDefaults(manifest->defaults, set, &options);
+  if (options.run_dir.empty()) {
+    options.run_dir = options.manifest_path + ".runs";
+  }
+  if (options.ledger_path.empty()) {
+    options.ledger_path = options.run_dir + "/ledger.jsonl";
+  }
+  if (options.max_parallel == 0) options.max_parallel = 1;
+  options.cancel = GlobalCancellationToken();
+  Result<SupervisorReport> report = RunBatch(*manifest, options, out, err);
+  if (!report.ok()) {
+    err << "tgdkit: batch: " << report.status().ToString() << "\n";
+    return ExitCodeForStatus(report.status());
+  }
+  return report->ExitCode();
 }
 
 }  // namespace
@@ -693,22 +932,68 @@ CancellationToken& GlobalCancellationToken() {
   return token;
 }
 
+int ExitCodeForStop(StopReason stop) {
+  return IsResourceStop(stop) ? kExitResource : kExitOk;
+}
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return kExitOk;
+    case Status::Code::kInvalidArgument:
+    case Status::Code::kParseError:
+    case Status::Code::kNotFound:
+    case Status::Code::kUnsupported:
+    case Status::Code::kDataLoss:
+      return kExitInput;
+    case Status::Code::kResourceExhausted:
+      return kExitResource;
+    case Status::Code::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
+}
+
+namespace {
+
+extern "C" void HandleCancelSignal(int signum) {
+  // Cancel() is a relaxed atomic store: async-signal-safe. The reset to
+  // SIG_DFL makes a second signal kill the process the default way.
+  GlobalCancellationToken().Cancel();
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallCancellationSignalHandlers() {
+  // Force the token's construction now, so the handler never triggers a
+  // first-use static initialization (which would allocate) in signal
+  // context.
+  GlobalCancellationToken();
+  std::signal(SIGINT, HandleCancelSignal);
+  std::signal(SIGTERM, HandleCancelSignal);
+}
+
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   if (args.empty()) {
     err << kUsage;
-    return 1;
+    return kExitUsage;
   }
+  // batch and selftest parse their own flag sets (a manifest task's argv
+  // must pass through to the worker untouched).
+  if (args[0] == "batch") return CmdBatch(args, out, err);
+  if (args[0] == "selftest") return CmdSelftest(args, out, err);
   CliContext ctx;
   ctx.limits.budget.cancel = GlobalCancellationToken();
-  if (!ParseOptions(args, &ctx, err)) return 1;
+  if (!ParseOptions(args, &ctx, err)) return kExitUsage;
   const std::string& command = args[0];
   bool wants_checkpointing =
       !ctx.checkpoint_path.empty() || !ctx.resume_path.empty() ||
       ctx.checkpoint_every_steps != 0 || ctx.checkpoint_every_ms != 0;
   if (wants_checkpointing && command != "chase") {
     err << "tgdkit: --checkpoint/--resume are only supported by 'chase'\n";
-    return 1;
+    return kExitUsage;
   }
   // The command itself landed in positional[0]; drop it.
   if (!ctx.positional.empty() && ctx.positional[0] == command) {
@@ -725,7 +1010,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "compose") return CmdCompose(&ctx, out, err);
   if (command == "solve") return CmdSolve(&ctx, out, err);
   err << kUsage;
-  return 1;
+  return kExitUsage;
 }
 
 }  // namespace tgdkit

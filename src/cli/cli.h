@@ -3,10 +3,12 @@
 //
 // Commands:
 //   tgdkit classify  DEPS                 Figure 1 + Figure 2 membership
+//   tgdkit lint      DEPS                 static analysis diagnostics
 //   tgdkit chase     DEPS INSTANCE        chase to fixpoint/budget, print
 //   tgdkit check     DEPS INSTANCE        model-check each dependency
 //   tgdkit certain   DEPS INSTANCE QUERY  certain answers to a query
 //   tgdkit normalize DEPS                 Algorithm 1 + Algorithm 2 output
+//   tgdkit batch     MANIFEST             fault-isolated corpus sweep
 //
 // DEPS/INSTANCE are file paths in the formats of parse/parser.h; QUERY is
 // a Datalog-style query string. Options:
@@ -19,11 +21,45 @@
 #include <vector>
 
 #include "base/budget.h"
+#include "base/status.h"
 
 namespace tgdkit {
 
-/// Runs one CLI invocation. `args` excludes the program name. Returns the
-/// process exit code (0 success, 1 usage error, 2 input error).
+/// Process exit codes of every tgdkit subcommand. The mapping is part of
+/// the CLI contract (docs/FORMAT.md, "Exit codes"): the batch
+/// supervisor's run ledger and retry policy key off these values, so
+/// every subcommand must conform (asserted by tests/cli_exit_code_test).
+enum ExitCode : int {
+  /// Command completed and every verdict it computed is positive.
+  kExitOk = 0,
+  /// Malformed command line: unknown command/option, wrong arity,
+  /// invalid option value. Deterministic; retrying is pointless.
+  kExitUsage = 1,
+  /// An input could not be loaded: missing file, parse error, corrupt or
+  /// version-mismatched snapshot. Deterministic; retrying is pointless.
+  kExitInput = 2,
+  /// The command ran to completion and the answer is negative: `check`
+  /// found a violation, `lint` found findings at/above --fail-on,
+  /// `batch` ended with quarantined or negative-verdict tasks.
+  kExitVerdict = 3,
+  /// A resource budget stopped the engine (StopReason other than
+  /// fixpoint, including cooperative SIGINT/SIGTERM cancellation). The
+  /// partial result and a `# status:` line are on stdout.
+  kExitResource = 4,
+  /// Environment/internal failure: a checkpoint or ledger write failed,
+  /// worker subprocess machinery broke. Possibly transient.
+  kExitInternal = 5,
+};
+
+/// Maps a Status to the exit-code contract above.
+int ExitCodeForStatus(const Status& status);
+
+/// Maps an engine stop reason: kExitOk for fixpoint, kExitResource
+/// otherwise.
+int ExitCodeForStop(StopReason stop);
+
+/// Runs one CLI invocation. `args` excludes the program name. Returns a
+/// process exit code from the ExitCode table.
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err);
 
@@ -32,5 +68,13 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
 /// engines then stop cleanly with StopReason::kCancelled. Reset() before
 /// reuse (tests cancel and then run again in the same process).
 CancellationToken& GlobalCancellationToken();
+
+/// Wires SIGINT and SIGTERM to cooperative cancellation: the first
+/// signal cancels GlobalCancellationToken() (engines stop cleanly with
+/// partial output and — with --checkpoint — a final snapshot); a second
+/// restores the default disposition and kills the process. Called by the
+/// tgdkit binary and by forked batch workers (after resetting the
+/// inherited token).
+void InstallCancellationSignalHandlers();
 
 }  // namespace tgdkit

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/fileio.h"
+#include "base/strings.h"
 #include "data/instance.h"
 
 namespace tgdkit {
@@ -984,6 +985,19 @@ Result<PcpSearchCheckpoint> LoadPcpCheckpoint(const std::string& path) {
   Result<std::string> bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
   return ParsePcpCheckpoint(*bytes);
+}
+
+std::string TaskCheckpointPath(const std::string& dir,
+                               std::string_view task_id) {
+  std::string name;
+  name.reserve(task_id.size());
+  for (char c : task_id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    name += ok ? c : '_';
+  }
+  if (name.empty() || name[0] == '.') name.insert(name.begin(), '_');
+  return Cat(dir, "/", name, ".snap");
 }
 
 }  // namespace tgdkit

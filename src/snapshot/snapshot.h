@@ -111,6 +111,20 @@ Result<RestrictedSnapshot> LoadRestrictedSnapshot(const std::string& path);
 // ---------------------------------------------------------------------------
 // PCP oracle search
 
+// ---------------------------------------------------------------------------
+// Task-derived checkpoint paths (batch supervisor)
+
+/// The canonical checkpoint path for a supervised task:
+/// `<dir>/<task_id>.snap`, with any byte outside [A-Za-z0-9._-] in the id
+/// replaced by '_' so a task id can never escape `dir`. Stable across
+/// runs — the batch supervisor's resume-from-checkpoint depends on a
+/// rerun deriving the same path for the same task id.
+std::string TaskCheckpointPath(const std::string& dir,
+                               std::string_view task_id);
+
+// ---------------------------------------------------------------------------
+// PCP oracle search
+
 std::string SerializePcpCheckpoint(const PcpSearchCheckpoint& checkpoint);
 
 Status SavePcpCheckpoint(const std::string& path,

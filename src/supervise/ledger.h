@@ -1,0 +1,142 @@
+// The durable run ledger behind `tgdkit batch`.
+//
+// The ledger is an append-only JSONL file: one flat JSON object per
+// line, appended through AppendLineDurable (O_APPEND + fsync), so a
+// SIGKILL of the supervisor at any instant leaves at most one torn
+// trailing line — which LoadLedger skips — and never corrupts earlier
+// records. Three record types (schema in docs/BATCH.md):
+//
+//   {"type":"run", ...}      one per supervisor invocation (header)
+//   {"type":"attempt", ...}  one per *finished* worker attempt
+//   {"type":"done", ...}     one per task reaching a terminal state
+//
+// An attempt is recorded only after its outcome is known; a supervisor
+// killed mid-attempt leaves no attempt record and the rerun simply runs
+// that attempt again. A task is `done` exactly once per converged
+// ledger: reruns load the ledger first and skip terminal tasks, which is
+// what makes `tgdkit batch` idempotent and resumable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tgdkit {
+
+/// How a finished worker attempt ended, derived from the wait status and
+/// the exit-code contract (src/cli/cli.h).
+enum class AttemptOutcome : uint8_t {
+  kOk = 0,       // exit 0
+  kVerdict,      // exit 3: ran fine, negative answer (check/lint)
+  kUsageError,   // exit 1: malformed argv — deterministic, no retry
+  kInputError,   // exit 2: unreadable/unparseable input — no retry
+  kResource,     // exit 4: stopped by its resource budget
+  kInternal,     // exit 5 or unknown exit code
+  kCrash,        // killed by a signal (SIGSEGV, OOM, sanitizer abort...)
+  kTimeout,      // supervisor killed it at the task deadline
+  kCancelled,    // supervisor shutdown interrupted the attempt
+  kSpawnError,   // fork/pipe machinery failed before the worker ran
+};
+
+const char* ToString(AttemptOutcome outcome);
+bool ParseAttemptOutcome(std::string_view text, AttemptOutcome* out);
+
+struct RunRecord {
+  std::string manifest;
+  uint64_t tasks = 0;
+};
+
+struct AttemptRecord {
+  std::string task;
+  uint64_t attempt = 0;  // 1-based
+  AttemptOutcome outcome = AttemptOutcome::kOk;
+  int exit_code = -1;  // -1 when the worker did not exit normally
+  int signal = 0;      // terminating signal, 0 if none
+  /// StopReason token parsed from the worker's `# status:` line ("",
+  /// "deadline", "step-limit", ...).
+  std::string stop;
+  /// The worker's last `# status:` line, verbatim (may be empty).
+  std::string status_line;
+  double duration_ms = 0;
+  /// Reproduction command line (shell-quoted `tgdkit ...`).
+  std::string cmd;
+  std::string stderr_tail;
+  /// Degradations applied to THIS attempt's argv.
+  bool degraded = false;   // --threads forced to 1 after a crash
+  bool escalated = false;  // budgets scaled after a resource stop
+  bool resumed = false;    // chase resumed from the task checkpoint
+  /// Supervisor's decision: "done", "retry", "quarantine".
+  std::string next;
+};
+
+struct DoneRecord {
+  std::string task;
+  bool completed = false;  // false = quarantined
+  int exit_code = -1;      // final worker exit code (completed tasks)
+  uint64_t attempts = 0;
+  /// Crash-triage report for quarantined tasks (multi-line text).
+  std::string triage;
+};
+
+struct LedgerRecord {
+  enum class Kind : uint8_t { kRun, kAttempt, kDone };
+  Kind kind = Kind::kRun;
+  RunRecord run;
+  AttemptRecord attempt;
+  DoneRecord done;
+
+  static LedgerRecord Run(RunRecord r);
+  static LedgerRecord Attempt(AttemptRecord a);
+  static LedgerRecord Done(DoneRecord d);
+};
+
+/// JSON string escaping for ledger values: ", \, control characters.
+std::string JsonEscape(std::string_view text);
+
+/// Renders one record as a single JSON line (no trailing newline).
+std::string RenderLedgerRecord(const LedgerRecord& record);
+
+/// Parses one ledger line. InvalidArgument on malformed JSON or an
+/// unknown record type.
+Result<LedgerRecord> ParseLedgerRecord(std::string_view line);
+
+/// Durably appends one record to the ledger at `path`.
+Status AppendLedgerRecord(const std::string& path,
+                          const LedgerRecord& record);
+
+/// Loads a ledger file. A final line without its newline (torn by a
+/// crash mid-append) is skipped; any malformed *interior* line is a
+/// DataLoss error. NotFound if the file does not exist.
+Result<std::vector<LedgerRecord>> LoadLedger(const std::string& path);
+
+/// Truncates a torn trailing line (no final newline) off the ledger, so
+/// the next append starts on a fresh line. Without this, an append after
+/// a mid-write crash would concatenate onto the fragment and turn it
+/// into interior garbage — a DataLoss on every later load. The fragment
+/// is by definition an uncommitted record, so dropping it loses nothing.
+/// Ok if the file does not exist or already ends cleanly.
+Status TruncateTornLedgerTail(const std::string& path);
+
+/// Per-task state replayed from ledger records, used by the supervisor
+/// to resume a run.
+struct TaskReplay {
+  uint64_t attempts = 0;
+  bool terminal = false;
+  bool completed = false;
+  int final_exit = -1;
+  /// Whether a past attempt already used the one-shot degradations.
+  bool degraded = false;
+  bool escalated = false;
+};
+
+/// Folds records into per-task replay state. Later records win; a task
+/// with multiple `done` records keeps the first (the supervisor never
+/// writes a second, but the replay is defensive).
+std::map<std::string, TaskReplay> ReplayLedger(
+    const std::vector<LedgerRecord>& records);
+
+}  // namespace tgdkit

@@ -1,0 +1,109 @@
+// Batch manifest: the task list `tgdkit batch` supervises.
+//
+// A manifest is a line-oriented text file (see docs/BATCH.md):
+//
+//   # comment (also //); blank lines ignored; a trailing backslash
+//   # joins the next line
+//   batch max-parallel=4 retries=3 backoff-ms=200 task-deadline-ms=60000
+//   task lint-univ : lint corpus/university.tgd --fail-on=warning
+//   task chase-tau deadline-ms=5000 env TGDKIT_CRASH_AT=3 :
+//     chase corpus/paper_tau.tgd seed.inst --seed 7   (one logical line)
+//
+// Each task is an ordinary tgdkit subcommand invocation (anything RunCli
+// accepts except `batch` itself), plus optional per-task attributes
+// (deadline-ms=, retries=) and environment variables for the worker
+// process. `batch` directives set run-wide defaults; command-line flags
+// of `tgdkit batch` override them.
+//
+// This header also hosts the argv-rewriting helpers the supervisor's
+// retry/degradation policy applies between attempts: forcing --threads 1
+// after a crash, scaling budget options after a ResourceExhausted stop,
+// and rewriting a chase invocation to resume from its checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tgdkit {
+
+/// Run-wide knobs a manifest `batch` directive may set. Unset fields fall
+/// back to the supervisor's built-in defaults unless a CLI flag overrides
+/// them (CLI > manifest > built-in).
+struct BatchDefaults {
+  std::optional<uint64_t> max_parallel;
+  std::optional<uint64_t> retries;
+  std::optional<uint64_t> backoff_ms;
+  std::optional<uint64_t> backoff_cap_ms;
+  std::optional<uint64_t> grace_ms;
+  std::optional<uint64_t> task_deadline_ms;
+  std::optional<uint64_t> escalate_factor;
+  std::optional<uint64_t> checkpoint_every_steps;
+  std::optional<uint64_t> checkpoint_every_ms;
+  std::optional<bool> accept_resource;
+};
+
+/// One supervised task: a tgdkit subcommand invocation.
+struct ManifestTask {
+  std::string id;
+  /// Full CLI argv, subcommand first (what RunCli receives).
+  std::vector<std::string> args;
+  /// Extra environment for the worker process (fault injection, etc.).
+  std::vector<std::pair<std::string, std::string>> env;
+  std::optional<uint64_t> deadline_ms;
+  std::optional<uint64_t> retries;
+  /// 1-based manifest line of the `task` directive (diagnostics).
+  size_t line = 0;
+};
+
+struct Manifest {
+  BatchDefaults defaults;
+  std::vector<ManifestTask> tasks;
+};
+
+/// Parses manifest text. InvalidArgument with a line number on malformed
+/// directives, duplicate or invalid task ids, or a `batch` task command.
+Result<Manifest> ParseManifest(std::string_view text);
+
+/// Reads and parses a manifest file.
+Result<Manifest> LoadManifest(const std::string& path);
+
+/// True if task ids may use this string (1-64 chars of [A-Za-z0-9._-],
+/// not starting with '.' or '-'); ids become checkpoint/artifact file
+/// names, so the charset is deliberately narrow.
+bool IsValidTaskId(std::string_view id);
+
+/// True for tgdkit options that consume a separate value token
+/// (--max-steps, --checkpoint, ...). Needed to tell positionals from
+/// option values when rewriting a task argv.
+bool OptionTakesValue(std::string_view arg);
+
+/// Replaces the value of `option` in `args`, appending "option value" if
+/// absent. Handles only separate-token values (the form the supervisor
+/// itself writes).
+std::vector<std::string> WithForcedOption(std::vector<std::string> args,
+                                          std::string_view option,
+                                          std::string_view value);
+
+/// Multiplies the values of the budget options (--max-steps,
+/// --deadline-ms, --max-memory-mb) by `factor`, saturating at uint64 max.
+/// Options that are absent stay absent (absent = unlimited already).
+std::vector<std::string> WithScaledBudgets(std::vector<std::string> args,
+                                           uint64_t factor);
+
+/// Rewrites a `chase DEPS INSTANCE ...` argv into the resume form
+/// `chase --resume SNAP ...`: positionals are dropped, every option is
+/// kept, and --checkpoint is forced to SNAP so the resumed leg keeps
+/// checkpointing to the same file.
+std::vector<std::string> RewriteChaseForResume(
+    const std::vector<std::string>& args, const std::string& snapshot_path);
+
+/// Renders an argv as a copy-pasteable shell command (for triage
+/// reproduction lines), quoting tokens that need it.
+std::string ShellQuote(const std::vector<std::string>& args);
+
+}  // namespace tgdkit

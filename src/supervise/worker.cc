@@ -1,0 +1,259 @@
+#include "supervise/worker.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "base/strings.h"
+#include "cli/cli.h"
+
+namespace tgdkit {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Child-side setup + command execution. Never returns.
+[[noreturn]] void RunChild(const WorkerOptions& options, int stdout_write,
+                           int stderr_write) {
+  // The forked child inherits the supervisor's cancellation token state;
+  // a cancelled supervisor must not pre-cancel its workers. Reset, then
+  // re-wire SIGINT/SIGTERM to *this* process's cooperative cancellation
+  // so the supervisor's kill escalation starts with a graceful stop.
+  GlobalCancellationToken().Reset();
+  InstallCancellationSignalHandlers();
+  for (const auto& [name, value] : options.env) {
+    setenv(name.c_str(), value.c_str(), 1);
+  }
+  if (dup2(stdout_write, STDOUT_FILENO) < 0 ||
+      dup2(stderr_write, STDERR_FILENO) < 0) {
+    _exit(kExitInternal);
+  }
+  close(stdout_write);
+  close(stderr_write);
+  if (!options.exec_binary.empty()) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(options.exec_binary.c_str()));
+    for (const std::string& arg : options.args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(options.exec_binary.c_str(), argv.data());
+    // Exec failure: report on the (captured) stderr and die with the
+    // internal-error code.
+    std::fprintf(stderr, "tgdkit: cannot exec '%s': %s\n",
+                 options.exec_binary.c_str(), std::strerror(errno));
+    _exit(kExitInternal);
+  }
+  int code = RunCli(options.args, std::cout, std::cerr);
+  std::cout.flush();
+  std::cerr.flush();
+  std::fflush(nullptr);
+  _exit(code);
+}
+
+/// Appends up to everything readable from `fd` into `out`, honouring a
+/// byte cap. Returns false on EOF.
+bool DrainFd(int fd, std::string* out, size_t limit, bool* truncated) {
+  char buffer[16384];
+  while (true) {
+    ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    size_t take = static_cast<size_t>(n);
+    if (out->size() + take > limit) {
+      take = limit > out->size() ? limit - out->size() : 0;
+      if (truncated != nullptr) *truncated = true;
+    }
+    out->append(buffer, take);
+  }
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(WorkerOptions options)
+    : options_(std::move(options)) {}
+
+WorkerProcess::~WorkerProcess() {
+  if (pid_ > 0) {
+    kill(pid_, SIGKILL);
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+  if (stdout_fd_ >= 0) close(stdout_fd_);
+  if (stderr_fd_ >= 0) close(stderr_fd_);
+}
+
+Status WorkerProcess::Start() {
+  int out_pipe[2] = {-1, -1};
+  int err_pipe[2] = {-1, -1};
+  if (pipe(out_pipe) != 0) {
+    return Status::Internal(Cat("pipe: ", std::strerror(errno)));
+  }
+  if (pipe(err_pipe) != 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    return Status::Internal(Cat("pipe: ", std::strerror(errno)));
+  }
+  // The child inherits the parent's stdio buffers; flush so buffered
+  // bytes are not emitted twice.
+  std::cout.flush();
+  std::cerr.flush();
+  std::fflush(nullptr);
+  pid_t pid = fork();
+  if (pid < 0) {
+    for (int fd : {out_pipe[0], out_pipe[1], err_pipe[0], err_pipe[1]}) {
+      close(fd);
+    }
+    return Status::Internal(Cat("fork: ", std::strerror(errno)));
+  }
+  if (pid == 0) {
+    close(out_pipe[0]);
+    close(err_pipe[0]);
+    RunChild(options_, out_pipe[1], err_pipe[1]);
+  }
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+  pid_ = pid;
+  stdout_fd_ = out_pipe[0];
+  stderr_fd_ = err_pipe[0];
+  SetNonBlocking(stdout_fd_);
+  SetNonBlocking(stderr_fd_);
+  ExecutionBudget deadline;
+  deadline.deadline_ms = options_.deadline_ms;
+  governor_ = ResourceGovernor(deadline);
+  return Status::Ok();
+}
+
+void WorkerProcess::Pump() {
+  if (stdout_fd_ >= 0 &&
+      !DrainFd(stdout_fd_, &outcome_.stdout_data, options_.stdout_limit,
+               &outcome_.stdout_truncated)) {
+    close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+  if (stderr_fd_ >= 0) {
+    // Unbounded drain, then keep the tail: the newest diagnostics are the
+    // ones triage wants.
+    size_t soft_cap = options_.stderr_tail_limit * 4 + 65536;
+    if (!DrainFd(stderr_fd_, &outcome_.stderr_tail, soft_cap, nullptr)) {
+      close(stderr_fd_);
+      stderr_fd_ = -1;
+    }
+    if (outcome_.stderr_tail.size() > options_.stderr_tail_limit * 2) {
+      outcome_.stderr_tail.erase(
+          0, outcome_.stderr_tail.size() - options_.stderr_tail_limit);
+    }
+  }
+}
+
+void WorkerProcess::KillNow(int signum) {
+  if (pid_ > 0) kill(pid_, signum);
+}
+
+void WorkerProcess::Tick() {
+  if (pid_ <= 0) return;
+  if (term_sent_) {
+    if (governor_.elapsed_ms() >= kill_at_ms_) {
+      KillNow(SIGKILL);
+      // Push the next escalation far out; the SIGKILL cannot be ignored.
+      kill_at_ms_ = governor_.elapsed_ms() + 60000;
+    }
+    return;
+  }
+  if (options_.deadline_ms != 0 && !governor_.CheckNow()) {
+    outcome_.timed_out = true;
+    term_sent_ = true;
+    kill_at_ms_ =
+        governor_.elapsed_ms() + static_cast<double>(options_.grace_ms);
+    KillNow(SIGTERM);
+  }
+}
+
+void WorkerProcess::RequestStop() {
+  if (pid_ <= 0 || term_sent_) return;
+  outcome_.stop_requested = true;
+  term_sent_ = true;
+  kill_at_ms_ =
+      governor_.elapsed_ms() + static_cast<double>(options_.grace_ms);
+  KillNow(SIGTERM);
+}
+
+bool WorkerProcess::TryReap() {
+  if (pid_ <= 0) return true;
+  int status = 0;
+  pid_t reaped = waitpid(pid_, &status, WNOHANG);
+  if (reaped == 0) return false;
+  outcome_.duration_ms = governor_.elapsed_ms();
+  pid_ = -1;
+  // Final drain: the pipes may still hold everything the worker wrote.
+  Pump();
+  if (stdout_fd_ >= 0) {
+    close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+  if (stderr_fd_ >= 0) {
+    close(stderr_fd_);
+    stderr_fd_ = -1;
+  }
+  if (reaped < 0) {
+    // waitpid failure (should not happen): treat as an internal error.
+    outcome_.exited = true;
+    outcome_.exit_code = kExitInternal;
+    return true;
+  }
+  if (WIFEXITED(status)) {
+    outcome_.exited = true;
+    outcome_.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    outcome_.signaled = true;
+    outcome_.signal = WTERMSIG(status);
+  }
+  if (outcome_.stderr_tail.size() > options_.stderr_tail_limit) {
+    outcome_.stderr_tail.erase(
+        0, outcome_.stderr_tail.size() - options_.stderr_tail_limit);
+  }
+  return true;
+}
+
+std::string ExtractStatusLine(std::string_view stdout_data) {
+  constexpr std::string_view kPrefix = "# status:";
+  std::string last;
+  size_t pos = 0;
+  while (pos < stdout_data.size()) {
+    size_t eol = stdout_data.find('\n', pos);
+    if (eol == std::string_view::npos) eol = stdout_data.size();
+    std::string_view line = stdout_data.substr(pos, eol - pos);
+    if (line.substr(0, kPrefix.size()) == kPrefix) {
+      last = std::string(line);
+    }
+    pos = eol + 1;
+  }
+  return last;
+}
+
+std::string ExtractStopToken(std::string_view status_line) {
+  constexpr std::string_view kMarker = " stopped by ";
+  size_t pos = status_line.find(kMarker);
+  if (pos == std::string_view::npos) return std::string();
+  size_t start = pos + kMarker.size();
+  size_t end = start;
+  while (end < status_line.size() && status_line[end] != ' ') ++end;
+  return std::string(status_line.substr(start, end - start));
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,136 @@
+// Fault-isolated worker subprocesses for the batch supervisor.
+//
+// A WorkerProcess runs one tgdkit subcommand in its own forked process —
+// true isolation: a worker's SIGSEGV, OOM kill, sanitizer abort, stack
+// overflow or runaway loop is captured as a wait status, never fatal to
+// the supervisor. stdout and stderr are captured through pipes (stdout
+// whole, bounded; stderr as a tail), and the last `# status:` line of
+// stdout is the machine-readable worker -> supervisor verdict the chase
+// CLI already emits.
+//
+// Two spawn modes:
+//  * in-process fork (default): the child resets the inherited
+//    cancellation token, reinstalls the SIGINT/SIGTERM -> cancel
+//    handlers, redirects its stdio into the pipes and calls RunCli
+//    directly, then _exit()s with its exit code. No binary path needed;
+//    this is what both `tgdkit batch` and the test suite use.
+//  * fork + exec of an explicit tgdkit binary (--worker PATH), for
+//    running workers under a different build.
+//
+// Deadline enforcement reuses the governor's deadline machinery: the
+// supervisor Tick()s a ResourceGovernor armed with the task deadline;
+// when it reports exhaustion the worker is asked to stop with SIGTERM
+// (cooperative cancellation: a chase still writes its final checkpoint),
+// and SIGKILLed after a grace period if it ignores the request.
+//
+// The supervisor must be single-threaded: workers are forked from it, so
+// the fork is never a multi-threaded fork (safe under TSan, and the
+// in-process child may itself start chase staging threads).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/budget.h"
+#include "base/status.h"
+
+namespace tgdkit {
+
+struct WorkerOptions {
+  /// CLI argv, subcommand first (what RunCli receives).
+  std::vector<std::string> args;
+  /// Extra environment variables set in the child before the worker runs.
+  std::vector<std::pair<std::string, std::string>> env;
+  /// Non-empty: fork+exec this binary instead of in-process RunCli.
+  std::string exec_binary;
+  /// Wall-clock deadline for the whole attempt; 0 = none.
+  uint64_t deadline_ms = 0;
+  /// SIGTERM -> SIGKILL grace period.
+  uint64_t grace_ms = 2000;
+  /// Captured-stdout cap; beyond it output is dropped and the outcome is
+  /// flagged truncated.
+  size_t stdout_limit = 16 * 1024 * 1024;
+  /// Bytes of stderr kept (the *tail*: newest bytes win).
+  size_t stderr_tail_limit = 4096;
+};
+
+struct WorkerOutcome {
+  bool exited = false;
+  int exit_code = -1;
+  bool signaled = false;
+  int signal = 0;
+  /// The supervisor killed it at the task deadline.
+  bool timed_out = false;
+  /// The supervisor killed it during shutdown (not the task's fault).
+  bool stop_requested = false;
+  bool stdout_truncated = false;
+  double duration_ms = 0;
+  std::string stdout_data;
+  std::string stderr_tail;
+};
+
+class WorkerProcess {
+ public:
+  explicit WorkerProcess(WorkerOptions options);
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  /// SIGKILLs and reaps a still-running worker.
+  ~WorkerProcess();
+
+  /// Forks the worker. Internal error if the pipe/fork machinery fails.
+  Status Start();
+
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+  /// Parent read ends of the capture pipes; -1 once closed.
+  int stdout_fd() const { return stdout_fd_; }
+  int stderr_fd() const { return stderr_fd_; }
+
+  /// Drains whatever is readable from the pipes (non-blocking).
+  void Pump();
+
+  /// Deadline/grace enforcement: SIGTERMs the worker once the deadline
+  /// governor reports exhaustion, SIGKILLs it `grace_ms` later.
+  void Tick();
+
+  /// Supervisor shutdown: ask the worker to stop now (SIGTERM, then the
+  /// usual grace -> SIGKILL escalation driven by Tick()).
+  void RequestStop();
+
+  /// Reaps the worker if it has exited (non-blocking). Returns true once
+  /// the outcome is final; Pump() is called a last time to drain the
+  /// pipes before they close.
+  bool TryReap();
+
+  /// Valid after TryReap() returned true.
+  const WorkerOutcome& outcome() const { return outcome_; }
+
+  double elapsed_ms() const { return governor_.elapsed_ms(); }
+
+ private:
+  void KillNow(int signum);
+
+  WorkerOptions options_;
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  int stderr_fd_ = -1;
+  ResourceGovernor governor_;
+  bool term_sent_ = false;
+  double kill_at_ms_ = 0;
+  WorkerOutcome outcome_;
+};
+
+/// Returns the last line of `stdout_data` starting with "# status:", or
+/// an empty string. This is the worker protocol line RunCli emits.
+std::string ExtractStatusLine(std::string_view stdout_data);
+
+/// Extracts the StopReason token from a status line, e.g. "deadline"
+/// from "# status: ResourceExhausted: chase stopped by deadline ...".
+/// Empty for OK / unrecognized lines.
+std::string ExtractStopToken(std::string_view status_line);
+
+}  // namespace tgdkit

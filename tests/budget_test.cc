@@ -543,8 +543,9 @@ class BudgetTempFile {
 };
 
 TEST(BudgetCliTest, DeadlineStopsNonTerminatingChaseWithCleanStatus) {
-  // A chase that runs forever must exit 0 under --deadline-ms with a
-  // partial instance and a machine-readable ResourceExhausted status.
+  // A chase that runs forever must stop cleanly under --deadline-ms with
+  // a partial instance, a machine-readable ResourceExhausted status, and
+  // the resource exit code (docs/FORMAT.md).
   BudgetTempFile deps("deps", "succ: N(x) -> exists y . N(y) & E(x, y) .\n");
   BudgetTempFile inst("inst", "N(a) .\n");
   std::ostringstream out, err;
@@ -552,7 +553,7 @@ TEST(BudgetCliTest, DeadlineStopsNonTerminatingChaseWithCleanStatus) {
                      "200", "--max-depth", "100000000", "--max-rounds",
                      "100000000", "--max-facts", "1000000000"},
                     out, err);
-  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_EQ(code, 4) << err.str();
   EXPECT_NE(out.str().find("# chase deadline"), std::string::npos)
       << out.str();
   EXPECT_NE(out.str().find(
@@ -571,8 +572,8 @@ TEST(BudgetCliTest, StepBudgetIsDeterministicThroughTheCli) {
       "5000",        "--max-depth", "100000000", "--max-rounds",
       "100000000"};
   std::ostringstream out1, out2, err;
-  EXPECT_EQ(RunCli(args, out1, err), 0);
-  EXPECT_EQ(RunCli(args, out2, err), 0);
+  EXPECT_EQ(RunCli(args, out1, err), 4);
+  EXPECT_EQ(RunCli(args, out2, err), 4);
   EXPECT_NE(out1.str().find("chase stopped by step-limit"),
             std::string::npos)
       << out1.str();
@@ -604,7 +605,7 @@ TEST(BudgetCliTest, GlobalCancellationTokenStopsTheChase) {
                      "100000000", "--max-depth", "100000000"},
                     out, err);
   GlobalCancellationToken().Reset();
-  EXPECT_EQ(code, 0);
+  EXPECT_EQ(code, 4);
   EXPECT_NE(out.str().find("chase stopped by cancelled"), std::string::npos)
       << out.str();
 }

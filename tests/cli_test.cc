@@ -92,7 +92,9 @@ TEST(CliTest, ChaseHonorsBudgetOptions) {
   TempFile deps("budget", "so exists f { P(x) -> P(f(x)) } .\n");
   TempFile inst("budget", "P(zero).\n");
   CliRun run = RunTool({"chase", deps.path(), inst.path(), "--max-depth", "5"});
-  EXPECT_EQ(run.code, 0) << run.err;
+  // A budget stop is a resource exit (docs/FORMAT.md), partial result on
+  // stdout.
+  EXPECT_EQ(run.code, 4) << run.err;
   EXPECT_NE(run.out.find("depth-limit"), std::string::npos);
 }
 

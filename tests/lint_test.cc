@@ -191,14 +191,15 @@ TEST(LintCliTest, CleanProgramExitsZero) {
 
 TEST(LintCliTest, SeverityGatesTheExitCode) {
   LintCliTempFile deps("gate", kBadProgram);
-  // Default --fail-on=error: the range error alone trips it.
-  EXPECT_EQ(RunLint({"lint", deps.path()}).code, 1);
-  EXPECT_EQ(RunLint({"lint", deps.path(), "--fail-on=warning"}).code, 1);
-  EXPECT_EQ(RunLint({"lint", deps.path(), "--fail-on", "note"}).code, 1);
+  // Default --fail-on=error: the range error alone trips it. Findings at
+  // or above the gate are a negative verdict: exit 3 (docs/FORMAT.md).
+  EXPECT_EQ(RunLint({"lint", deps.path()}).code, 3);
+  EXPECT_EQ(RunLint({"lint", deps.path(), "--fail-on=warning"}).code, 3);
+  EXPECT_EQ(RunLint({"lint", deps.path(), "--fail-on", "note"}).code, 3);
   // Notes alone pass --fail-on=warning but trip --fail-on=note.
   LintCliTempFile notes("notes", "Emp(e, d) -> exists m . Mgr(e, m) .\n");
   EXPECT_EQ(RunLint({"lint", notes.path(), "--fail-on=warning"}).code, 0);
-  EXPECT_EQ(RunLint({"lint", notes.path(), "--fail-on=note"}).code, 1);
+  EXPECT_EQ(RunLint({"lint", notes.path(), "--fail-on=note"}).code, 3);
 }
 
 TEST(LintCliTest, TextFormatPinsFileLineColumn) {
@@ -216,10 +217,10 @@ TEST(LintCliTest, TextFormatPinsFileLineColumn) {
 TEST(LintCliTest, JsonAndSarifFormats) {
   LintCliTempFile deps("fmt", kBadProgram);
   LintCliRun json = RunLint({"lint", deps.path(), "--format=json"});
-  EXPECT_EQ(json.code, 1);
+  EXPECT_EQ(json.code, 3);
   EXPECT_NE(json.out.find("\"diagnostics\""), std::string::npos) << json.out;
   LintCliRun sarif = RunLint({"lint", deps.path(), "--format", "sarif"});
-  EXPECT_EQ(sarif.code, 1);
+  EXPECT_EQ(sarif.code, 3);
   EXPECT_NE(sarif.out.find("\"$schema\""), std::string::npos) << sarif.out;
   EXPECT_NE(sarif.out.find("\"results\""), std::string::npos);
   LintCliRun bad = RunLint({"lint", deps.path(), "--format=yaml"});

@@ -3,31 +3,17 @@
 // cancellation: the first signal asks the engines to stop cleanly
 // (partial output, StopReason::kCancelled, and — with --checkpoint — a
 // final snapshot); a second falls back to the default disposition and
-// kills the process.
-#include <csignal>
+// kills the process. The same wiring runs in every forked batch worker
+// (src/supervise/worker.cc), so a supervisor SIGTERM always starts with
+// a graceful stop.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
 
-namespace {
-
-extern "C" void HandleInterrupt(int signum) {
-  // Cancel() is a relaxed atomic store: async-signal-safe.
-  tgdkit::GlobalCancellationToken().Cancel();
-  std::signal(signum, SIG_DFL);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  // Force the token's construction now, so the handler never triggers a
-  // first-use static initialization (which would allocate) in signal
-  // context.
-  tgdkit::GlobalCancellationToken();
-  std::signal(SIGINT, HandleInterrupt);
-  std::signal(SIGTERM, HandleInterrupt);
+  tgdkit::InstallCancellationSignalHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   return tgdkit::RunCli(args, std::cout, std::cerr);
 }
