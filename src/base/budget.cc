@@ -93,8 +93,19 @@ bool ResourceGovernor::SlowPathCheck() {
   for (const auto& source : memory_sources_) bytes += source();
   observed_bytes_ = bytes;
   if (budget_.max_memory_bytes != 0 && bytes >= budget_.max_memory_bytes) {
-    MarkExhausted(StopReason::kMemoryLimit);
-    return false;
+    if (pressure_handler_) {
+      // Give the handler a chance to shed bytes (spill-and-evict), then
+      // resample; only a handler that could not relieve the pressure
+      // (nothing left to evict, or its writes failed) ends the run.
+      pressure_handler_(budget_.max_memory_bytes);
+      bytes = charged_bytes_;
+      for (const auto& source : memory_sources_) bytes += source();
+      observed_bytes_ = bytes;
+    }
+    if (bytes >= budget_.max_memory_bytes) {
+      MarkExhausted(StopReason::kMemoryLimit);
+      return false;
+    }
   }
   if (checkpoint_hook_) {
     // Whichever cadence fires first wins; with both zero, every slow-path

@@ -161,6 +161,16 @@ class ResourceGovernor {
   void SetCheckpointHook(uint64_t every_steps, uint64_t every_ms,
                          std::function<void()> hook);
 
+  /// Registers a memory-pressure hook: when a slow-path sample finds the
+  /// byte budget exceeded, the handler runs first (an out-of-core store
+  /// spills and evicts segments here), the sources are resampled, and the
+  /// run only stops with kMemoryLimit if it is STILL over budget — graceful
+  /// degradation before ResourceExhausted. The handler is called from the
+  /// polling thread at a serial point and must not re-enter Poll().
+  void SetPressureHandler(std::function<void(uint64_t target_bytes)> handler) {
+    pressure_handler_ = std::move(handler);
+  }
+
   bool exhausted() const { return exhausted_; }
 
   /// kFixpoint while running / completed; the stop reason once exhausted.
@@ -209,6 +219,8 @@ class ResourceGovernor {
   // Consumption restored from a snapshot: reported, never re-charged.
   uint64_t prior_steps_ = 0;
   uint64_t prior_charged_bytes_ = 0;
+  // Memory-pressure relief hook (slow-path driven; see SetPressureHandler).
+  std::function<void(uint64_t)> pressure_handler_;
   // Periodic checkpoint hook (slow-path driven).
   std::function<void()> checkpoint_hook_;
   uint64_t checkpoint_every_steps_ = 0;

@@ -78,8 +78,45 @@ class CrashPoint {
   uint64_t ordinal_ = 0;
 };
 
+/// The n-th armed write call fails as if the disk filled up. Shares the
+/// counting discipline of CrashPoint: the counter only advances while
+/// TGDKIT_FAIL_WRITE_AT is set, so forked test children count from zero.
+class FailWritePoint {
+ public:
+  FailWritePoint() {
+    const char* at = std::getenv("TGDKIT_FAIL_WRITE_AT");
+    if (at == nullptr || *at == '\0') return;
+    char* end = nullptr;
+    uint64_t n = std::strtoull(at, &end, 10);
+    if (end == at || n == 0) return;
+    fail_at_ = n;
+    static std::atomic<uint64_t> write_counter{0};
+    ordinal_ = ++write_counter;
+  }
+
+  bool ShouldFail() const { return fail_at_ != 0 && ordinal_ == fail_at_; }
+
+ private:
+  uint64_t fail_at_ = 0;
+  uint64_t ordinal_ = 0;
+};
+
 Status IoError(const std::string& what, const std::string& path) {
-  return Status::Internal(Cat(what, " '", path, "': ", std::strerror(errno)));
+  const int err = errno;
+  std::string msg = Cat(what, " '", path, "': ", std::strerror(err));
+  // Disk-full is an environmental resource stop, not a program bug: the
+  // CLI maps ResourceExhausted to exit 4 and the last-good checkpoint on
+  // disk stays intact (the failed write never reached its final name).
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  return Status::Internal(std::move(msg));
+}
+
+Status InjectedDiskFull(const std::string& path) {
+  return Status::ResourceExhausted(
+      Cat("cannot write '", path, "': injected disk full "
+          "(TGDKIT_FAIL_WRITE_AT)"));
 }
 
 /// Writes all of `data` to `fd`, retrying short writes and EINTR.
@@ -109,6 +146,7 @@ uint32_t Crc32(std::string_view data) {
 
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   CrashPoint crash;
+  FailWritePoint fail;
   const std::string tmp = path + ".tmp";
   int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return IoError("cannot create", tmp);
@@ -122,6 +160,13 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     return IoError("cannot write", tmp);
   }
   crash.Maybe(CrashPhase::kMid);
+  if (fail.ShouldFail()) {
+    // Injected ENOSPC mid-payload: remove the half-written temp file and
+    // report cleanly; the destination is untouched.
+    close(fd);
+    unlink(tmp.c_str());
+    return InjectedDiskFull(tmp);
+  }
   if (!WriteAll(fd, second)) {
     close(fd);
     return IoError("cannot write", tmp);
@@ -151,10 +196,16 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
 
 Status AppendLineDurable(const std::string& path, std::string_view line) {
   CrashPoint crash;
+  FailWritePoint fail;
   int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
                 0644);
   if (fd < 0) return IoError("cannot open for append", path);
   crash.Maybe(CrashPhase::kBegin);
+  if (fail.ShouldFail()) {
+    // Injected ENOSPC before any byte is appended: the log stays intact.
+    close(fd);
+    return InjectedDiskFull(path);
+  }
   // One buffer, two writes: the mid-phase crash leaves a torn trailing
   // line with no newline — exactly the artifact ledger readers must skip.
   std::string record(line);

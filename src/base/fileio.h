@@ -22,6 +22,20 @@
 // The crash counter only advances while TGDKIT_CRASH_AT is set, so forked
 // test children that arm the variable count from zero while the parent
 // process is unaffected.
+//
+// A second hook simulates the disk filling up instead of the process
+// dying:
+//
+//   TGDKIT_FAIL_WRITE_AT=<n>   the n-th (1-based) armed AtomicWriteFile /
+//                              AppendLineDurable call fails mid-payload as
+//                              ENOSPC would: the temp file is removed (the
+//                              destination keeps its previous contents)
+//                              and Status::ResourceExhausted comes back.
+//
+// Real ENOSPC/EDQUOT errors from the kernel are classified the same way:
+// every write path in this file maps disk-full to ResourceExhausted (the
+// CLI surfaces it as exit 4) rather than a generic Internal error, and no
+// partial file is ever visible under its final name.
 #pragma once
 
 #include <cstdint>

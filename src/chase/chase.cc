@@ -5,6 +5,7 @@
 #include <cassert>
 #include <thread>
 
+#include "base/fileio.h"
 #include "base/strings.h"
 
 namespace tgdkit {
@@ -213,8 +214,34 @@ ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
   Instance* instance_ptr = &instance_;
   governor_.AddMemorySource(
       [instance_ptr] { return instance_ptr->ApproxBytes(); });
+  if (!limits_.spill_dir.empty()) {
+    // The out-of-core backend must be selected before the first fact
+    // lands (EnableSpill requires an empty store), i.e. before CopyFacts.
+    Status enabled = MakeDirectories(limits_.spill_dir);
+    if (enabled.ok()) {
+      SpillConfig config;
+      config.dir = limits_.spill_dir;
+      config.segment_bytes = limits_.spill_segment_kb * 1024;
+      // Seal-time soft cap at half the byte budget: CopyFacts and round
+      // flushes never poll the governor between insertions, so sealing
+      // itself sheds cold segments before the next slow-path sample.
+      config.max_resident_bytes = limits_.budget.max_memory_bytes / 2;
+      enabled = instance_.EnableSpill(config);
+    }
+    assert(enabled.ok() && "spill setup failed");
+    (void)enabled;
+    InstallSpillPressureHandler();
+  }
   CopyFacts(input, &instance_);
   null_provenance_.assign(instance_.num_nulls(), kInvalidTerm);
+}
+
+void ChaseEngine::InstallSpillPressureHandler() {
+  governor_.SetPressureHandler([this](uint64_t target_bytes) {
+    // Evict to half the budget so one relief buys lasting headroom
+    // instead of re-entering the slow path over-budget every sample.
+    instance_.EvictToBudget(target_bytes / 2);
+  });
 }
 
 ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
@@ -245,6 +272,15 @@ ChaseEngine::ChaseEngine(TermArena* arena, Vocabulary* vocab,
   facts_created_ = state.facts_created;
   governor_.RestorePriorConsumption(state.governor_steps,
                                     state.governor_charged_bytes);
+  if (instance_.spill_enabled()) {
+    // The snapshot loader restored the spilled store (with the recorded
+    // segment geometry) but every restored segment is still hot; install
+    // this run's budget cap and shed down to it before the first round.
+    uint64_t cap = limits_.budget.max_memory_bytes / 2;
+    instance_.SetSpillResidentCap(cap);
+    InstallSpillPressureHandler();
+    if (cap != 0) instance_.EvictToBudget(cap);
+  }
   if (state.done && state.stop_reason == ChaseStop::kFixpoint) {
     // A completed chase stays completed; there is nothing to resume.
     done_ = true;
@@ -263,7 +299,23 @@ ChaseEngineState ChaseEngine::CaptureState() const {
   bool torn = rounds_ > 0 && !(done_ && stop_reason_ == ChaseStop::kFixpoint) &&
               InstanceGrewSinceRoundStart();
   uint64_t dropped_facts = 0;
-  if (!torn) {
+  if (instance_.spill_enabled()) {
+    // Spill mode: no deep copy of a mostly-on-disk store. The snapshot
+    // serializer flushes dirty segments and references the immutable
+    // segment files by name, rendering only the mutable remainder as
+    // text. A torn capture records the round-start row counts; the
+    // writer truncates to them (the redone round re-derives the rest).
+    state.spill_instance = &instance_;
+    if (torn) {
+      for (RelationId rel : instance_.ActiveRelations()) {
+        auto it = rows_before_current_round_.find(rel);
+        uint64_t keep =
+            it == rows_before_current_round_.end() ? 0 : it->second;
+        state.spill_keep_rows.emplace_back(rel, keep);
+        dropped_facts += instance_.NumTuples(rel) - keep;
+      }
+    }
+  } else if (!torn) {
     state.instance = instance_;
   } else {
     // The current round has (partially) committed — e.g. the run halted

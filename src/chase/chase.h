@@ -56,6 +56,14 @@ struct ChaseLimits {
   /// staged over fixed-geometry slices whose results merge in a
   /// deterministic order (see docs/PARALLELISM.md).
   uint32_t threads = 1;
+  /// Out-of-core mode (docs/STORAGE.md): when non-empty, the engine's
+  /// instance spills sealed fact segments into this directory and the
+  /// governor's memory-pressure path evicts hot segments before giving up
+  /// with kMemoryLimit. Empty (the default) keeps the fully in-core
+  /// store. Either mode produces byte-identical chase results.
+  std::string spill_dir;
+  /// Segment payload size for the spill store, in KiB.
+  uint64_t spill_segment_kb = 256;
 };
 
 /// Complete resumable state of a ChaseEngine, as captured by
@@ -73,6 +81,17 @@ struct ChaseEngineState {
   explicit ChaseEngineState(const Vocabulary* vocab) : instance(vocab) {}
 
   Instance instance;
+  /// Spill mode capture: instead of deep-copying a mostly-on-disk store
+  /// into `instance`, CaptureState points at the live engine's instance
+  /// (sealed segment files are immutable, so the snapshot layer can
+  /// reference them by name after flushing dirty ones). Null for in-core
+  /// captures and for states restored from disk (the loader materializes
+  /// `instance` instead).
+  const Instance* spill_instance = nullptr;
+  /// Spill-mode torn-round rollback: per-relation row counts to keep
+  /// (round-start counts), in ActiveRelations order. Empty means keep
+  /// everything (the capture was at a round boundary).
+  std::vector<std::pair<RelationId, uint64_t>> spill_keep_rows;
   /// Ground term -> value memo (term ids index the serialized arena).
   std::vector<std::pair<TermId, Value>> term_to_value;
   std::vector<TermId> null_provenance;
@@ -178,6 +197,9 @@ class ChaseEngine {
   bool FlushPending(const std::vector<std::vector<Fact>>& pending);
   /// Records the first stop reason and marks the run done.
   void Halt(StopReason reason);
+  /// Spill mode: registers the governor's memory-pressure hook
+  /// (spill-and-evict before a kMemoryLimit stop).
+  void InstallSpillPressureHandler();
   /// True iff any relation gained rows since the current round started
   /// (fixpoint test for replayed rounds).
   bool InstanceGrewSinceRoundStart() const;

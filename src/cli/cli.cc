@@ -66,6 +66,12 @@ constexpr const char* kUsage =
     "         --checkpoint-every-ms N      snapshot cadence (wall clock)\n"
     "         --resume PATH                continue from a snapshot\n"
     "                                      (no DEPS/INSTANCE arguments)\n"
+    "out-of-core storage (see docs/STORAGE.md):\n"
+    "         --spill-dir DIR        spill sealed fact segments to DIR\n"
+    "                                under memory pressure instead of\n"
+    "                                stopping with exit 4; output stays\n"
+    "                                byte-identical to the in-core run\n"
+    "         --spill-segment-kb N   segment payload size (default 256)\n"
     "batch supervision (see docs/BATCH.md):\n"
     "         --run-dir DIR      artifacts + checkpoints (MANIFEST.runs)\n"
     "         --ledger PATH      run ledger (RUN_DIR/ledger.jsonl)\n"
@@ -177,6 +183,14 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
       if (!numeric(&ctx->checkpoint_every_ms)) return false;
     } else if (arg == "--resume") {
       if (!pathval(&ctx->resume_path)) return false;
+    } else if (arg == "--spill-dir") {
+      if (!pathval(&ctx->limits.spill_dir)) return false;
+    } else if (arg == "--spill-segment-kb") {
+      if (!numeric(&ctx->limits.spill_segment_kb)) return false;
+      if (ctx->limits.spill_segment_kb == 0) {
+        err << "tgdkit: --spill-segment-kb must be positive\n";
+        return false;
+      }
     } else if (arg == "--format" || arg.rfind("--format=", 0) == 0 ||
                arg == "--fail-on" || arg.rfind("--fail-on=", 0) == 0) {
       // Lint options take "--opt value" or "--opt=value".
@@ -360,7 +374,7 @@ int RunChaseEngine(CliContext* ctx, ChaseEngine* engine,
                    const Vocabulary& vocab, const TermArena& arena,
                    const SoTgd& rules, uint64_t seed, Rng* rng,
                    std::ostream& out, std::ostream& err) {
-  bool checkpoint_failed = false;
+  Status checkpoint_status;  // first failure, sticky
   auto save = [&](const ChaseEngine& e) {
     Status status =
         SaveChaseSnapshot(ctx->checkpoint_path, vocab, arena, rules,
@@ -368,10 +382,10 @@ int RunChaseEngine(CliContext* ctx, ChaseEngine* engine,
     if (!status.ok()) {
       // Report once; the run itself continues (a full disk should not
       // kill an hour-long chase, it just stops being checkpointed).
-      if (!checkpoint_failed) {
+      if (checkpoint_status.ok()) {
         err << "tgdkit: checkpoint: " << status.ToString() << "\n";
+        checkpoint_status = std::move(status);
       }
-      checkpoint_failed = true;
     }
   };
   if (!ctx->checkpoint_path.empty()) {
@@ -385,11 +399,29 @@ int RunChaseEngine(CliContext* ctx, ChaseEngine* engine,
       << " facts created\n";
   out << "# status: "
       << StopReasonToStatus(engine->stop_reason(), "chase").ToString()
-      << " seed=" << seed << " threads=" << engine->threads() << "\n";
+      << " seed=" << seed << " threads=" << engine->threads();
+  if (engine->instance().spill_enabled()) {
+    // Only the content-derived fields go to stdout: they are identical
+    // after a kill-and-resume, so stdout stays byte-reproducible. The
+    // process-local I/O counters are diagnostics and go to stderr.
+    SpillStats spill = engine->instance().spill_stats();
+    out << " spill_segments=" << spill.sealed_segments
+        << " spill_bytes=" << spill.spilled_bytes;
+    err << "# spill: faults=" << spill.faults
+        << " evictions=" << spill.evictions
+        << " segment_writes=" << spill.segment_writes << "\n";
+  }
+  out << "\n";
   out << engine->instance().ToString();
   // A failed checkpoint outranks the engine verdict: the caller asked for
-  // durability and did not get it.
-  if (checkpoint_failed) return kExitInternal;
+  // durability and did not get it. Disk exhaustion maps to the resource
+  // exit so the batch supervisor can retry/escalate instead of
+  // quarantining the task as broken.
+  if (!checkpoint_status.ok()) {
+    return ExitCodeForStatus(checkpoint_status) == kExitResource
+               ? kExitResource
+               : kExitInternal;
+  }
   return ExitCodeForStop(engine->stop_reason());
 }
 
@@ -399,7 +431,8 @@ int CmdChaseResume(CliContext* ctx, std::ostream& out, std::ostream& err) {
            "arguments expected\n";
     return kExitUsage;
   }
-  Result<ChaseSnapshot> loaded = LoadChaseSnapshot(ctx->resume_path);
+  Result<ChaseSnapshot> loaded =
+      LoadChaseSnapshot(ctx->resume_path, ctx->limits.spill_dir);
   if (!loaded.ok()) {
     err << "tgdkit: " << ctx->resume_path << ": "
         << loaded.status().ToString() << "\n";
@@ -993,6 +1026,17 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       ctx.checkpoint_every_steps != 0 || ctx.checkpoint_every_ms != 0;
   if (wants_checkpointing && command != "chase") {
     err << "tgdkit: --checkpoint/--resume are only supported by 'chase'\n";
+    return kExitUsage;
+  }
+  // Spill is limited to commands that run exactly one chase engine at a
+  // time: segment file names are engine-relative, so two live engines
+  // sharing a spill directory would clobber each other's segments
+  // (solve runs the universal and the core chase back to back with both
+  // instances alive).
+  if (!ctx.limits.spill_dir.empty() && command != "chase" &&
+      command != "certain" && command != "explain") {
+    err << "tgdkit: --spill-dir is only supported by 'chase', 'certain' "
+           "and 'explain'\n";
     return kExitUsage;
   }
   // The command itself landed in positional[0]; drop it.

@@ -1,14 +1,182 @@
 #include "data/instance.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <utility>
 
+#include "base/fileio.h"
 #include "base/strings.h"
+#include "data/segment.h"
 
 namespace tgdkit {
 
+namespace {
+
+/// Folds a 64-bit tuple hash to the 32 bits stored in digest entries.
+uint32_t Hash32(size_t hash) {
+  return static_cast<uint32_t>(hash ^ (hash >> 32));
+}
+
+/// LSM-style run maintenance: merge the trailing runs while the previous
+/// run is no more than twice the size of the new one, so lookups touch
+/// O(log n) runs and total merge work stays O(n log n).
+void MergeDigestRuns(std::vector<std::vector<uint64_t>>* runs) {
+  while (runs->size() >= 2) {
+    std::vector<uint64_t>& prev = (*runs)[runs->size() - 2];
+    std::vector<uint64_t>& last = runs->back();
+    if (prev.size() > 2 * last.size()) break;
+    std::vector<uint64_t> merged;
+    merged.reserve(prev.size() + last.size());
+    std::merge(prev.begin(), prev.end(), last.begin(), last.end(),
+               std::back_inserter(merged));
+    runs->pop_back();
+    runs->back() = std::move(merged);
+  }
+}
+
+using CountRun = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Same policy for the per-position frequency runs; entries with equal
+/// value sum their counts, so a value occurs at most once per run.
+void MergeCountRuns(std::vector<CountRun>* runs) {
+  while (runs->size() >= 2) {
+    CountRun& prev = (*runs)[runs->size() - 2];
+    CountRun& last = runs->back();
+    if (prev.size() > 2 * last.size()) break;
+    CountRun merged;
+    merged.reserve(prev.size() + last.size());
+    size_t i = 0, j = 0;
+    while (i < prev.size() || j < last.size()) {
+      if (j >= last.size() ||
+          (i < prev.size() && prev[i].first < last[j].first)) {
+        merged.push_back(prev[i++]);
+      } else if (i >= prev.size() || last[j].first < prev[i].first) {
+        merged.push_back(last[j++]);
+      } else {
+        merged.emplace_back(prev[i].first, prev[i].second + last[j].second);
+        ++i;
+        ++j;
+      }
+    }
+    runs->pop_back();
+    runs->back() = std::move(merged);
+  }
+}
+
+}  // namespace
+
+/// Out-of-core backend state. Sealed segments are immutable runs of
+/// rows_per_segment consecutive rows; the resident summaries (digest runs
+/// for dedup, frequency runs for exact per-value counts, per-position
+/// min/max for scan skipping) answer every query that does not need the
+/// actual tuples, and EnsureHot faults a segment's payload back from its
+/// file when one does.
+struct Instance::SpillState {
+  struct Segment {
+    std::vector<Value> flat;        // hot payload; empty when cold
+    std::vector<uint32_t> min_raw;  // per position, over the segment
+    std::vector<uint32_t> max_raw;
+    uint32_t crc32 = 0;             // payload CRC, set on flush
+    bool crc_valid = false;
+    bool dirty = true;              // content not yet on disk
+    std::atomic<bool> hot{true};
+    std::atomic<bool> accessed{true};  // second-chance bit
+  };
+
+  struct Rel {
+    uint32_t arity = 0;
+    uint64_t rows_per_segment = 0;
+    uint64_t sealed_rows = 0;
+    std::deque<Segment> segments;  // deque: stable refs across seals
+    // Sorted runs of (hash32(tuple) << 32) | global_row over all sealed
+    // rows: probe by hash, verify candidates through EnsureHot.
+    std::vector<std::vector<uint64_t>> digest_runs;
+    // Per position, sorted runs of (value raw, count). Exact: the sum
+    // over runs plus the tail posting equals the in-core posting size.
+    std::vector<std::vector<CountRun>> count_runs;
+  };
+
+  /// Estimated fixed overhead per sealed segment (deque slot, flags,
+  /// vector headers) charged to the resident footprint.
+  static constexpr uint64_t kSegmentMetaBytes = 96;
+
+  void RecomputeMetaBytes() {
+    uint64_t total = 0;
+    for (const auto& [rel, sr] : relations) {
+      for (const auto& run : sr.digest_runs) {
+        total += run.size() * sizeof(uint64_t);
+      }
+      for (const auto& pos_runs : sr.count_runs) {
+        for (const auto& run : pos_runs) {
+          total += run.size() * sizeof(uint64_t);
+        }
+      }
+      total += sr.segments.size() *
+               (kSegmentMetaBytes + uint64_t(sr.arity) * 2 * sizeof(uint32_t));
+    }
+    meta_bytes = total;
+  }
+
+  SpillConfig config;
+  std::unordered_map<RelationId, Rel> relations;
+  // Fault path synchronization: parallel matcher workers may fault the
+  // same cold segment concurrently. Eviction runs in serial phases only,
+  // so a payload observed hot stays valid for the phase.
+  std::mutex fault_mutex;
+  std::atomic<uint64_t> hot_bytes{0};
+  uint64_t meta_bytes = 0;
+  size_t clock_hand = 0;
+  Status io_error = Status::Ok();  // first flush failure, sticky
+  std::atomic<uint64_t> faults{0};
+  uint64_t evictions = 0;
+  uint64_t segment_writes = 0;
+  uint64_t sealed_segments = 0;
+  uint64_t spilled_bytes = 0;
+};
+
 Instance::Instance(const Vocabulary* vocab) : vocab_(vocab) {}
+
+Instance::~Instance() = default;
+Instance::Instance(Instance&& other) noexcept = default;
+Instance& Instance::operator=(Instance&& other) noexcept = default;
+
+Instance::Instance(const Instance& other) : vocab_(other.vocab_) {
+  *this = other;
+}
+
+Instance& Instance::operator=(const Instance& other) {
+  if (this == &other) return *this;
+  vocab_ = other.vocab_;
+  relations_.clear();
+  active_relations_.clear();
+  null_labels_ = other.null_labels_;
+  row_bytes_ = 0;
+  index_bytes_ = 0;
+  spill_.reset();
+  if (!other.spill_) {
+    relations_ = other.relations_;
+    active_relations_ = other.active_relations_;
+    row_bytes_ = other.row_bytes_;
+    index_bytes_ = other.index_bytes_;
+    return *this;
+  }
+  // Copying a spilled store materializes it in-core: re-adding the rows
+  // in relation activation order and row order reproduces row ids, null
+  // indexes and the activation order (there are no duplicates to skip).
+  for (RelationId rel : other.active_relations_) {
+    size_t n = other.NumTuples(rel);
+    for (size_t row = 0; row < n; ++row) {
+      AddFact(rel, other.Tuple(rel, static_cast<uint32_t>(row)));
+    }
+  }
+  return *this;
+}
 
 Instance::RelationData& Instance::GetOrCreate(RelationId relation) {
   auto it = relations_.find(relation);
@@ -18,6 +186,14 @@ Instance::RelationData& Instance::GetOrCreate(RelationId relation) {
   assert(data.arity >= 1 && "0-ary relations are not supported");
   data.position_index.resize(data.arity);
   active_relations_.push_back(relation);
+  if (spill_) {
+    SpillState::Rel& sr = spill_->relations[relation];
+    sr.arity = data.arity;
+    sr.rows_per_segment = std::max<uint64_t>(
+        1, spill_->config.segment_bytes / (uint64_t(data.arity) *
+                                           sizeof(Value)));
+    sr.count_runs.resize(data.arity);
+  }
   return data;
 }
 
@@ -31,6 +207,7 @@ bool Instance::AddFact(RelationId relation, std::span<const Value> args) {
   RelationData& data = GetOrCreate(relation);
   assert(args.size() == data.arity && "fact arity mismatch");
   size_t h = TupleHash(args);
+  if (spill_ && SealedContains(relation, data, h, args)) return false;
   auto bucket_it = data.dedup.find(h);
   if (bucket_it != data.dedup.end()) {
     for (uint32_t row : bucket_it->second) {
@@ -51,6 +228,7 @@ bool Instance::AddFact(RelationId relation, std::span<const Value> args) {
     index_bytes_ += sizeof(uint32_t);
   }
   row_bytes_ += args.size() * sizeof(Value) + kRowOverheadBytes;
+  if (spill_) MaybeSeal(relation, data);
   return true;
 }
 
@@ -60,13 +238,15 @@ bool Instance::Contains(RelationId relation,
   if (it == relations_.end()) return false;
   const RelationData& data = it->second;
   if (args.size() != data.arity) return false;
-  auto bucket_it = data.dedup.find(TupleHash(args));
-  if (bucket_it == data.dedup.end()) return false;
-  for (uint32_t row : bucket_it->second) {
-    const Value* tuple = data.flat.data() + size_t(row) * data.arity;
-    if (std::equal(args.begin(), args.end(), tuple)) return true;
+  size_t h = TupleHash(args);
+  auto bucket_it = data.dedup.find(h);
+  if (bucket_it != data.dedup.end()) {
+    for (uint32_t row : bucket_it->second) {
+      const Value* tuple = data.flat.data() + size_t(row) * data.arity;
+      if (std::equal(args.begin(), args.end(), tuple)) return true;
+    }
   }
-  return false;
+  return spill_ && SealedContains(relation, data, h, args);
 }
 
 Value Instance::FreshNull(std::string label) {
@@ -81,24 +261,48 @@ void Instance::EnsureNulls(uint32_t count) {
 
 size_t Instance::NumTuples(RelationId relation) const {
   auto it = relations_.find(relation);
-  return it == relations_.end() ? 0 : it->second.NumTuples();
+  size_t n = it == relations_.end() ? 0 : it->second.NumTuples();
+  if (spill_) {
+    auto sit = spill_->relations.find(relation);
+    if (sit != spill_->relations.end()) n += sit->second.sealed_rows;
+  }
+  return n;
 }
 
 size_t Instance::NumFacts() const {
   size_t total = 0;
   for (const auto& [rel, data] : relations_) total += data.NumTuples();
+  if (spill_) {
+    for (const auto& [rel, sr] : spill_->relations) total += sr.sealed_rows;
+  }
   return total;
 }
 
 std::span<const Value> Instance::Tuple(RelationId relation,
                                        uint32_t row) const {
   const RelationData& data = relations_.at(relation);
+  if (spill_) {
+    auto sit = spill_->relations.find(relation);
+    if (sit != spill_->relations.end() && row < sit->second.sealed_rows) {
+      const SpillState::Rel& sr = sit->second;
+      uint64_t segment = row / sr.rows_per_segment;
+      const std::vector<Value>& flat = EnsureHot(relation, segment);
+      uint64_t local = row % sr.rows_per_segment;
+      return {flat.data() + local * data.arity, data.arity};
+    }
+    if (sit != spill_->relations.end()) {
+      row -= static_cast<uint32_t>(sit->second.sealed_rows);
+    }
+  }
   return {data.flat.data() + size_t(row) * data.arity, data.arity};
 }
 
 const std::vector<uint32_t>& Instance::RowsWithValue(RelationId relation,
                                                      uint32_t position,
                                                      Value value) const {
+  assert(!spill_ &&
+         "RowsWithValue is in-core only; use CountRowsWithValue / "
+         "CandidateRows on a spilled store");
   auto it = relations_.find(relation);
   if (it == relations_.end()) return empty_rows_;
   const RelationData& data = it->second;
@@ -106,6 +310,70 @@ const std::vector<uint32_t>& Instance::RowsWithValue(RelationId relation,
   auto vit = data.position_index[position].find(value);
   if (vit == data.position_index[position].end()) return empty_rows_;
   return vit->second;
+}
+
+size_t Instance::CountRowsWithValue(RelationId relation, uint32_t position,
+                                    Value value) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return 0;
+  const RelationData& data = it->second;
+  assert(position < data.arity);
+  size_t count = 0;
+  auto vit = data.position_index[position].find(value);
+  if (vit != data.position_index[position].end()) {
+    count += vit->second.size();
+  }
+  if (spill_) {
+    auto sit = spill_->relations.find(relation);
+    if (sit != spill_->relations.end()) {
+      for (const CountRun& run : sit->second.count_runs[position]) {
+        auto p = std::lower_bound(run.begin(), run.end(),
+                                  std::make_pair(value.raw(), 0u));
+        if (p != run.end() && p->first == value.raw()) count += p->second;
+      }
+    }
+  }
+  return count;
+}
+
+void Instance::CandidateRows(RelationId relation, uint32_t position,
+                             Value value, std::vector<uint32_t>* out) const {
+  if (!spill_) {
+    const std::vector<uint32_t>& rows =
+        RowsWithValue(relation, position, value);
+    out->insert(out->end(), rows.begin(), rows.end());
+    return;
+  }
+  uint64_t sealed = 0;
+  auto sit = spill_->relations.find(relation);
+  if (sit != spill_->relations.end()) {
+    const SpillState::Rel& sr = sit->second;
+    sealed = sr.sealed_rows;
+    const uint32_t raw = value.raw();
+    for (uint64_t s = 0; s < sr.segments.size(); ++s) {
+      const SpillState::Segment& seg = sr.segments[s];
+      // Range skip without faulting: the segment cannot match when the
+      // value falls outside its per-position range.
+      if (raw < seg.min_raw[position] || raw > seg.max_raw[position]) {
+        continue;
+      }
+      const std::vector<Value>& flat = EnsureHot(relation, s);
+      const uint64_t base = s * sr.rows_per_segment;
+      for (uint64_t r = 0; r < sr.rows_per_segment; ++r) {
+        if (flat[r * sr.arity + position].raw() == raw) {
+          out->push_back(static_cast<uint32_t>(base + r));
+        }
+      }
+    }
+  }
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return;
+  const RelationData& data = it->second;
+  auto vit = data.position_index[position].find(value);
+  if (vit == data.position_index[position].end()) return;
+  for (uint32_t r : vit->second) {
+    out->push_back(static_cast<uint32_t>(sealed + r));
+  }
 }
 
 std::vector<Value> Instance::ActiveDomain() const {
@@ -116,6 +384,19 @@ std::vector<Value> Instance::ActiveDomain() const {
       if (seen.insert(v.raw()).second) out.push_back(v);
     }
   }
+  if (spill_) {
+    // Sealed values are exactly the keys of the frequency runs — no
+    // faulting needed to enumerate the active domain.
+    for (const auto& [rel, sr] : spill_->relations) {
+      for (const auto& pos_runs : sr.count_runs) {
+        for (const CountRun& run : pos_runs) {
+          for (const auto& [raw, count] : run) {
+            if (seen.insert(raw).second) out.push_back(Value::FromRaw(raw));
+          }
+        }
+      }
+    }
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -124,13 +405,12 @@ std::vector<Fact> Instance::AllFacts() const {
   std::vector<Fact> out;
   out.reserve(NumFacts());
   for (RelationId rel : active_relations_) {
-    const RelationData& data = relations_.at(rel);
-    size_t n = data.NumTuples();
+    size_t n = NumTuples(rel);
     for (size_t row = 0; row < n; ++row) {
+      std::span<const Value> tuple = Tuple(rel, static_cast<uint32_t>(row));
       Fact f;
       f.relation = rel;
-      const Value* tuple = data.flat.data() + row * data.arity;
-      f.args.assign(tuple, tuple + data.arity);
+      f.args.assign(tuple.begin(), tuple.end());
       out.push_back(std::move(f));
     }
   }
@@ -226,6 +506,320 @@ std::string Instance::ToExactText() const {
 void CopyFacts(const Instance& src, Instance* dst) {
   dst->EnsureNulls(src.num_nulls());
   for (const Fact& f : src.AllFacts()) dst->AddFact(f);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core backend
+
+Status Instance::EnableSpill(const SpillConfig& config) {
+  if (spill_) {
+    return Status::InvalidArgument("spill is already enabled");
+  }
+  if (NumFacts() != 0) {
+    return Status::InvalidArgument(
+        "EnableSpill requires an empty instance (facts already added)");
+  }
+  if (config.dir.empty()) {
+    return Status::InvalidArgument("spill directory must not be empty");
+  }
+  if (config.segment_bytes == 0) {
+    return Status::InvalidArgument("spill segment size must be positive");
+  }
+  spill_ = std::make_unique<SpillState>();
+  spill_->config = config;
+  return Status::Ok();
+}
+
+uint64_t Instance::SpillResidentBytes() const {
+  return spill_->hot_bytes.load(std::memory_order_relaxed) +
+         spill_->meta_bytes;
+}
+
+bool Instance::SealedContains(RelationId relation, const RelationData& data,
+                              size_t hash,
+                              std::span<const Value> args) const {
+  auto sit = spill_->relations.find(relation);
+  if (sit == spill_->relations.end() || sit->second.sealed_rows == 0) {
+    return false;
+  }
+  const SpillState::Rel& sr = sit->second;
+  const uint32_t hash32 = Hash32(hash);
+  const uint64_t probe = uint64_t(hash32) << 32;
+  for (const std::vector<uint64_t>& run : sr.digest_runs) {
+    for (auto p = std::lower_bound(run.begin(), run.end(), probe);
+         p != run.end() && (*p >> 32) == hash32; ++p) {
+      const uint64_t row = *p & 0xffffffffull;
+      const std::vector<Value>& flat =
+          EnsureHot(relation, row / sr.rows_per_segment);
+      const Value* tuple =
+          flat.data() + (row % sr.rows_per_segment) * data.arity;
+      if (std::equal(args.begin(), args.end(), tuple)) return true;
+    }
+  }
+  return false;
+}
+
+void Instance::MaybeSeal(RelationId relation, RelationData& data) {
+  SpillState::Rel& sr = spill_->relations.at(relation);
+  if (data.NumTuples() < sr.rows_per_segment) return;
+  const uint32_t arity = data.arity;
+  const uint64_t rows = sr.rows_per_segment;
+
+  // The sealed rows leave the tail: uncharge exactly what AddFact charged
+  // for them and their dedup/posting entries.
+  row_bytes_ -= rows * (uint64_t(arity) * sizeof(Value) + kRowOverheadBytes);
+  uint64_t index_sub =
+      data.dedup.size() * kIndexNodeBytes + rows * sizeof(uint32_t);
+  for (const auto& m : data.position_index) {
+    index_sub += m.size() * kIndexNodeBytes + rows * sizeof(uint32_t);
+  }
+  index_bytes_ -= index_sub;
+
+  // Digest run over the sealed rows, with global row ids.
+  std::vector<uint64_t> digest;
+  digest.reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    const Value* tuple = data.flat.data() + r * arity;
+    size_t h = TupleHash({tuple, arity});
+    digest.push_back((uint64_t(Hash32(h)) << 32) | (sr.sealed_rows + r));
+  }
+  std::sort(digest.begin(), digest.end());
+  sr.digest_runs.push_back(std::move(digest));
+  MergeDigestRuns(&sr.digest_runs);
+
+  // Frequency run per position, read off the tail posting lists before
+  // they are cleared.
+  for (uint32_t pos = 0; pos < arity; ++pos) {
+    CountRun run;
+    run.reserve(data.position_index[pos].size());
+    for (const auto& [value, posting] : data.position_index[pos]) {
+      run.emplace_back(value.raw(), static_cast<uint32_t>(posting.size()));
+    }
+    std::sort(run.begin(), run.end());
+    sr.count_runs[pos].push_back(std::move(run));
+    MergeCountRuns(&sr.count_runs[pos]);
+  }
+
+  // Seal: the tail's flat becomes the segment's hot payload.
+  sr.segments.emplace_back();
+  SpillState::Segment& seg = sr.segments.back();
+  seg.flat = std::move(data.flat);
+  seg.min_raw.assign(arity, 0xffffffffu);
+  seg.max_raw.assign(arity, 0);
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint32_t pos = 0; pos < arity; ++pos) {
+      uint32_t raw = seg.flat[r * arity + pos].raw();
+      seg.min_raw[pos] = std::min(seg.min_raw[pos], raw);
+      seg.max_raw[pos] = std::max(seg.max_raw[pos], raw);
+    }
+  }
+  data.flat.clear();
+  data.dedup.clear();
+  for (auto& m : data.position_index) m.clear();
+  sr.sealed_rows += rows;
+  spill_->hot_bytes.fetch_add(rows * uint64_t(arity) * sizeof(Value),
+                              std::memory_order_relaxed);
+  ++spill_->sealed_segments;
+  spill_->spilled_bytes += SegmentPayloadBytes(rows, arity);
+  spill_->RecomputeMetaBytes();
+
+  // Soft cap: sealing is a serial safe point, so relieve pressure here
+  // (the governor's pressure hook covers the polling path).
+  if (spill_->config.max_resident_bytes != 0 &&
+      ApproxBytes() > spill_->config.max_resident_bytes) {
+    EvictToBudget(spill_->config.max_resident_bytes);
+  }
+}
+
+const std::vector<Value>& Instance::EnsureHot(RelationId relation,
+                                              uint64_t segment) const {
+  SpillState::Rel& sr = spill_->relations.at(relation);
+  SpillState::Segment& seg = sr.segments[segment];
+  if (seg.hot.load(std::memory_order_acquire)) {
+    seg.accessed.store(true, std::memory_order_relaxed);
+    return seg.flat;
+  }
+  std::lock_guard<std::mutex> lock(spill_->fault_mutex);
+  if (seg.hot.load(std::memory_order_acquire)) {
+    seg.accessed.store(true, std::memory_order_relaxed);
+    return seg.flat;
+  }
+  std::string path =
+      Cat(spill_->config.dir, "/",
+          SegmentFileName(relation, static_cast<uint32_t>(segment)));
+  auto loaded = LoadSegment(path);
+  if (!loaded.ok() || loaded->relation_index != relation ||
+      loaded->arity != sr.arity || loaded->rows() != sr.rows_per_segment) {
+    // A segment file this store wrote (and fsynced) is unreadable or
+    // swapped. The tuple read path has no Status channel and continuing
+    // would silently drop facts, so fail loudly and definitely — defined
+    // behavior, never UB. Reachable only through external corruption of
+    // the spill directory mid-run; corruption at load time is a typed
+    // error (see snapshot resume and segment_corrupt_test).
+    std::fprintf(stderr, "tgdkit: fatal: spilled segment '%s' unreadable: %s\n",
+                 path.c_str(),
+                 loaded.ok() ? "header does not match the store"
+                             : loaded.status().ToString().c_str());
+    std::abort();
+  }
+  std::vector<Value> flat;
+  flat.reserve(loaded->values.size());
+  for (uint32_t raw : loaded->values) flat.push_back(Value::FromRaw(raw));
+  seg.flat = std::move(flat);
+  spill_->hot_bytes.fetch_add(seg.flat.size() * sizeof(Value),
+                              std::memory_order_relaxed);
+  spill_->faults.fetch_add(1, std::memory_order_relaxed);
+  seg.accessed.store(true, std::memory_order_relaxed);
+  seg.hot.store(true, std::memory_order_release);
+  return seg.flat;
+}
+
+bool Instance::FlushSegment(RelationId relation, uint64_t segment) const {
+  SpillState::Rel& sr = spill_->relations.at(relation);
+  SpillState::Segment& seg = sr.segments[segment];
+  if (!seg.dirty) return true;
+  assert(seg.hot.load(std::memory_order_acquire) &&
+         "a dirty segment always has its payload resident");
+  std::vector<uint32_t> words;
+  words.reserve(seg.flat.size());
+  for (Value v : seg.flat) words.push_back(v.raw());
+  std::string bytes =
+      SerializeSegment(relation, sr.arity, words.data(), words.size());
+  std::string path =
+      Cat(spill_->config.dir, "/",
+          SegmentFileName(relation, static_cast<uint32_t>(segment)));
+  Status st = AtomicWriteFile(path, bytes);
+  if (!st.ok()) {
+    if (spill_->io_error.ok()) spill_->io_error = st;
+    return false;
+  }
+  seg.crc32 = SegmentPayloadCrc(words.data(), words.size());
+  seg.crc_valid = true;
+  seg.dirty = false;
+  ++spill_->segment_writes;
+  return true;
+}
+
+Status Instance::FlushDirtySegments() const {
+  if (!spill_) return Status::Ok();
+  for (RelationId rel : active_relations_) {
+    auto sit = spill_->relations.find(rel);
+    if (sit == spill_->relations.end()) continue;
+    for (uint64_t s = 0; s < sit->second.segments.size(); ++s) {
+      if (!FlushSegment(rel, s)) return spill_->io_error;
+    }
+  }
+  return spill_->io_error;
+}
+
+uint64_t Instance::EvictToBudget(uint64_t target_bytes) {
+  if (!spill_) return 0;
+  // Deterministic second-chance clock over (relation activation order,
+  // segment index), with a persistent hand. The first pass over a
+  // recently-used segment clears its accessed bit; the second evicts it.
+  std::vector<std::pair<RelationId, uint64_t>> order;
+  for (RelationId rel : active_relations_) {
+    auto sit = spill_->relations.find(rel);
+    if (sit == spill_->relations.end()) continue;
+    for (uint64_t s = 0; s < sit->second.segments.size(); ++s) {
+      order.emplace_back(rel, s);
+    }
+  }
+  if (order.empty()) return 0;
+  uint64_t freed = 0;
+  size_t hand = spill_->clock_hand % order.size();
+  for (size_t step = 0;
+       step < 2 * order.size() && ApproxBytes() > target_bytes; ++step) {
+    auto [rel, seg_index] = order[hand];
+    hand = (hand + 1) % order.size();
+    SpillState::Segment& seg = spill_->relations.at(rel).segments[seg_index];
+    if (!seg.hot.load(std::memory_order_acquire)) continue;
+    if (seg.accessed.exchange(false, std::memory_order_relaxed)) continue;
+    // Persist before dropping; a failed write (e.g. ENOSPC) keeps the
+    // payload resident and the error sticky, so memory pressure then
+    // surfaces as the governor's ResourceExhausted stop.
+    if (!FlushSegment(rel, seg_index)) continue;
+    uint64_t bytes = seg.flat.size() * sizeof(Value);
+    seg.hot.store(false, std::memory_order_release);
+    std::vector<Value>().swap(seg.flat);
+    spill_->hot_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    freed += bytes;
+    ++spill_->evictions;
+  }
+  spill_->clock_hand = hand;
+  return freed;
+}
+
+void Instance::MarkAllSealedClean() {
+  if (!spill_) return;
+  for (auto& [rel, sr] : spill_->relations) {
+    for (SpillState::Segment& seg : sr.segments) {
+      if (!seg.dirty) continue;
+      assert(seg.hot.load(std::memory_order_acquire));
+      if (!seg.crc_valid) {
+        std::vector<uint32_t> words;
+        words.reserve(seg.flat.size());
+        for (Value v : seg.flat) words.push_back(v.raw());
+        seg.crc32 = SegmentPayloadCrc(words.data(), words.size());
+        seg.crc_valid = true;
+      }
+      seg.dirty = false;
+    }
+  }
+}
+
+void Instance::SetSpillResidentCap(uint64_t max_resident_bytes) {
+  if (!spill_) return;
+  spill_->config.max_resident_bytes = max_resident_bytes;
+}
+
+SpillStats Instance::spill_stats() const {
+  SpillStats stats;
+  if (!spill_) return stats;
+  stats.sealed_segments = spill_->sealed_segments;
+  stats.spilled_bytes = spill_->spilled_bytes;
+  stats.faults = spill_->faults.load(std::memory_order_relaxed);
+  stats.evictions = spill_->evictions;
+  stats.segment_writes = spill_->segment_writes;
+  return stats;
+}
+
+uint64_t Instance::SpillSegmentBytes() const {
+  return spill_->config.segment_bytes;
+}
+
+uint64_t Instance::SpillRowsPerSegment(RelationId relation) const {
+  auto sit = spill_->relations.find(relation);
+  if (sit != spill_->relations.end()) return sit->second.rows_per_segment;
+  uint32_t arity = vocab_->RelationArity(relation);
+  return std::max<uint64_t>(
+      1, spill_->config.segment_bytes / (uint64_t(arity) * sizeof(Value)));
+}
+
+uint64_t Instance::SpillSealedRows(RelationId relation) const {
+  auto sit = spill_->relations.find(relation);
+  return sit == spill_->relations.end() ? 0 : sit->second.sealed_rows;
+}
+
+uint64_t Instance::SpillSealedSegments(RelationId relation) const {
+  auto sit = spill_->relations.find(relation);
+  return sit == spill_->relations.end() ? 0 : sit->second.segments.size();
+}
+
+Instance::SealedSegmentInfo Instance::SpillSegmentInfo(
+    RelationId relation, uint64_t segment) const {
+  const SpillState::Rel& sr = spill_->relations.at(relation);
+  const SpillState::Segment& seg = sr.segments[segment];
+  SealedSegmentInfo info;
+  info.filename = SegmentFileName(relation, static_cast<uint32_t>(segment));
+  info.rows = sr.rows_per_segment;
+  assert(seg.crc_valid && "SpillSegmentInfo requires a flushed segment");
+  info.crc32 = seg.crc32;
+  return info;
+}
+
+const std::string& Instance::spill_dir() const {
+  return spill_->config.dir;
 }
 
 namespace {

@@ -1,9 +1,25 @@
 // Database instances: finite relations over constants and labeled nulls,
 // with per-position value indexes to support homomorphism search and the
 // chase. Facts are deduplicated on insertion.
+//
+// Two storage modes share this interface:
+//
+//  * In-core (default): all tuples in flat row-major vectors with full
+//    dedup and per-position posting lists. Unchanged semantics.
+//  * Out-of-core (EnableSpill): each relation's rows are split into
+//    sealed fixed-size immutable segments plus an in-core mutable tail.
+//    Sealed segments live in an LRU-style pool of hot in-memory payloads
+//    and are persisted to individually CRC-protected, atomically renamed
+//    files under the spill directory, so the store survives SIGKILL at
+//    any point and `--max-memory-mb` pressure is relieved by evicting
+//    cold segments instead of stopping the run. Resident per sealed row
+//    is only a hash digest plus a value-frequency summary (~9 bytes/row),
+//    which is what makes instances ~10x the byte budget chaseable. See
+//    docs/STORAGE.md for the full design and the crash-safety argument.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -15,6 +31,32 @@
 #include "data/value.h"
 
 namespace tgdkit {
+
+/// Configuration of the out-of-core backend (Instance::EnableSpill).
+struct SpillConfig {
+  /// Directory for segment files. Must exist; files are named
+  /// r<relation>_s<index>.seg (see SegmentFileName).
+  std::string dir;
+  /// Payload budget per segment; rows per segment is
+  /// max(1, segment_bytes / (arity * sizeof(Value))).
+  uint64_t segment_bytes = 256 * 1024;
+  /// Soft cap on ApproxBytes honoured at seal points: when sealing pushes
+  /// the footprint past this, cold segments are flushed and evicted until
+  /// it fits (or nothing evictable remains). 0 disables proactive
+  /// eviction (the memory-pressure hook may still call EvictToBudget).
+  uint64_t max_resident_bytes = 0;
+};
+
+/// Counters for spill telemetry. `sealed_segments` and `spilled_bytes`
+/// are content-derived (functions of the stored facts, identical after a
+/// kill-and-resume); the I/O counters are process-local.
+struct SpillStats {
+  uint64_t sealed_segments = 0;
+  uint64_t spilled_bytes = 0;  // total payload bytes of sealed segments
+  uint64_t faults = 0;         // cold segment loads
+  uint64_t evictions = 0;      // hot payloads dropped
+  uint64_t segment_writes = 0; // segment files written
+};
 
 /// A ground atom, used for convenient construction and iteration.
 struct Fact {
@@ -34,8 +76,80 @@ struct Fact {
 class Instance {
  public:
   explicit Instance(const Vocabulary* vocab);
+  ~Instance();
+
+  /// Copying a spill-enabled instance materializes a plain in-core copy
+  /// (same rows, row ids, null indexes and relation activation order);
+  /// copying an in-core instance is a memberwise deep copy as before.
+  Instance(const Instance& other);
+  Instance& operator=(const Instance& other);
+  Instance(Instance&& other) noexcept;
+  Instance& operator=(Instance&& other) noexcept;
 
   const Vocabulary& vocab() const { return *vocab_; }
+
+  // -------------------------------------------------------------------
+  // Out-of-core backend (see file comment and docs/STORAGE.md)
+
+  /// Switches this (still empty) instance to the out-of-core backend.
+  /// InvalidArgument if facts were already added, spill is already
+  /// enabled, or `config.dir` is empty. The directory must exist.
+  Status EnableSpill(const SpillConfig& config);
+  bool spill_enabled() const { return spill_ != nullptr; }
+
+  /// Exact number of rows of `relation` whose `position`-th entry equals
+  /// `value`, in either mode. In spill mode this is answered from the
+  /// resident frequency summary without touching cold segments, and
+  /// matches what RowsWithValue().size() would report in-core — join
+  /// orders chosen from these counts are mode-independent.
+  size_t CountRowsWithValue(RelationId relation, uint32_t position,
+                            Value value) const;
+
+  /// Appends to `out` the ascending row ids of tuples of `relation`
+  /// whose `position`-th entry equals `value` (both modes; spill mode
+  /// scans sealed segments, skipping those whose per-position value
+  /// range excludes `value`, then appends the tail's posting list).
+  void CandidateRows(RelationId relation, uint32_t position, Value value,
+                     std::vector<uint32_t>* out) const;
+
+  /// Persists every sealed segment that has not reached disk yet
+  /// (AtomicWriteFile per segment). Called before a snapshot is
+  /// serialized so the snapshot's segment references are all durable.
+  /// Const: only the spill bookkeeping mutates. Returns the first write
+  /// error (sticky: a previously failed eviction write resurfaces here).
+  Status FlushDirtySegments() const;
+
+  /// Flushes and drops hot segment payloads (second-chance clock order)
+  /// until ApproxBytes() <= target_bytes or nothing evictable remains.
+  /// Returns the number of bytes freed. Serial phases only.
+  uint64_t EvictToBudget(uint64_t target_bytes);
+
+  /// Marks every sealed segment as already on disk (snapshot resume: the
+  /// loader just streamed the rows out of the very files the segments
+  /// would be written to). Segments not yet flushed get their checksum
+  /// computed from the in-memory payload.
+  void MarkAllSealedClean();
+
+  /// Adjusts the seal-time soft cap after EnableSpill (snapshot resume:
+  /// the loader enables spill with the recorded segment geometry, then the
+  /// resumed engine installs its own budget's cap).
+  void SetSpillResidentCap(uint64_t max_resident_bytes);
+
+  SpillStats spill_stats() const;
+
+  /// Introspection for the snapshot serializer (spill mode only).
+  struct SealedSegmentInfo {
+    std::string filename;  // relative to the spill directory
+    uint64_t rows = 0;
+    uint32_t crc32 = 0;    // payload CRC; valid after FlushDirtySegments
+  };
+  uint64_t SpillSegmentBytes() const;
+  uint64_t SpillRowsPerSegment(RelationId relation) const;
+  uint64_t SpillSealedRows(RelationId relation) const;
+  uint64_t SpillSealedSegments(RelationId relation) const;
+  SealedSegmentInfo SpillSegmentInfo(RelationId relation,
+                                     uint64_t segment) const;
+  const std::string& spill_dir() const;
 
   /// Adds a fact; returns true iff it was not already present.
   /// Precondition: args.size() == arity of `relation`.
@@ -67,7 +181,9 @@ class Instance {
   std::span<const Value> Tuple(RelationId relation, uint32_t row) const;
 
   /// Row ids of tuples in `relation` whose `position`-th entry equals
-  /// `value` (empty if none).
+  /// `value` (empty if none). In-core mode only: a spilled store keeps no
+  /// global posting lists — use CountRowsWithValue / CandidateRows, which
+  /// work in both modes (checked by assert).
   const std::vector<uint32_t>& RowsWithValue(RelationId relation,
                                              uint32_t position,
                                              Value value) const;
@@ -84,8 +200,10 @@ class Instance {
   std::vector<Fact> AllFacts() const;
 
   /// Rebuilds this instance keeping only facts for which `keep` is true.
+  /// In-core mode only (no caller rebuilds a spilled store in place).
   template <typename Pred>
   void RemoveFacts(Pred keep) {
+    assert(!spill_enabled() && "RemoveFacts is unsupported on a spilled store");
     std::vector<Fact> kept;
     for (const Fact& f : AllFacts()) {
       if (keep(f)) kept.push_back(f);
@@ -100,10 +218,14 @@ class Instance {
   /// Approximate heap footprint in bytes, for memory-budget accounting
   /// (ResourceGovernor memory source). Maintained incrementally: tuple
   /// storage, the dedup + per-position index structures (see IndexBytes),
-  /// and null bookkeeping.
+  /// and null bookkeeping. In spill mode this counts only the RESIDENT
+  /// footprint — the mutable tail, hot segment payloads and the sealed
+  /// digest/frequency summaries — not cold bytes on disk, so evicting
+  /// segments genuinely relieves the governor's byte budget.
   uint64_t ApproxBytes() const {
     return row_bytes_ + index_bytes_ +
-           null_labels_.size() * kNullOverheadBytes;
+           null_labels_.size() * kNullOverheadBytes +
+           (spill_ ? SpillResidentBytes() : 0);
   }
 
   /// The index share of ApproxBytes: dedup buckets and per-position
@@ -141,8 +263,19 @@ class Instance {
     size_t NumTuples() const { return flat.size() / arity; }
   };
 
+  struct SpillState;
+
   RelationData& GetOrCreate(RelationId relation);
   static size_t TupleHash(std::span<const Value> args);
+
+  /// Spill-mode internals (defined with SpillState in instance.cc).
+  uint64_t SpillResidentBytes() const;
+  bool SealedContains(RelationId relation, const RelationData& data,
+                      size_t hash, std::span<const Value> args) const;
+  void MaybeSeal(RelationId relation, RelationData& data);
+  const std::vector<Value>& EnsureHot(RelationId relation,
+                                      uint64_t segment) const;
+  bool FlushSegment(RelationId relation, uint64_t segment) const;
 
   /// Estimated per-null and per-row overheads, and the amortized cost of a
   /// fresh hash-map key (node + bucket share) in the dedup/position maps.
@@ -157,6 +290,10 @@ class Instance {
   std::vector<uint32_t> empty_rows_;
   uint64_t row_bytes_ = 0;
   uint64_t index_bytes_ = 0;
+  // Out-of-core backend state; null in the (default) in-core mode.
+  // Mutable: faulting a cold segment back in from a const read path
+  // (Tuple, CandidateRows) changes caching state, never logical content.
+  mutable std::unique_ptr<SpillState> spill_;
 };
 
 /// Copies all facts of `src` into `dst` (vocabularies must match).
@@ -164,8 +301,8 @@ void CopyFacts(const Instance& src, Instance* dst);
 
 /// Parses the canonical instance text format produced by Instance::ToString
 /// / ToExactText: one fact per line, `Rel(arg, arg, ...)`, where an arg is
-/// a plain identifier or integer constant, a "quoted constant" (with \" \\
-/// \n escapes), a labeled null `_label`, or an indexed null `_N<i>`.
+/// a plain identifier or integer constant, a "quoted constant" (with
+/// backslash escapes), a labeled null `_label`, or an indexed null `_N<i>`.
 ///
 /// `_N<i>` binds to null index i exactly (allocating up to it if needed);
 /// other labels reuse the first existing null with that label, else

@@ -1,0 +1,170 @@
+#include "data/segment.h"
+
+#include <cstdio>
+
+#include "base/fileio.h"
+#include "base/strings.h"
+
+namespace tgdkit {
+
+namespace {
+
+void AppendU32Le(std::string* out, uint32_t word) {
+  out->push_back(static_cast<char>(word & 0xFFu));
+  out->push_back(static_cast<char>((word >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((word >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((word >> 24) & 0xFFu));
+}
+
+uint32_t ReadU32Le(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Status Torn(std::string_view what) {
+  return Status::DataLoss(Cat("segment: ", what));
+}
+
+/// Pulls one space-delimited token off the front of `rest`. Empty when
+/// the header line is exhausted.
+std::string_view NextToken(std::string_view* rest) {
+  while (!rest->empty() && rest->front() == ' ') rest->remove_prefix(1);
+  size_t end = rest->find(' ');
+  std::string_view token = rest->substr(0, end);
+  rest->remove_prefix(end == std::string_view::npos ? rest->size() : end);
+  return token;
+}
+
+bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseHexU32(std::string_view token, uint32_t* out) {
+  if (token.empty() || token.size() > 8) return false;
+  uint32_t value = 0;
+  for (char c : token) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint32_t>(c - 'a' + 10);
+    else return false;
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+uint32_t SegmentPayloadCrc(const uint32_t* values, size_t num_values) {
+  std::string payload;
+  payload.reserve(num_values * sizeof(uint32_t));
+  for (size_t i = 0; i < num_values; ++i) AppendU32Le(&payload, values[i]);
+  return Crc32(payload);
+}
+
+std::string SerializeSegment(uint32_t relation_index, uint32_t arity,
+                             const uint32_t* values, size_t num_values) {
+  std::string payload;
+  payload.reserve(num_values * sizeof(uint32_t));
+  for (size_t i = 0; i < num_values; ++i) AppendU32Le(&payload, values[i]);
+
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
+  std::string out = Cat(kSegmentMagic, " v", kSegmentVersion, " rel ",
+                        relation_index, " arity ", arity, " rows ",
+                        arity == 0 ? 0 : num_values / arity, " crc32 ",
+                        crc_hex, "\n");
+  out += payload;
+  return out;
+}
+
+Result<SegmentData> ParseSegment(std::string_view bytes) {
+  size_t newline = bytes.find('\n');
+  if (newline == std::string_view::npos) {
+    return Torn("missing header line");
+  }
+  std::string_view header = bytes.substr(0, newline);
+  std::string_view payload = bytes.substr(newline + 1);
+
+  std::string_view rest = header;
+  if (NextToken(&rest) != kSegmentMagic) {
+    return Torn("bad magic");
+  }
+  std::string_view version = NextToken(&rest);
+  if (version.size() < 2 || version.front() != 'v') {
+    return Torn("bad version token");
+  }
+  uint64_t version_number = 0;
+  if (!ParseU64(version.substr(1), &version_number)) {
+    return Torn("bad version token");
+  }
+  if (version_number != kSegmentVersion) {
+    return Status::Unsupported(
+        Cat("segment: format version v", version_number,
+            " is newer than this build (v", kSegmentVersion, ")"));
+  }
+
+  uint64_t relation_index = 0, arity = 0, rows = 0;
+  uint32_t declared_crc = 0;
+  if (NextToken(&rest) != "rel" ||
+      !ParseU64(NextToken(&rest), &relation_index) ||
+      NextToken(&rest) != "arity" || !ParseU64(NextToken(&rest), &arity) ||
+      NextToken(&rest) != "rows" || !ParseU64(NextToken(&rest), &rows) ||
+      NextToken(&rest) != "crc32" ||
+      !ParseHexU32(NextToken(&rest), &declared_crc)) {
+    return Torn("malformed header fields");
+  }
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (!rest.empty()) return Torn("trailing junk in header");
+  if (arity == 0 || arity > 0xFFFF) return Torn("implausible arity");
+
+  uint64_t expected_bytes = rows * arity * sizeof(uint32_t);
+  if (payload.size() != expected_bytes) {
+    return Torn(Cat("payload is ", payload.size(), " bytes, header declares ",
+                    expected_bytes));
+  }
+  if (Crc32(payload) != declared_crc) {
+    return Torn("payload CRC mismatch");
+  }
+
+  SegmentData data;
+  data.relation_index = static_cast<uint32_t>(relation_index);
+  data.arity = static_cast<uint32_t>(arity);
+  data.values.reserve(rows * arity);
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(
+      payload.data());
+  for (uint64_t i = 0; i < rows * arity; ++i) {
+    data.values.push_back(ReadU32Le(p + i * sizeof(uint32_t)));
+  }
+  return data;
+}
+
+Result<SegmentData> LoadSegment(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  auto parsed = ParseSegment(*bytes);
+  if (!parsed.ok()) {
+    const Status& st = parsed.status();
+    std::string msg = Cat(st.message(), " in '", path, "'");
+    if (st.code() == Status::Code::kUnsupported) {
+      return Status::Unsupported(std::move(msg));
+    }
+    return Status::DataLoss(std::move(msg));
+  }
+  return parsed;
+}
+
+std::string SegmentFileName(uint32_t relation_index, uint32_t segment_index) {
+  return Cat("r", relation_index, "_s", segment_index, ".seg");
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,68 @@
+// On-disk format for one spilled instance segment.
+//
+// A segment is the unit of the out-of-core fact store (see
+// docs/STORAGE.md): a fixed-size run of consecutive rows of one relation,
+// stored as raw little-endian u32 Value words behind a one-line text
+// header:
+//
+//   tgdkit-segment v1 rel <relation-index> arity <a> rows <n> crc32 <hex>\n
+//   <n * a little-endian u32 words>
+//
+// The CRC-32 covers the payload words, so truncation and bit flips are
+// rejected with Status::DataLoss; a file written by a future format
+// version is rejected with Status::Unsupported. Segment files are written
+// with AtomicWriteFile, so a SIGKILL mid-write leaves at most a torn
+// ".tmp" that is never loaded — a file visible under its final name is
+// always complete. Sealed segments are immutable: a file, once written,
+// never changes content, which is what lets snapshots reference segment
+// files by name instead of re-serializing their rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tgdkit {
+
+inline constexpr std::string_view kSegmentMagic = "tgdkit-segment";
+inline constexpr uint32_t kSegmentVersion = 1;
+
+/// Parsed contents of a segment file.
+struct SegmentData {
+  uint32_t relation_index = 0;  // position in the store's relation order
+  uint32_t arity = 0;
+  std::vector<uint32_t> values;  // rows * arity raw Value words
+  size_t rows() const { return arity == 0 ? 0 : values.size() / arity; }
+};
+
+/// Renders a complete segment file (header + payload) for `num_values`
+/// raw Value words laid out row-major. `num_values` must be a multiple of
+/// `arity`.
+std::string SerializeSegment(uint32_t relation_index, uint32_t arity,
+                             const uint32_t* values, size_t num_values);
+
+/// Parses segment bytes. DataLoss on truncation/corruption/garbage,
+/// Unsupported on a format version mismatch.
+Result<SegmentData> ParseSegment(std::string_view bytes);
+
+/// Reads and parses a segment file. NotFound when it cannot be opened.
+Result<SegmentData> LoadSegment(const std::string& path);
+
+/// CRC-32 of the little-endian payload rendering of `num_values` words —
+/// the checksum a segment file with these values carries in its header.
+uint32_t SegmentPayloadCrc(const uint32_t* values, size_t num_values);
+
+/// Deterministic file name for a segment: "r<relation>_s<segment>.seg".
+/// Stable across resume — a re-derived segment lands on the same name
+/// with the same bytes.
+std::string SegmentFileName(uint32_t relation_index, uint32_t segment_index);
+
+/// Size in bytes of the payload (excluding header) for a row count.
+inline uint64_t SegmentPayloadBytes(uint64_t rows, uint32_t arity) {
+  return rows * arity * sizeof(uint32_t);
+}
+
+}  // namespace tgdkit

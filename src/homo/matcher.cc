@@ -70,15 +70,16 @@ int Matcher::PickNextAtom(const std::vector<Value>& binding,
     const AtomPlan& plan = plans_[i];
     // Cost estimate: candidate rows through the most selective bound
     // position, or the full relation when nothing is bound.
+    // CountRowsWithValue is exact in both storage modes (in-core it IS
+    // the posting-list size), so join-order choices — and therefore the
+    // match enumeration order and null numbering — are mode-independent.
     size_t cost = instance_->NumTuples(plan.relation);
     for (size_t pos = 0; pos < plan.slots.size(); ++pos) {
       const ArgSlot& slot = plan.slots[pos];
       Value bound = slot.is_variable ? binding[slot.local_var] : slot.constant;
       if (!bound.valid()) continue;
-      size_t rows =
-          instance_
-              ->RowsWithValue(plan.relation, static_cast<uint32_t>(pos), bound)
-              .size();
+      size_t rows = instance_->CountRowsWithValue(
+          plan.relation, static_cast<uint32_t>(pos), bound);
       if (rows < cost) cost = rows;
     }
     if (cost < best_cost) {
@@ -92,6 +93,38 @@ int Matcher::PickNextAtom(const std::vector<Value>& binding,
 const std::vector<uint32_t>* Matcher::Candidates(
     const AtomPlan& plan, const std::vector<Value>& binding,
     std::vector<uint32_t>* scratch, size_t* scan_rows) const {
+  if (instance_->spill_enabled()) {
+    // Spilled store: no global posting lists to point into. Pick the most
+    // selective bound position by exact count (the same strict-< rule as
+    // below) and materialize its ascending candidate rows into `scratch`.
+    // No runner-up intersection: TryBindTuple fully verifies every
+    // candidate, so enumerating an ascending superset emits the identical
+    // match sequence — intersection only ever saved probes, never changed
+    // results.
+    int best_pos = -1;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    Value best_value;
+    for (size_t pos = 0; pos < plan.slots.size(); ++pos) {
+      const ArgSlot& slot = plan.slots[pos];
+      Value bound = slot.is_variable ? binding[slot.local_var] : slot.constant;
+      if (!bound.valid()) continue;
+      size_t count = instance_->CountRowsWithValue(
+          plan.relation, static_cast<uint32_t>(pos), bound);
+      if (count < best_count) {
+        best_count = count;
+        best_pos = static_cast<int>(pos);
+        best_value = bound;
+      }
+    }
+    if (best_pos < 0) {
+      *scan_rows = instance_->NumTuples(plan.relation);
+      return nullptr;
+    }
+    scratch->clear();
+    instance_->CandidateRows(plan.relation, static_cast<uint32_t>(best_pos),
+                             best_value, scratch);
+    return scratch;
+  }
   const std::vector<uint32_t>* best = nullptr;
   const std::vector<uint32_t>* second = nullptr;
   for (size_t pos = 0; pos < plan.slots.size(); ++pos) {

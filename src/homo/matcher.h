@@ -14,6 +14,13 @@
 // with no bound position at all (the unavoidable first atom of a
 // completely unconstrained query).
 //
+// Against a spill-enabled instance (Instance::EnableSpill) the same
+// search runs over segment scans instead of posting lists: join orders
+// come from the exact CountRowsWithValue counts (identical to in-core
+// posting sizes) and candidates from CandidateRows, so the match
+// sequence — and everything downstream, null numbering included — is
+// byte-identical across storage modes.
+//
 // Thread model: a Matcher is immutable after construction and all search
 // entry points are const, so one Matcher may run any number of concurrent
 // searches against the same (frozen) instance. Per-search state — step

@@ -1,5 +1,6 @@
 #include "snapshot/snapshot.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -8,6 +9,7 @@
 #include "base/fileio.h"
 #include "base/strings.h"
 #include "data/instance.h"
+#include "data/segment.h"
 
 namespace tgdkit {
 
@@ -58,6 +60,14 @@ class Reader {
     if (error_.ok()) {
       error_ = Status::DataLoss("snapshot payload: " + std::move(msg));
     }
+    return false;
+  }
+
+  /// Records a non-DataLoss error (e.g. InvalidArgument for a segmented
+  /// snapshot loaded without a spill directory, or a segment file's own
+  /// load status) verbatim.
+  bool FailStatus(Status status) {
+    if (error_.ok()) error_ = std::move(status);
     return false;
   }
 
@@ -471,7 +481,7 @@ bool ReadCounters(Reader* r, std::string_view done_tag, bool* done,
   return true;
 }
 
-void WriteInstance(const Instance& instance, Writer* w) {
+void WriteNullHeader(const Instance& instance, Writer* w) {
   w->Word("nulls");
   w->U64(instance.num_nulls());
   uint64_t labeled = 0;
@@ -487,12 +497,186 @@ void WriteInstance(const Instance& instance, Writer* w) {
     w->Str(instance.NullLabel(i));
     w->EndLine();
   }
+}
+
+void WriteInstance(const Instance& instance, Writer* w) {
+  WriteNullHeader(instance, w);
   w->Word("facts");
   w->Str(instance.ToExactText());
   w->EndLine();
 }
 
-bool ReadInstance(Reader* r, Vocabulary* vocab, Instance* out) {
+/// Segmented instance section (spill mode): sealed segment files are
+/// immutable, so the snapshot references the fully-kept ones by name,
+/// row count and payload CRC, and renders only the remainder — the
+/// mutable tail plus any partially-kept sealed segment prefix — as exact
+/// text. `keep_rows` carries the torn-round rollback counts (empty:
+/// keep everything). Dirty segments must have been flushed already.
+void WriteSpilledInstance(
+    const Instance& instance,
+    const std::vector<std::pair<RelationId, uint64_t>>& keep_rows,
+    Writer* w) {
+  WriteNullHeader(instance, w);
+  w->Word("spill");
+  w->Word("segbytes");
+  w->U64(instance.SpillSegmentBytes());
+  w->Word("rels");
+  w->U64(instance.ActiveRelations().size());
+  w->EndLine();
+  for (RelationId rel : instance.ActiveRelations()) {
+    uint64_t keep = instance.NumTuples(rel);
+    for (const auto& [krel, kcount] : keep_rows) {
+      if (krel == rel) {
+        keep = kcount;
+        break;
+      }
+    }
+    uint64_t segrows = instance.SpillRowsPerSegment(rel);
+    uint64_t full_segments =
+        std::min(keep / segrows, instance.SpillSealedSegments(rel));
+    w->Word("rel");
+    w->Str(instance.vocab().RelationName(rel));
+    w->Word("segrows");
+    w->U64(segrows);
+    w->Word("keep");
+    w->U64(keep);
+    w->Word("segs");
+    w->U64(full_segments);
+    w->EndLine();
+    for (uint64_t s = 0; s < full_segments; ++s) {
+      Instance::SealedSegmentInfo info = instance.SpillSegmentInfo(rel, s);
+      w->Word("seg");
+      w->Str(info.filename);
+      w->Word("rows");
+      w->U64(info.rows);
+      w->Word("crc32");
+      w->U64(info.crc32);
+      w->EndLine();
+    }
+    std::string tail;
+    for (uint64_t row = full_segments * segrows; row < keep; ++row) {
+      std::span<const Value> tuple =
+          instance.Tuple(rel, static_cast<uint32_t>(row));
+      tail += instance.vocab().RelationName(rel);
+      tail += "(";
+      tail += JoinMapped(tuple, ", ", [&](Value v) {
+        if (v.is_null()) return Cat("_N", v.index());
+        return instance.ValueToString(v);
+      });
+      tail += ")\n";
+    }
+    w->Word("tail");
+    w->Str(tail);
+    w->EndLine();
+  }
+}
+
+/// Restores a segmented instance section: enables spill with the recorded
+/// geometry, streams every referenced segment file back through AddFact
+/// (which re-seals byte-identical segments, since the insertion order and
+/// the rows-per-segment geometry are the recorded ones), then parses the
+/// text remainder. The leading "spill" word was already consumed.
+bool ReadSpilledFacts(Reader* r, Vocabulary* vocab,
+                      const std::string& spill_dir, uint64_t declared_nulls,
+                      Instance* out) {
+  if (spill_dir.empty()) {
+    return r->FailStatus(Status::InvalidArgument(
+        "snapshot holds a spilled instance; a spill directory is required "
+        "to resume it (--spill-dir)"));
+  }
+  uint64_t segbytes = 0;
+  uint64_t nrels = 0;
+  if (!r->Expect("segbytes") || !r->U64(&segbytes) || !r->Expect("rels") ||
+      !r->Count(&nrels)) {
+    return false;
+  }
+  if (segbytes == 0) return r->Fail("bad spill segment size");
+  SpillConfig config;
+  config.dir = spill_dir;
+  config.segment_bytes = segbytes;
+  Status enabled = out->EnableSpill(config);
+  if (!enabled.ok()) return r->FailStatus(std::move(enabled));
+  // Nulls first: segment rows reference null indexes by value.
+  out->EnsureNulls(static_cast<uint32_t>(declared_nulls));
+  std::vector<Value> args;
+  for (uint64_t i = 0; i < nrels; ++i) {
+    std::string name;
+    uint64_t segrows = 0;
+    uint64_t keep = 0;
+    uint64_t nsegs = 0;
+    if (!r->Expect("rel") || !r->Str(&name) || !r->Expect("segrows") ||
+        !r->U64(&segrows) || !r->Expect("keep") || !r->U64(&keep) ||
+        !r->Expect("segs") || !r->Count(&nsegs)) {
+      return false;
+    }
+    RelationId rel = vocab->FindRelation(name);
+    if (rel == kInvalidSymbol) {
+      return r->Fail("spill section references unknown relation '" + name +
+                     "'");
+    }
+    uint32_t arity = vocab->RelationArity(rel);
+    if (arity == 0 || segrows != out->SpillRowsPerSegment(rel)) {
+      return r->Fail("spill relation '" + name +
+                     "': segment geometry mismatch");
+    }
+    for (uint64_t s = 0; s < nsegs; ++s) {
+      std::string filename;
+      uint64_t rows = 0;
+      uint64_t crc = 0;
+      if (!r->Expect("seg") || !r->Str(&filename) || !r->Expect("rows") ||
+          !r->U64(&rows) || !r->Expect("crc32") || !r->U64(&crc)) {
+        return false;
+      }
+      if (filename != SegmentFileName(rel, static_cast<uint32_t>(s))) {
+        return r->Fail("unexpected segment file name '" + filename + "'");
+      }
+      if (rows != segrows || crc > 0xffffffffull) {
+        return r->Fail("segment '" + filename + "': malformed record");
+      }
+      Result<SegmentData> seg = LoadSegment(spill_dir + "/" + filename);
+      if (!seg.ok()) return r->FailStatus(seg.status());
+      if (seg->relation_index != rel || seg->arity != arity ||
+          seg->rows() != rows) {
+        return r->FailStatus(Status::DataLoss(
+            "segment '" + filename + "' does not match the snapshot record"));
+      }
+      if (SegmentPayloadCrc(seg->values.data(), seg->values.size()) != crc) {
+        return r->FailStatus(Status::DataLoss(
+            "segment '" + filename +
+            "': checksum differs from the snapshot record"));
+      }
+      for (uint64_t row = 0; row < rows; ++row) {
+        args.clear();
+        for (uint32_t p = 0; p < arity; ++p) {
+          Value v = Value::FromRaw(seg->values[row * arity + p]);
+          if (!v.valid() || (v.is_null() && v.index() >= out->num_nulls()) ||
+              (v.is_constant() && v.index() >= vocab->num_constants())) {
+            return r->FailStatus(Status::DataLoss(
+                "segment '" + filename + "': invalid value"));
+          }
+          args.push_back(v);
+        }
+        if (!out->AddFact(rel, args)) {
+          return r->FailStatus(Status::DataLoss(
+              "segment '" + filename + "': duplicate fact"));
+        }
+      }
+    }
+    std::string tail;
+    if (!r->Expect("tail") || !r->Str(&tail)) return false;
+    Status parsed = ParseInstanceText(tail, vocab, out);
+    if (!parsed.ok()) return r->Fail("spill tail: " + parsed.ToString());
+    if (out->NumTuples(rel) != keep) {
+      return r->Fail("spill relation '" + name + "': row count mismatch");
+    }
+  }
+  // The just-streamed segments ARE the on-disk files — nothing is dirty.
+  out->MarkAllSealedClean();
+  return true;
+}
+
+bool ReadInstance(Reader* r, Vocabulary* vocab, Instance* out,
+                  const std::string& spill_dir) {
   uint64_t nulls = 0;
   uint64_t labeled = 0;
   if (!r->Expect("nulls") || !r->U64(&nulls) || !r->Expect("labels") ||
@@ -508,11 +692,20 @@ bool ReadInstance(Reader* r, Vocabulary* vocab, Instance* out) {
     if (index >= nulls) return r->Fail("null label index out of range");
     labels.emplace_back(index, std::move(label));
   }
-  std::string text;
-  if (!r->Expect("facts") || !r->Str(&text)) return false;
-  Status parsed = ParseInstanceText(text, vocab, out);
-  if (!parsed.ok()) {
-    return r->Fail("instance section: " + parsed.ToString());
+  std::string_view section;
+  if (!r->Word(&section)) return false;
+  if (section == "spill") {
+    if (!ReadSpilledFacts(r, vocab, spill_dir, nulls, out)) return false;
+  } else if (section == "facts") {
+    std::string text;
+    if (!r->Str(&text)) return false;
+    Status parsed = ParseInstanceText(text, vocab, out);
+    if (!parsed.ok()) {
+      return r->Fail("instance section: " + parsed.ToString());
+    }
+  } else {
+    return r->Fail("expected 'facts' or 'spill', found '" +
+                   std::string(section) + "'");
   }
   if (out->num_nulls() > nulls) {
     return r->Fail("instance uses more nulls than declared");
@@ -644,7 +837,16 @@ std::string SerializeChaseSnapshot(const Vocabulary& vocab,
     w.U64(count);
   }
   w.EndLine();
-  WriteInstance(state.instance, &w);
+  if (state.spill_instance != nullptr) {
+    // Segment references are only meaningful once the files exist; flush
+    // here too so direct serialization (tests, round-trips) stays
+    // self-consistent. SaveChaseSnapshot checks the flush status first
+    // and propagates failures before anything is serialized.
+    (void)state.spill_instance->FlushDirtySegments();
+    WriteSpilledInstance(*state.spill_instance, state.spill_keep_rows, &w);
+  } else {
+    WriteInstance(state.instance, &w);
+  }
   w.Word("end");
   w.EndLine();
   return WrapEnvelope("chase", std::move(w).Take());
@@ -654,12 +856,24 @@ Status SaveChaseSnapshot(const std::string& path, const Vocabulary& vocab,
                          const TermArena& arena, const SoTgd& rules,
                          const ChaseEngineState& state, uint64_t seed,
                          uint64_t rng_state) {
+  if (state.spill_instance != nullptr) {
+    // The manifest references segment files by name: every sealed segment
+    // must be durably on disk before the snapshot that points at it. A
+    // write failure (disk full) fails the checkpoint here, leaving the
+    // previous complete snapshot at `path`.
+    TGDKIT_RETURN_IF_ERROR(state.spill_instance->FlushDirtySegments());
+  }
   return AtomicWriteFile(
       path, SerializeChaseSnapshot(vocab, arena, rules, state, seed,
                                    rng_state));
 }
 
 Result<ChaseSnapshot> ParseChaseSnapshot(std::string_view bytes) {
+  return ParseChaseSnapshot(bytes, "");
+}
+
+Result<ChaseSnapshot> ParseChaseSnapshot(std::string_view bytes,
+                                         const std::string& spill_dir) {
   Result<std::string_view> payload = UnwrapEnvelope(bytes, "chase");
   if (!payload.ok()) return payload.status();
   Reader r(*payload);
@@ -743,7 +957,7 @@ Result<ChaseSnapshot> ParseChaseSnapshot(std::string_view bytes) {
     }
     state.rows_before_current_round.emplace_back(rel, count);
   }
-  if (!ReadInstance(&r, snap.vocab.get(), &state.instance)) {
+  if (!ReadInstance(&r, snap.vocab.get(), &state.instance, spill_dir)) {
     return std::move(r).TakeError();
   }
   if (any_null_seen && max_null_seen >= state.instance.num_nulls()) {
@@ -762,9 +976,14 @@ Result<ChaseSnapshot> ParseChaseSnapshot(std::string_view bytes) {
 }
 
 Result<ChaseSnapshot> LoadChaseSnapshot(const std::string& path) {
+  return LoadChaseSnapshot(path, "");
+}
+
+Result<ChaseSnapshot> LoadChaseSnapshot(const std::string& path,
+                                        const std::string& spill_dir) {
   Result<std::string> bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
-  return ParseChaseSnapshot(*bytes);
+  return ParseChaseSnapshot(*bytes, spill_dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -857,7 +1076,8 @@ Result<RestrictedSnapshot> ParseRestrictedSnapshot(std::string_view bytes) {
   if (!ReadCounters(&r, "engine", &state.done, &state.stop_reason,
                     &state.rounds, &state.facts_created,
                     &state.governor_steps, &state.governor_charged_bytes) ||
-      !ReadInstance(&r, snap.vocab.get(), &state.instance)) {
+      !ReadInstance(&r, snap.vocab.get(), &state.instance,
+                    /*spill_dir=*/"")) {
     return std::move(r).TakeError();
   }
   if (!r.Expect("end") || !r.AtEnd()) {

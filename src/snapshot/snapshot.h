@@ -70,12 +70,23 @@ struct RestrictedSnapshot {
 /// Renders a complete snapshot file (envelope + payload) for a chase
 /// engine state captured with ChaseEngine::CaptureState(). `vocab` and
 /// `arena` must be the ones the engine ran over.
+///
+/// Spill-mode states (state.spill_instance set) serialize a SEGMENTED
+/// instance section: sealed segments are referenced by file name + row
+/// count + payload CRC (the files are immutable, so a checkpoint is a
+/// cheap dirty-segment flush plus this small manifest), and only the
+/// mutable remainder is rendered as text. Callers must flush dirty
+/// segments first — SaveChaseSnapshot does.
 std::string SerializeChaseSnapshot(const Vocabulary& vocab,
                                    const TermArena& arena, const SoTgd& rules,
                                    const ChaseEngineState& state,
                                    uint64_t seed, uint64_t rng_state);
 
-/// Serializes and atomically writes a chase snapshot to `path`.
+/// Serializes and atomically writes a chase snapshot to `path`. For a
+/// spill-mode state this first persists every dirty segment
+/// (Instance::FlushDirtySegments); a segment write failure (e.g. disk
+/// full) fails the checkpoint without touching `path` — the previous
+/// complete snapshot survives.
 Status SaveChaseSnapshot(const std::string& path, const Vocabulary& vocab,
                          const TermArena& arena, const SoTgd& rules,
                          const ChaseEngineState& state, uint64_t seed,
@@ -83,11 +94,20 @@ Status SaveChaseSnapshot(const std::string& path, const Vocabulary& vocab,
 
 /// Parses snapshot bytes. DataLoss on truncation/corruption/garbage,
 /// Unsupported on a format version mismatch, InvalidArgument when the
-/// file is a valid snapshot of a different kind.
+/// file is a valid snapshot of a different kind — or when it holds a
+/// segmented instance section and `spill_dir` is empty (the two-argument
+/// overload). A segmented snapshot streams its segment files from
+/// `spill_dir` back through AddFact, re-sealing identical segments, and
+/// rejects a file that is missing, corrupt (DataLoss) or does not match
+/// the recorded row count / CRC.
 Result<ChaseSnapshot> ParseChaseSnapshot(std::string_view bytes);
+Result<ChaseSnapshot> ParseChaseSnapshot(std::string_view bytes,
+                                         const std::string& spill_dir);
 
 /// Reads and parses a chase snapshot file.
 Result<ChaseSnapshot> LoadChaseSnapshot(const std::string& path);
+Result<ChaseSnapshot> LoadChaseSnapshot(const std::string& path,
+                                        const std::string& spill_dir);
 
 // ---------------------------------------------------------------------------
 // Restricted chase

@@ -296,6 +296,8 @@ std::string RenderLedgerRecord(const LedgerRecord& record) {
       AppendString(&out, "status", a.status_line);
       AppendRaw(&out, "duration_ms",
                 std::to_string(static_cast<uint64_t>(a.duration_ms)));
+      AppendRaw(&out, "peak_rss_kb", std::to_string(a.peak_rss_kb));
+      AppendRaw(&out, "spill_bytes", std::to_string(a.spill_bytes));
       AppendString(&out, "cmd", a.cmd);
       AppendString(&out, "stderr_tail", a.stderr_tail);
       AppendRaw(&out, "degraded", a.degraded ? "true" : "false");
@@ -344,6 +346,8 @@ Result<LedgerRecord> ParseLedgerRecord(std::string_view line) {
     a.stop = GetString(fields, "stop");
     a.status_line = GetString(fields, "status");
     a.duration_ms = GetDouble(fields, "duration_ms");
+    a.peak_rss_kb = GetU64(fields, "peak_rss_kb");
+    a.spill_bytes = GetU64(fields, "spill_bytes");
     a.cmd = GetString(fields, "cmd");
     a.stderr_tail = GetString(fields, "stderr_tail");
     a.degraded = GetBool(fields, "degraded");

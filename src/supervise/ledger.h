@@ -62,6 +62,14 @@ struct AttemptRecord {
   /// The worker's last `# status:` line, verbatim (may be empty).
   std::string status_line;
   double duration_ms = 0;
+  /// Peak RSS of the worker process (ru_maxrss, KiB; 0 if unknown).
+  /// Triage keys off this to tell an OOM kill from a deterministic
+  /// crash.
+  uint64_t peak_rss_kb = 0;
+  /// Sealed-segment bytes from the status line's spill telemetry
+  /// (`spill_bytes=`); 0 when the task did not spill. Old ledgers
+  /// without these keys load with both fields 0.
+  uint64_t spill_bytes = 0;
   /// Reproduction command line (shell-quoted `tgdkit ...`).
   std::string cmd;
   std::string stderr_tail;

@@ -105,6 +105,13 @@ class Supervisor {
   }
 
   Status Append(LedgerRecord record) {
+    // The supervisor's own footprint is accounted like an engine's:
+    // every ledger line is charged to the governor, and a memory source
+    // (installed in Run) covers the live capture buffers. The governor
+    // carries no cap — the numbers are telemetry for the end-of-run
+    // diagnostic line, and they surface a supervisor whose retained
+    // buffers (not its workers) are what is actually growing.
+    governor_.ChargeBytes(RenderLedgerRecord(record).size());
     Status status = AppendLedgerRecord(options_.ledger_path, record);
     if (!status.ok()) {
       err_ << "tgdkit: batch: ledger append failed: " << status.ToString()
@@ -129,6 +136,9 @@ class Supervisor {
   std::chrono::steady_clock::time_point start_;
   std::vector<TaskState> tasks_;
   SupervisorReport report_;
+  /// Accounting-only governor (no budget): ledger bytes are charged
+  /// through Append, capture/attempt buffers through a memory source.
+  ResourceGovernor governor_;
   bool shutdown_ = false;
 };
 
@@ -275,6 +285,24 @@ std::string Supervisor::TriageReport(const TaskState& state) const {
   }
   report += Cat(" after ", static_cast<uint64_t>(last.duration_ms),
                 " ms\n");
+  if (last.peak_rss_kb > 0) {
+    report += Cat("peak rss: ", last.peak_rss_kb, " KiB");
+    if (last.spill_bytes > 0) {
+      report += Cat(" (spilled ", last.spill_bytes, " bytes)");
+    }
+    report += "\n";
+  }
+  if (last.outcome == AttemptOutcome::kCrash && last.signal == SIGKILL &&
+      last.peak_rss_kb > 0) {
+    // An external SIGKILL with a large resident set is the kernel OOM
+    // killer's signature: the supervisor never sends a bare SIGKILL
+    // outside the timeout/shutdown escalations, which record their own
+    // outcomes. Suggest the degradation path instead of a blind retry.
+    report += Cat("hint: SIGKILL at ", last.peak_rss_kb,
+                  " KiB resident looks like an OOM kill; rerun with "
+                  "--spill-dir (out-of-core chase, see docs/STORAGE.md) "
+                  "or a lower --max-memory-mb\n");
+  }
   report += Cat("last status: ",
                 last.status_line.empty() ? "(none)" : last.status_line,
                 "\n");
@@ -343,6 +371,8 @@ Status Supervisor::HandleFinished(TaskState* state) {
   attempt.status_line = ExtractStatusLine(outcome.stdout_data);
   attempt.stop = ExtractStopToken(attempt.status_line);
   attempt.stderr_tail = outcome.stderr_tail;
+  attempt.peak_rss_kb = outcome.peak_rss_kb;
+  attempt.spill_bytes = ExtractStatusU64(attempt.status_line, "spill_bytes=");
   if (outcome.exited) attempt.exit_code = outcome.exit_code;
   if (outcome.signaled) attempt.signal = outcome.signal;
 
@@ -485,6 +515,22 @@ Result<SupervisorReport> Supervisor::Run() {
   // now so our own appends start on a fresh line instead of merging with
   // the fragment into unparseable interior garbage.
   TGDKIT_RETURN_IF_ERROR(TruncateTornLedgerTail(options_.ledger_path));
+  // Everything the supervisor retains per task — live worker capture
+  // pipes and the last attempt's triage material — is visible to the
+  // accounting governor, alongside the ledger bytes charged in Append.
+  governor_.AddMemorySource([this] {
+    uint64_t bytes = 0;
+    for (const TaskState& state : tasks_) {
+      if (state.worker != nullptr) {
+        const WorkerOutcome& o = state.worker->outcome();
+        bytes += o.stdout_data.size() + o.stderr_tail.size();
+      }
+      bytes += state.last_attempt.status_line.size() +
+               state.last_attempt.stderr_tail.size() +
+               state.last_attempt.cmd.size();
+    }
+    return bytes;
+  });
   RunRecord run;
   run.manifest = options_.manifest_path;
   run.tasks = tasks_.size();
@@ -584,6 +630,13 @@ Result<SupervisorReport> Supervisor::Run() {
     }
   }
 
+  // Supervisor self-accounting, as a stderr diagnostic (the stdout
+  // summary stays byte-stable for pipelines): total ledger bytes charged
+  // plus the retained buffer footprint at the end of the run.
+  governor_.CheckNow();
+  err_ << "# supervisor: ledger_bytes=" << governor_.charged_bytes()
+       << " buffer_bytes="
+       << (governor_.memory_bytes() - governor_.charged_bytes()) << "\n";
   out_ << "# batch: tasks=" << report_.total << " completed="
        << report_.completed << " quarantined=" << report_.quarantined
        << " skipped=" << report_.skipped << " attempts="

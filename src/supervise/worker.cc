@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -196,8 +197,14 @@ void WorkerProcess::RequestStop() {
 bool WorkerProcess::TryReap() {
   if (pid_ <= 0) return true;
   int status = 0;
-  pid_t reaped = waitpid(pid_, &status, WNOHANG);
+  struct rusage usage = {};
+  // wait4 = waitpid + the child's resource usage; ru_maxrss is the peak
+  // RSS in KiB on Linux.
+  pid_t reaped = wait4(pid_, &status, WNOHANG, &usage);
   if (reaped == 0) return false;
+  if (usage.ru_maxrss > 0) {
+    outcome_.peak_rss_kb = static_cast<uint64_t>(usage.ru_maxrss);
+  }
   outcome_.duration_ms = governor_.elapsed_ms();
   pid_ = -1;
   // Final drain: the pipes may still hold everything the worker wrote.
@@ -254,6 +261,29 @@ std::string ExtractStopToken(std::string_view status_line) {
   size_t end = start;
   while (end < status_line.size() && status_line[end] != ' ') ++end;
   return std::string(status_line.substr(start, end - start));
+}
+
+uint64_t ExtractStatusU64(std::string_view status_line,
+                          std::string_view key) {
+  // Match the key only at a field boundary (start of line or after a
+  // space) so "spill_bytes=" never matches inside another key.
+  size_t pos = 0;
+  while (true) {
+    pos = status_line.find(key, pos);
+    if (pos == std::string_view::npos) return 0;
+    if (pos == 0 || status_line[pos - 1] == ' ') break;
+    ++pos;
+  }
+  size_t start = pos + key.size();
+  uint64_t value = 0;
+  bool any = false;
+  for (size_t i = start; i < status_line.size(); ++i) {
+    char c = status_line[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    any = true;
+  }
+  return any ? value : 0;
 }
 
 }  // namespace tgdkit

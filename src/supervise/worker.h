@@ -69,6 +69,11 @@ struct WorkerOutcome {
   bool stop_requested = false;
   bool stdout_truncated = false;
   double duration_ms = 0;
+  /// Peak resident set of the worker (ru_maxrss of the reaped child, in
+  /// KiB; 0 if the platform reported nothing). Triage uses it to tell an
+  /// OOM kill (SIGKILL + RSS near the memory budget) from a
+  /// deterministic crash.
+  uint64_t peak_rss_kb = 0;
   std::string stdout_data;
   std::string stderr_tail;
 };
@@ -132,5 +137,11 @@ std::string ExtractStatusLine(std::string_view stdout_data);
 /// from "# status: ResourceExhausted: chase stopped by deadline ...".
 /// Empty for OK / unrecognized lines.
 std::string ExtractStopToken(std::string_view status_line);
+
+/// Extracts a `key=<digits>` field from a status line, e.g. 4096 from
+/// "# status: OK ... spill_bytes=4096". `key` must include the '='.
+/// Returns 0 when the key is absent or its value is not a number.
+uint64_t ExtractStatusU64(std::string_view status_line,
+                          std::string_view key);
 
 }  // namespace tgdkit

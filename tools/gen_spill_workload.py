@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Generates a chase workload whose instance dwarfs a small memory budget.
+
+Emits two files — DEPS (one projection tgd) and INSTANCE — shaped so the
+fact store, not the term arena or the matcher, dominates memory:
+
+  * one wide relation `Big` of arity A (default 9) with N rows
+    (default 60000) of heavily repeated constants (R distinct values per
+    column, default 128): wide rows make the flat fact payload large
+    while the shared vocabulary stays tiny, which is exactly the shape
+    the spill backend's sealed segments absorb;
+  * the single rule `Big(x1, ..., xA) -> Want(x1) .` so the chase has
+    real matching work over the big relation but creates few new facts
+    (at most R), keeping the run's live-set pressure on the INPUT facts.
+
+Row contents are a deterministic function of (row, column, R) — no RNG —
+so every invocation with the same arguments writes byte-identical files
+and the CI degradation job can diff chase outputs across budgets.
+
+Stdlib only.
+
+Usage:
+  tools/gen_spill_workload.py --out-deps spill.tgd --out-instance spill.facts
+                              [--rows N] [--arity A] [--repeat R]
+"""
+
+import argparse
+import sys
+
+
+def write_deps(path, arity):
+    xs = ", ".join(f"x{i + 1}" for i in range(arity))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"Big({xs}) -> Want(x1) .\n")
+
+
+def write_instance(path, rows, arity, repeat):
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in range(rows):
+            # Column c holds digit c of `row` in base `repeat`: tuples are
+            # pairwise distinct (they spell the row number) while the
+            # vocabulary stays at `repeat` constants, so the flat fact
+            # payload — not the symbol table — carries the bytes.
+            digits = []
+            x = row
+            for _ in range(arity):
+                digits.append(f"v{x % repeat}")
+                x //= repeat
+            fh.write(f"Big({', '.join(digits)}) .\n")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="generate a spill-pressure chase workload"
+    )
+    parser.add_argument("--out-deps", required=True)
+    parser.add_argument("--out-instance", required=True)
+    parser.add_argument("--rows", type=int, default=60000)
+    parser.add_argument("--arity", type=int, default=9)
+    parser.add_argument("--repeat", type=int, default=128)
+    args = parser.parse_args(argv)
+    if args.rows <= 0 or args.arity <= 0 or args.repeat <= 0:
+        parser.error("--rows, --arity and --repeat must be positive")
+    write_deps(args.out_deps, args.arity)
+    write_instance(args.out_instance, args.rows, args.arity, args.repeat)
+    print(
+        f"gen_spill_workload: wrote {args.rows} rows of arity {args.arity} "
+        f"({args.repeat} distinct values/column) to {args.out_instance}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
