@@ -34,19 +34,31 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     const std::function<void(size_t)>* body = nullptr;
     size_t n = 0;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
-        return shutdown_ || (generation_ != seen && job_body_ != nullptr);
+        return shutdown_ || !tasks_.empty() ||
+               (generation_ != seen && job_body_ != nullptr);
       });
       if (shutdown_) return;
-      seen = generation_;
-      body = job_body_;
-      n = job_size_;
-      // Claims only happen inside this active bracket, so the caller's
-      // completion wait (completed == n AND no active workers) guarantees
-      // no stale claim can race a later job's counter reset.
-      ++active_workers_;
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else {
+        seen = generation_;
+        body = job_body_;
+        n = job_size_;
+        // Claims only happen inside this active bracket, so the caller's
+        // completion wait (completed == n AND no active workers)
+        // guarantees no stale claim can race a later job's counter
+        // reset.
+        ++active_workers_;
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     DrainIndexes(*body, n);
     {
@@ -55,6 +67,18 @@ void ThreadPool::WorkerLoop() {
     }
     done_cv_.notify_all();
   }
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::ParallelFor(size_t n,

@@ -1,4 +1,5 @@
-// Fixed-size thread pool for data-parallel engine phases.
+// Fixed-size thread pool for data-parallel engine phases and posted
+// tasks.
 //
 // The chase engines stage each round's trigger matching as a list of
 // independent slices and fan them out with ParallelFor. The pool is
@@ -6,12 +7,18 @@
 // load balance, and a hard completion barrier — determinism is the
 // *caller's* contract (write results into per-index slots, merge in index
 // order), which keeps the pool itself free of ordering policy.
+//
+// Post() is the second mode: fire-and-forget tasks drained by the same
+// workers, used by the serve daemon to execute requests concurrently.
+// Completion tracking is the caller's job (serve counts in-flight
+// requests itself); the destructor drops tasks that never started.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -43,6 +50,15 @@ class ThreadPool {
   /// synchronized. Not reentrant: one job at a time per pool.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
+  /// Enqueues one task for any free worker; returns immediately. With no
+  /// workers (threads == 1) the task runs inline before returning, so
+  /// single-threaded configurations stay a single code path. Tasks must
+  /// not throw. The pool provides no completion signal — callers that
+  /// need one (the serve daemon's in-flight accounting) build their own.
+  /// Destroying the pool drops tasks that have not started; the caller
+  /// must drain first if that matters.
+  void Post(std::function<void()> task);
+
  private:
   void WorkerLoop();
   /// Claims and runs indexes of the current job until none remain.
@@ -58,6 +74,7 @@ class ThreadPool {
   size_t job_size_ = 0;              // guarded by mutex_ at handoff
   const std::function<void(size_t)>* job_body_ = nullptr;  // likewise
   size_t active_workers_ = 0;        // workers inside DrainIndexes
+  std::deque<std::function<void()>> tasks_;  // guarded by mutex_
   std::atomic<size_t> next_index_{0};
   std::atomic<size_t> completed_{0};
 };

@@ -1,5 +1,9 @@
 // The tgdkit command-line driver, as a testable library. The `tgdkit`
-// binary (tools/tgdkit_main.cc) forwards straight into RunCli.
+// binary (tools/tgdkit_main.cc) forwards straight into CliMain. The
+// command implementations live in src/api (a request-scoped library the
+// serve daemon shares); this layer binds them to the process: the
+// signal-driven global cancellation token, SIGPIPE handling, and the
+// `serve` subcommand that turns the process into a resident service.
 //
 // Commands:
 //   tgdkit classify  DEPS                 Figure 1 + Figure 2 membership
@@ -9,6 +13,7 @@
 //   tgdkit certain   DEPS INSTANCE QUERY  certain answers to a query
 //   tgdkit normalize DEPS                 Algorithm 1 + Algorithm 2 output
 //   tgdkit batch     MANIFEST             fault-isolated corpus sweep
+//   tgdkit serve     [--socket PATH]      resident reasoning service
 //
 // DEPS/INSTANCE are file paths in the formats of parse/parser.h; QUERY is
 // a Datalog-style query string. Options:
@@ -20,48 +25,23 @@
 #include <string>
 #include <vector>
 
+#include "api/api.h"  // IWYU pragma: export (ExitCode & friends)
 #include "base/budget.h"
 #include "base/status.h"
 
 namespace tgdkit {
 
-/// Process exit codes of every tgdkit subcommand. The mapping is part of
-/// the CLI contract (docs/FORMAT.md, "Exit codes"): the batch
-/// supervisor's run ledger and retry policy key off these values, so
-/// every subcommand must conform (asserted by tests/cli_exit_code_test).
-enum ExitCode : int {
-  /// Command completed and every verdict it computed is positive.
-  kExitOk = 0,
-  /// Malformed command line: unknown command/option, wrong arity,
-  /// invalid option value. Deterministic; retrying is pointless.
-  kExitUsage = 1,
-  /// An input could not be loaded: missing file, parse error, corrupt or
-  /// version-mismatched snapshot. Deterministic; retrying is pointless.
-  kExitInput = 2,
-  /// The command ran to completion and the answer is negative: `check`
-  /// found a violation, `lint` found findings at/above --fail-on,
-  /// `batch` ended with quarantined or negative-verdict tasks.
-  kExitVerdict = 3,
-  /// A resource budget stopped the engine (StopReason other than
-  /// fixpoint, including cooperative SIGINT/SIGTERM cancellation). The
-  /// partial result and a `# status:` line are on stdout.
-  kExitResource = 4,
-  /// Environment/internal failure: a checkpoint or ledger write failed,
-  /// worker subprocess machinery broke. Possibly transient.
-  kExitInternal = 5,
-};
-
-/// Maps a Status to the exit-code contract above.
-int ExitCodeForStatus(const Status& status);
-
-/// Maps an engine stop reason: kExitOk for fixpoint, kExitResource
-/// otherwise.
-int ExitCodeForStop(StopReason stop);
-
-/// Runs one CLI invocation. `args` excludes the program name. Returns a
-/// process exit code from the ExitCode table.
+/// Runs one CLI invocation bound to the process-global cancellation
+/// token. `args` excludes the program name. Returns a process exit code
+/// from the ExitCode table (api/api.h).
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err);
+
+/// The `tgdkit` binary's entire main: ignores SIGPIPE (a closed stdout
+/// must become kExitPipe, not a silent death mid-output), installs the
+/// cancellation signal handlers, runs RunCli against std::cout/cerr,
+/// and downgrades the exit code to kExitPipe when stdout failed.
+int CliMain(const std::vector<std::string>& args);
 
 /// The process-wide cancellation token every RunCli invocation listens
 /// on. Cancel() is async-signal-safe, so a SIGINT handler may call it;

@@ -1,0 +1,123 @@
+#include "serve/cache.h"
+
+#include <string_view>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+namespace {
+
+void HashString(size_t* seed, std::string_view text) {
+  HashCombine(seed, std::hash<std::string_view>{}(text));
+  HashCombine(seed, text.size());
+}
+
+}  // namespace
+
+uint64_t ServeRequestKey(const ServeRequest& request) {
+  size_t seed = 0xA11CE5ED;
+  HashString(&seed, request.command);
+  for (const std::string& arg : request.args) HashString(&seed, arg);
+  for (size_t i = 0; i < request.file_names.size(); ++i) {
+    HashString(&seed, request.file_names[i]);
+    HashString(&seed, request.file_contents[i]);
+  }
+  return seed;
+}
+
+uint64_t ServeRulesetKey(const ServeRequest& request) {
+  size_t seed = 0x0BADC0DE;
+  if (request.file_contents.empty()) {
+    HashString(&seed, request.command);
+    for (const std::string& arg : request.args) HashString(&seed, arg);
+    return seed;
+  }
+  for (const std::string& content : request.file_contents) {
+    HashString(&seed, content);
+  }
+  return seed;
+}
+
+std::optional<ServeResponse> ResponseCache::Get(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  ServeResponse response = it->second->response;
+  response.cached = true;
+  return response;
+}
+
+void ResponseCache::Put(uint64_t key, const ServeResponse& response) {
+  uint64_t bytes = 64 + response.out.size() + response.err.size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > max_bytes_) return;  // also covers the disabled cache
+  if (auto it = index_.find(key); it != index_.end()) {
+    // A concurrent identical request already inserted; keep the
+    // existing entry (both computed the same bytes).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (used_bytes_ + bytes > max_bytes_ && !lru_.empty()) {
+    used_bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.bytes = bytes;
+  entry.response = response;
+  entry.response.id.clear();
+  entry.response.cached = true;
+  entry.response.duration_ms = 0;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  used_bytes_ += bytes;
+  ++stats_.insertions;
+}
+
+ResponseCacheStats ResponseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool QuarantineRegistry::Strike(uint64_t ruleset_key) {
+  if (threshold_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t& strikes = strikes_[ruleset_key];
+  if (strikes < threshold_) ++strikes;
+  return strikes >= threshold_;
+}
+
+void QuarantineRegistry::OnSuccess(uint64_t ruleset_key) {
+  if (threshold_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = strikes_.find(ruleset_key);
+  // The breaker, once tripped, stays tripped: a cached-elsewhere success
+  // must not silently re-arm a ruleset that kept wrecking workers.
+  if (it != strikes_.end() && it->second < threshold_) strikes_.erase(it);
+}
+
+bool QuarantineRegistry::IsQuarantined(uint64_t ruleset_key) const {
+  if (threshold_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = strikes_.find(ruleset_key);
+  return it != strikes_.end() && it->second >= threshold_;
+}
+
+uint64_t QuarantineRegistry::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t count = 0;
+  for (const auto& [key, strikes] : strikes_) {
+    if (strikes >= threshold_ && threshold_ != 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,103 @@
+// Warm-result cache and ruleset quarantine for the serve daemon.
+//
+// ResponseCache memoizes complete responses keyed by a content hash of
+// (command, args, inline files). Strict request-scoping is the safety
+// rule: entries are inserted only after a request finished with a
+// fully-validated verdict (exit 0 or 3) and only when every input was
+// inline — a request that read the daemon's filesystem is never cached,
+// because the file can change under us; a request that failed, was
+// cancelled, or stopped on a budget is never cached, because its output
+// is not the answer. Eviction is LRU by payload bytes.
+//
+// QuarantineRegistry is the watchdog's memory: repeated in-flight
+// failures (internal errors, hard deadline overruns) for the same
+// ruleset hash trip a breaker, and further requests for that hash are
+// refused with a typed `quarantined` response instead of burning
+// another worker. A clean completion resets the breaker.
+//
+// Both classes are internally locked; workers and the poll loop call
+// them concurrently.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/protocol.h"
+
+namespace tgdkit {
+
+/// Content hash of the parts of a request that determine its response.
+uint64_t ServeRequestKey(const ServeRequest& request);
+
+/// Content hash of a request's inline files only: the quarantine key.
+/// Requests with no inline files hash their command + args instead, so
+/// hostile filesystem-path requests still accumulate strikes.
+uint64_t ServeRulesetKey(const ServeRequest& request);
+
+struct ResponseCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+class ResponseCache {
+ public:
+  /// max_bytes == 0 disables the cache (Get always misses, Put drops).
+  explicit ResponseCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Returns the cached response (id empty — the caller stamps the
+  /// request's own id) and refreshes its LRU position.
+  std::optional<ServeResponse> Get(uint64_t key);
+
+  /// Inserts a response, evicting least-recently-used entries until the
+  /// byte cap holds again. The caller has already applied the
+  /// only-validated-success policy; Put only enforces the byte cap (an
+  /// entry larger than the whole cache is dropped).
+  void Put(uint64_t key, const ServeResponse& response);
+
+  ResponseCacheStats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t bytes = 0;
+    ServeResponse response;
+  };
+
+  uint64_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  uint64_t used_bytes_ = 0;
+  ResponseCacheStats stats_;
+};
+
+class QuarantineRegistry {
+ public:
+  /// threshold == 0 disables quarantining entirely.
+  explicit QuarantineRegistry(uint32_t threshold)
+      : threshold_(threshold) {}
+
+  /// Records one in-flight failure for the ruleset; returns true when
+  /// this strike tripped (or the hash already was at) the breaker.
+  bool Strike(uint64_t ruleset_key);
+
+  /// A request for this ruleset completed cleanly: reset the breaker.
+  void OnSuccess(uint64_t ruleset_key);
+
+  bool IsQuarantined(uint64_t ruleset_key) const;
+
+  uint64_t quarantined_count() const;
+
+ private:
+  uint32_t threshold_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, uint32_t> strikes_;
+};
+
+}  // namespace tgdkit

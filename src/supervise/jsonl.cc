@@ -1,0 +1,261 @@
+#include "supervise/jsonl.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument(Cat("ledger record: ", what));
+}
+
+void SkipSpace(std::string_view text, size_t* i) {
+  while (*i < text.size() &&
+         (text[*i] == ' ' || text[*i] == '\t' || text[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+/// Parses a JSON string starting at the opening quote.
+Status ParseJsonString(std::string_view text, size_t* i, std::string* out) {
+  if (*i >= text.size() || text[*i] != '"') return Malformed("expected '\"'");
+  ++*i;
+  while (*i < text.size()) {
+    char c = text[(*i)++];
+    if (c == '"') return Status::Ok();
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (*i >= text.size()) break;
+    char esc = text[(*i)++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 't': out->push_back('\t'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (*i + 4 > text.size()) return Malformed("truncated \\u escape");
+        unsigned value = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = text[(*i)++];
+          value <<= 4;
+          if (h >= '0' && h <= '9') {
+            value |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            value |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return Malformed("bad \\u escape");
+          }
+        }
+        // The writer only emits \u00XX for control bytes; decode the
+        // low byte and tolerate (rare) larger values as UTF-8.
+        if (value < 0x80) {
+          out->push_back(static_cast<char>(value));
+        } else if (value < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (value >> 6)));
+          out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (value >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return Malformed("unknown escape");
+    }
+  }
+  return Malformed("unterminated string");
+}
+
+void AppendField(std::string* out, std::string_view key,
+                 std::string_view value, bool quote) {
+  if (out->back() != '{') *out += ',';
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  if (quote) {
+    *out += '"';
+    *out += JsonEscape(value);
+    *out += '"';
+  } else {
+    *out += value;
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Status ParseFlatJson(std::string_view text, FlatJson* out) {
+  size_t i = 0;
+  SkipSpace(text, &i);
+  if (i >= text.size() || text[i] != '{') return Malformed("expected '{'");
+  ++i;
+  SkipSpace(text, &i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    SkipSpace(text, &i);
+    if (i != text.size()) return Malformed("trailing bytes");
+    return Status::Ok();
+  }
+  while (true) {
+    SkipSpace(text, &i);
+    std::string key;
+    TGDKIT_RETURN_IF_ERROR(ParseJsonString(text, &i, &key));
+    SkipSpace(text, &i);
+    if (i >= text.size() || text[i] != ':') return Malformed("expected ':'");
+    ++i;
+    SkipSpace(text, &i);
+    JsonFieldValue value;
+    if (i >= text.size()) return Malformed("truncated value");
+    if (text[i] == '"') {
+      TGDKIT_RETURN_IF_ERROR(ParseJsonString(text, &i, &value.scalar));
+    } else if (text[i] == '[') {
+      value.is_array = true;
+      ++i;
+      SkipSpace(text, &i);
+      if (i < text.size() && text[i] == ']') {
+        ++i;
+      } else {
+        while (true) {
+          SkipSpace(text, &i);
+          std::string element;
+          TGDKIT_RETURN_IF_ERROR(ParseJsonString(text, &i, &element));
+          value.elements.push_back(std::move(element));
+          SkipSpace(text, &i);
+          if (i >= text.size()) return Malformed("unterminated array");
+          if (text[i] == ',') {
+            ++i;
+            continue;
+          }
+          if (text[i] == ']') {
+            ++i;
+            break;
+          }
+          return Malformed("expected ',' or ']'");
+        }
+      }
+    } else if (text[i] == '{') {
+      return Malformed("nested values are not part of the ledger schema");
+    } else {
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             text[i] != ' ' && text[i] != '\t') {
+        value.scalar += text[i++];
+      }
+      if (value.scalar.empty()) return Malformed("empty value");
+    }
+    out->emplace_back(std::move(key), std::move(value));
+    SkipSpace(text, &i);
+    if (i >= text.size()) return Malformed("unterminated object");
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') {
+      ++i;
+      SkipSpace(text, &i);
+      if (i != text.size()) return Malformed("trailing bytes");
+      return Status::Ok();
+    }
+    return Malformed("expected ',' or '}'");
+  }
+}
+
+const JsonFieldValue* FindJsonField(const FlatJson& fields,
+                                    std::string_view key) {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string GetJsonString(const FlatJson& fields, std::string_view key) {
+  const JsonFieldValue* value = FindJsonField(fields, key);
+  return value == nullptr ? std::string() : value->scalar;
+}
+
+uint64_t GetJsonU64(const FlatJson& fields, std::string_view key) {
+  const JsonFieldValue* value = FindJsonField(fields, key);
+  if (value == nullptr) return 0;
+  return std::strtoull(value->scalar.c_str(), nullptr, 10);
+}
+
+int64_t GetJsonI64(const FlatJson& fields, std::string_view key,
+                   int64_t missing) {
+  const JsonFieldValue* value = FindJsonField(fields, key);
+  if (value == nullptr) return missing;
+  return std::strtoll(value->scalar.c_str(), nullptr, 10);
+}
+
+double GetJsonDouble(const FlatJson& fields, std::string_view key) {
+  const JsonFieldValue* value = FindJsonField(fields, key);
+  if (value == nullptr) return 0;
+  return std::strtod(value->scalar.c_str(), nullptr);
+}
+
+bool GetJsonBool(const FlatJson& fields, std::string_view key) {
+  const JsonFieldValue* value = FindJsonField(fields, key);
+  return value != nullptr && value->scalar == "true";
+}
+
+std::vector<std::string> GetJsonStringArray(const FlatJson& fields,
+                                            std::string_view key) {
+  const JsonFieldValue* value = FindJsonField(fields, key);
+  if (value == nullptr || !value->is_array) return {};
+  return value->elements;
+}
+
+void AppendJsonString(std::string* out, std::string_view key,
+                      std::string_view value) {
+  AppendField(out, key, value, /*quote=*/true);
+}
+
+void AppendJsonRaw(std::string* out, std::string_view key,
+                   std::string_view value) {
+  AppendField(out, key, value, /*quote=*/false);
+}
+
+void AppendJsonStringArray(std::string* out, std::string_view key,
+                           const std::vector<std::string>& values) {
+  std::string array = "[";
+  array += JoinMapped(values, ",", [](const std::string& v) {
+    return Cat("\"", JsonEscape(v), "\"");
+  });
+  array += "]";
+  AppendField(out, key, array, /*quote=*/false);
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,72 @@
+// Shared flat-JSONL machinery for durable append-only ledgers.
+//
+// Both the batch supervisor's run ledger (src/supervise/ledger.h) and the
+// serve daemon's request ledger (src/serve/serve_ledger.h) follow the
+// same discipline: one flat JSON object per line, appended through
+// AppendLineDurable (O_APPEND + fsync), so a SIGKILL at any instant
+// leaves at most one torn trailing line — which loaders skip — and never
+// corrupts earlier records. This header hosts the pieces both sides
+// share: escaping, the flat-object parser, field accessors, and the
+// renderer helpers, so every ledger in the tree speaks byte-compatible
+// JSON.
+//
+// "Flat" means values are strings, numbers, booleans or arrays of
+// strings — never nested objects. That keeps the parser small enough to
+// audit and the records greppable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace tgdkit {
+
+/// JSON string escaping for ledger/protocol values: ", \, control
+/// characters.
+std::string JsonEscape(std::string_view text);
+
+/// One parsed field: raw scalar text (strings unescaped, numbers and
+/// booleans as their literal text) plus, for array values, the decoded
+/// string elements.
+struct JsonFieldValue {
+  std::string scalar;
+  bool is_array = false;
+  std::vector<std::string> elements;
+};
+
+/// A parsed flat JSON object: key -> value, in declaration order.
+using FlatJson = std::vector<std::pair<std::string, JsonFieldValue>>;
+
+/// Parses one flat JSON object (string/number/bool/null scalars plus
+/// arrays of strings — exactly what the renderers below write).
+/// InvalidArgument on anything else, including nested objects.
+Status ParseFlatJson(std::string_view text, FlatJson* out);
+
+/// Field accessors; missing keys yield the zero value (or `missing`).
+const JsonFieldValue* FindJsonField(const FlatJson& fields,
+                                    std::string_view key);
+std::string GetJsonString(const FlatJson& fields, std::string_view key);
+uint64_t GetJsonU64(const FlatJson& fields, std::string_view key);
+int64_t GetJsonI64(const FlatJson& fields, std::string_view key,
+                   int64_t missing);
+double GetJsonDouble(const FlatJson& fields, std::string_view key);
+bool GetJsonBool(const FlatJson& fields, std::string_view key);
+std::vector<std::string> GetJsonStringArray(const FlatJson& fields,
+                                            std::string_view key);
+
+/// Renderer helpers: append one `"key":value` field to an object under
+/// construction (a string starting with '{'). AppendJsonString escapes
+/// and quotes; AppendJsonRaw emits the value verbatim (numbers,
+/// booleans); AppendJsonStringArray writes an array of escaped strings.
+void AppendJsonString(std::string* out, std::string_view key,
+                      std::string_view value);
+void AppendJsonRaw(std::string* out, std::string_view key,
+                   std::string_view value);
+void AppendJsonStringArray(std::string* out, std::string_view key,
+                           const std::vector<std::string>& values);
+
+}  // namespace tgdkit

@@ -1,5 +1,7 @@
 #include "supervise/ledger.h"
 
+#include "supervise/jsonl.h"
+
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -14,186 +16,8 @@ namespace tgdkit {
 
 namespace {
 
-/// A parsed flat JSON object: key -> raw value (strings unescaped,
-/// numbers/booleans as their literal text).
-using FlatJson = std::vector<std::pair<std::string, std::string>>;
-
-const std::string* Find(const FlatJson& fields, std::string_view key) {
-  for (const auto& [k, v] : fields) {
-    if (k == key) return &v;
-  }
-  return nullptr;
-}
-
-std::string GetString(const FlatJson& fields, std::string_view key) {
-  const std::string* value = Find(fields, key);
-  return value == nullptr ? std::string() : *value;
-}
-
-uint64_t GetU64(const FlatJson& fields, std::string_view key) {
-  const std::string* value = Find(fields, key);
-  if (value == nullptr) return 0;
-  return std::strtoull(value->c_str(), nullptr, 10);
-}
-
-int64_t GetI64(const FlatJson& fields, std::string_view key,
-               int64_t missing) {
-  const std::string* value = Find(fields, key);
-  if (value == nullptr) return missing;
-  return std::strtoll(value->c_str(), nullptr, 10);
-}
-
-double GetDouble(const FlatJson& fields, std::string_view key) {
-  const std::string* value = Find(fields, key);
-  if (value == nullptr) return 0;
-  return std::strtod(value->c_str(), nullptr);
-}
-
-bool GetBool(const FlatJson& fields, std::string_view key) {
-  const std::string* value = Find(fields, key);
-  return value != nullptr && *value == "true";
-}
-
 Status Malformed(const std::string& what) {
   return Status::InvalidArgument(Cat("ledger record: ", what));
-}
-
-void SkipSpace(std::string_view text, size_t* i) {
-  while (*i < text.size() &&
-         (text[*i] == ' ' || text[*i] == '\t' || text[*i] == '\r')) {
-    ++*i;
-  }
-}
-
-/// Parses a JSON string starting at the opening quote.
-Status ParseJsonString(std::string_view text, size_t* i, std::string* out) {
-  if (*i >= text.size() || text[*i] != '"') return Malformed("expected '\"'");
-  ++*i;
-  while (*i < text.size()) {
-    char c = text[(*i)++];
-    if (c == '"') return Status::Ok();
-    if (c != '\\') {
-      out->push_back(c);
-      continue;
-    }
-    if (*i >= text.size()) break;
-    char esc = text[(*i)++];
-    switch (esc) {
-      case '"': out->push_back('"'); break;
-      case '\\': out->push_back('\\'); break;
-      case '/': out->push_back('/'); break;
-      case 'n': out->push_back('\n'); break;
-      case 't': out->push_back('\t'); break;
-      case 'r': out->push_back('\r'); break;
-      case 'b': out->push_back('\b'); break;
-      case 'f': out->push_back('\f'); break;
-      case 'u': {
-        if (*i + 4 > text.size()) return Malformed("truncated \\u escape");
-        unsigned value = 0;
-        for (int k = 0; k < 4; ++k) {
-          char h = text[(*i)++];
-          value <<= 4;
-          if (h >= '0' && h <= '9') {
-            value |= static_cast<unsigned>(h - '0');
-          } else if (h >= 'a' && h <= 'f') {
-            value |= static_cast<unsigned>(h - 'a' + 10);
-          } else if (h >= 'A' && h <= 'F') {
-            value |= static_cast<unsigned>(h - 'A' + 10);
-          } else {
-            return Malformed("bad \\u escape");
-          }
-        }
-        // The writer only emits \u00XX for control bytes; decode the
-        // low byte and tolerate (rare) larger values as UTF-8.
-        if (value < 0x80) {
-          out->push_back(static_cast<char>(value));
-        } else if (value < 0x800) {
-          out->push_back(static_cast<char>(0xC0 | (value >> 6)));
-          out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
-        } else {
-          out->push_back(static_cast<char>(0xE0 | (value >> 12)));
-          out->push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
-          out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
-        }
-        break;
-      }
-      default:
-        return Malformed("unknown escape");
-    }
-  }
-  return Malformed("unterminated string");
-}
-
-/// Parses one flat JSON object (string/number/bool/null values only —
-/// exactly what RenderLedgerRecord writes).
-Status ParseFlatJson(std::string_view text, FlatJson* out) {
-  size_t i = 0;
-  SkipSpace(text, &i);
-  if (i >= text.size() || text[i] != '{') return Malformed("expected '{'");
-  ++i;
-  SkipSpace(text, &i);
-  if (i < text.size() && text[i] == '}') return Status::Ok();
-  while (true) {
-    SkipSpace(text, &i);
-    std::string key;
-    TGDKIT_RETURN_IF_ERROR(ParseJsonString(text, &i, &key));
-    SkipSpace(text, &i);
-    if (i >= text.size() || text[i] != ':') return Malformed("expected ':'");
-    ++i;
-    SkipSpace(text, &i);
-    std::string value;
-    if (i >= text.size()) return Malformed("truncated value");
-    if (text[i] == '"') {
-      TGDKIT_RETURN_IF_ERROR(ParseJsonString(text, &i, &value));
-    } else if (text[i] == '{' || text[i] == '[') {
-      return Malformed("nested values are not part of the ledger schema");
-    } else {
-      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
-             text[i] != ' ' && text[i] != '\t') {
-        value += text[i++];
-      }
-      if (value.empty()) return Malformed("empty value");
-    }
-    out->emplace_back(std::move(key), std::move(value));
-    SkipSpace(text, &i);
-    if (i >= text.size()) return Malformed("unterminated object");
-    if (text[i] == ',') {
-      ++i;
-      continue;
-    }
-    if (text[i] == '}') {
-      ++i;
-      SkipSpace(text, &i);
-      if (i != text.size()) return Malformed("trailing bytes");
-      return Status::Ok();
-    }
-    return Malformed("expected ',' or '}'");
-  }
-}
-
-void AppendField(std::string* out, std::string_view key,
-                 std::string_view value, bool quote) {
-  if (out->back() != '{') *out += ',';
-  *out += '"';
-  *out += key;
-  *out += "\":";
-  if (quote) {
-    *out += '"';
-    *out += JsonEscape(value);
-    *out += '"';
-  } else {
-    *out += value;
-  }
-}
-
-void AppendString(std::string* out, std::string_view key,
-                  std::string_view value) {
-  AppendField(out, key, value, /*quote=*/true);
-}
-
-void AppendRaw(std::string* out, std::string_view key,
-               std::string_view value) {
-  AppendField(out, key, value, /*quote=*/false);
 }
 
 }  // namespace
@@ -252,68 +76,45 @@ LedgerRecord LedgerRecord::Done(DoneRecord d) {
   return record;
 }
 
-std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (unsigned char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
-
 std::string RenderLedgerRecord(const LedgerRecord& record) {
   std::string out = "{";
   switch (record.kind) {
     case LedgerRecord::Kind::kRun: {
-      AppendString(&out, "type", "run");
-      AppendString(&out, "manifest", record.run.manifest);
-      AppendRaw(&out, "tasks", std::to_string(record.run.tasks));
+      AppendJsonString(&out, "type", "run");
+      AppendJsonString(&out, "manifest", record.run.manifest);
+      AppendJsonRaw(&out, "tasks", std::to_string(record.run.tasks));
       break;
     }
     case LedgerRecord::Kind::kAttempt: {
       const AttemptRecord& a = record.attempt;
-      AppendString(&out, "type", "attempt");
-      AppendString(&out, "task", a.task);
-      AppendRaw(&out, "attempt", std::to_string(a.attempt));
-      AppendString(&out, "outcome", ToString(a.outcome));
-      AppendRaw(&out, "exit", std::to_string(a.exit_code));
-      AppendRaw(&out, "signal", std::to_string(a.signal));
-      AppendString(&out, "stop", a.stop);
-      AppendString(&out, "status", a.status_line);
-      AppendRaw(&out, "duration_ms",
+      AppendJsonString(&out, "type", "attempt");
+      AppendJsonString(&out, "task", a.task);
+      AppendJsonRaw(&out, "attempt", std::to_string(a.attempt));
+      AppendJsonString(&out, "outcome", ToString(a.outcome));
+      AppendJsonRaw(&out, "exit", std::to_string(a.exit_code));
+      AppendJsonRaw(&out, "signal", std::to_string(a.signal));
+      AppendJsonString(&out, "stop", a.stop);
+      AppendJsonString(&out, "status", a.status_line);
+      AppendJsonRaw(&out, "duration_ms",
                 std::to_string(static_cast<uint64_t>(a.duration_ms)));
-      AppendRaw(&out, "peak_rss_kb", std::to_string(a.peak_rss_kb));
-      AppendRaw(&out, "spill_bytes", std::to_string(a.spill_bytes));
-      AppendString(&out, "cmd", a.cmd);
-      AppendString(&out, "stderr_tail", a.stderr_tail);
-      AppendRaw(&out, "degraded", a.degraded ? "true" : "false");
-      AppendRaw(&out, "escalated", a.escalated ? "true" : "false");
-      AppendRaw(&out, "resumed", a.resumed ? "true" : "false");
-      AppendString(&out, "next", a.next);
+      AppendJsonRaw(&out, "peak_rss_kb", std::to_string(a.peak_rss_kb));
+      AppendJsonRaw(&out, "spill_bytes", std::to_string(a.spill_bytes));
+      AppendJsonString(&out, "cmd", a.cmd);
+      AppendJsonString(&out, "stderr_tail", a.stderr_tail);
+      AppendJsonRaw(&out, "degraded", a.degraded ? "true" : "false");
+      AppendJsonRaw(&out, "escalated", a.escalated ? "true" : "false");
+      AppendJsonRaw(&out, "resumed", a.resumed ? "true" : "false");
+      AppendJsonString(&out, "next", a.next);
       break;
     }
     case LedgerRecord::Kind::kDone: {
       const DoneRecord& d = record.done;
-      AppendString(&out, "type", "done");
-      AppendString(&out, "task", d.task);
-      AppendString(&out, "state", d.completed ? "completed" : "quarantined");
-      AppendRaw(&out, "exit", std::to_string(d.exit_code));
-      AppendRaw(&out, "attempts", std::to_string(d.attempts));
-      if (!d.triage.empty()) AppendString(&out, "triage", d.triage);
+      AppendJsonString(&out, "type", "done");
+      AppendJsonString(&out, "task", d.task);
+      AppendJsonString(&out, "state", d.completed ? "completed" : "quarantined");
+      AppendJsonRaw(&out, "exit", std::to_string(d.exit_code));
+      AppendJsonRaw(&out, "attempts", std::to_string(d.attempts));
+      if (!d.triage.empty()) AppendJsonString(&out, "triage", d.triage);
       break;
     }
   }
@@ -324,50 +125,50 @@ std::string RenderLedgerRecord(const LedgerRecord& record) {
 Result<LedgerRecord> ParseLedgerRecord(std::string_view line) {
   FlatJson fields;
   TGDKIT_RETURN_IF_ERROR(ParseFlatJson(line, &fields));
-  std::string type = GetString(fields, "type");
+  std::string type = GetJsonString(fields, "type");
   if (type == "run") {
     RunRecord run;
-    run.manifest = GetString(fields, "manifest");
-    run.tasks = GetU64(fields, "tasks");
+    run.manifest = GetJsonString(fields, "manifest");
+    run.tasks = GetJsonU64(fields, "tasks");
     return LedgerRecord::Run(std::move(run));
   }
   if (type == "attempt") {
     AttemptRecord a;
-    a.task = GetString(fields, "task");
-    a.attempt = GetU64(fields, "attempt");
+    a.task = GetJsonString(fields, "task");
+    a.attempt = GetJsonU64(fields, "attempt");
     if (a.task.empty() || a.attempt == 0) {
       return Malformed("attempt record missing task/attempt");
     }
-    if (!ParseAttemptOutcome(GetString(fields, "outcome"), &a.outcome)) {
+    if (!ParseAttemptOutcome(GetJsonString(fields, "outcome"), &a.outcome)) {
       return Malformed("unknown attempt outcome");
     }
-    a.exit_code = static_cast<int>(GetI64(fields, "exit", -1));
-    a.signal = static_cast<int>(GetI64(fields, "signal", 0));
-    a.stop = GetString(fields, "stop");
-    a.status_line = GetString(fields, "status");
-    a.duration_ms = GetDouble(fields, "duration_ms");
-    a.peak_rss_kb = GetU64(fields, "peak_rss_kb");
-    a.spill_bytes = GetU64(fields, "spill_bytes");
-    a.cmd = GetString(fields, "cmd");
-    a.stderr_tail = GetString(fields, "stderr_tail");
-    a.degraded = GetBool(fields, "degraded");
-    a.escalated = GetBool(fields, "escalated");
-    a.resumed = GetBool(fields, "resumed");
-    a.next = GetString(fields, "next");
+    a.exit_code = static_cast<int>(GetJsonI64(fields, "exit", -1));
+    a.signal = static_cast<int>(GetJsonI64(fields, "signal", 0));
+    a.stop = GetJsonString(fields, "stop");
+    a.status_line = GetJsonString(fields, "status");
+    a.duration_ms = GetJsonDouble(fields, "duration_ms");
+    a.peak_rss_kb = GetJsonU64(fields, "peak_rss_kb");
+    a.spill_bytes = GetJsonU64(fields, "spill_bytes");
+    a.cmd = GetJsonString(fields, "cmd");
+    a.stderr_tail = GetJsonString(fields, "stderr_tail");
+    a.degraded = GetJsonBool(fields, "degraded");
+    a.escalated = GetJsonBool(fields, "escalated");
+    a.resumed = GetJsonBool(fields, "resumed");
+    a.next = GetJsonString(fields, "next");
     return LedgerRecord::Attempt(std::move(a));
   }
   if (type == "done") {
     DoneRecord d;
-    d.task = GetString(fields, "task");
-    std::string state = GetString(fields, "state");
+    d.task = GetJsonString(fields, "task");
+    std::string state = GetJsonString(fields, "state");
     if (d.task.empty() ||
         (state != "completed" && state != "quarantined")) {
       return Malformed("done record missing task/state");
     }
     d.completed = state == "completed";
-    d.exit_code = static_cast<int>(GetI64(fields, "exit", -1));
-    d.attempts = GetU64(fields, "attempts");
-    d.triage = GetString(fields, "triage");
+    d.exit_code = static_cast<int>(GetJsonI64(fields, "exit", -1));
+    d.attempts = GetJsonU64(fields, "attempts");
+    d.triage = GetJsonString(fields, "triage");
     return LedgerRecord::Done(std::move(d));
   }
   return Malformed(Cat("unknown record type '", type, "'"));

@@ -102,9 +102,6 @@ struct LedgerRecord {
   static LedgerRecord Done(DoneRecord d);
 };
 
-/// JSON string escaping for ledger values: ", \, control characters.
-std::string JsonEscape(std::string_view text);
-
 /// Renders one record as a single JSON line (no trailing newline).
 std::string RenderLedgerRecord(const LedgerRecord& record);
 

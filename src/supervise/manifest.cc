@@ -147,8 +147,19 @@ Status ParseTaskDirective(const std::vector<std::string>& tokens, size_t line,
                                  "=...'?)"));
     }
     std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "isolation") {
+      if (value == "none") {
+        task->in_process = true;
+      } else if (value == "fork") {
+        task->in_process = false;
+      } else {
+        return LineError(line, "isolation must be 'fork' or 'none'");
+      }
+      continue;
+    }
     uint64_t parsed = 0;
-    if (!ParseU64(token.substr(eq + 1), &parsed)) {
+    if (!ParseU64(value, &parsed)) {
       return LineError(line, Cat("invalid value in '", token, "'"));
     }
     if (key == "deadline-ms") {
@@ -168,6 +179,23 @@ Status ParseTaskDirective(const std::vector<std::string>& tokens, size_t line,
   }
   if (task->args[0] == "batch") {
     return LineError(line, "a batch task cannot itself be 'batch'");
+  }
+  if (task->in_process) {
+    // The fast path trades fault isolation for latency, so it is only
+    // open to subcommands that are cheap, read-only and thread-free; a
+    // crash in anything else must stay contained in a forked worker.
+    const std::string& command = task->args[0];
+    if (command != "classify" && command != "lint" &&
+        command != "normalize" && command != "dot") {
+      return LineError(
+          line, Cat("isolation=none is only available for classify, lint, "
+                    "normalize and dot (got '", command, "')"));
+    }
+    if (!task->env.empty()) {
+      return LineError(line,
+                       "isolation=none tasks cannot set env (no worker "
+                       "process to scope it to)");
+    }
   }
   return Status::Ok();
 }

@@ -56,6 +56,14 @@ struct ManifestTask {
   std::vector<std::pair<std::string, std::string>> env;
   std::optional<uint64_t> deadline_ms;
   std::optional<uint64_t> retries;
+  /// `isolation=none`: run in-process through the library API instead of
+  /// a forked worker — a fast path for cheap, read-only subcommands
+  /// (classify, lint, normalize, dot) that skips the fork/pipe/reap
+  /// round-trip. Only those commands qualify, env attributes are
+  /// rejected, and the task runs without per-task deadline enforcement
+  /// (supervisor shutdown still cancels it cooperatively). Everything
+  /// else keeps `isolation=fork`, the fault-isolated default.
+  bool in_process = false;
   /// 1-based manifest line of the `task` directive (diagnostics).
   size_t line = 0;
 };

@@ -10,8 +10,10 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <vector>
 
+#include "api/api.h"
 #include "base/fileio.h"
 #include "base/strings.h"
 #include "cli/cli.h"
@@ -122,7 +124,8 @@ class Supervisor {
 
   Status ReplayExistingLedger(bool* found);
   Status StartAttempt(TaskState* state);
-  Status HandleFinished(TaskState* state);
+  Status RunInProcess(TaskState* state, std::vector<std::string> args);
+  Status HandleFinished(TaskState* state, const WorkerOutcome& outcome);
   Status Finalize(TaskState* state, bool completed, int exit_code,
                   const std::string& triage);
   std::string TriageReport(const TaskState& state) const;
@@ -222,6 +225,11 @@ Status Supervisor::StartAttempt(TaskState* state) {
   repro.push_back("tgdkit");
   repro.insert(repro.end(), args.begin(), args.end());
   attempt.cmd = ShellQuote(repro);
+
+  if (state->task->in_process) {
+    state->running_attempt = std::move(attempt);
+    return RunInProcess(state, std::move(args));
+  }
 
   WorkerOptions worker_options;
   worker_options.args = std::move(args);
@@ -363,9 +371,41 @@ Status Supervisor::Finalize(TaskState* state, bool completed, int exit_code,
   return Status::Ok();
 }
 
-Status Supervisor::HandleFinished(TaskState* state) {
-  std::unique_ptr<WorkerProcess> worker = std::move(state->worker);
-  const WorkerOutcome& outcome = worker->outcome();
+/// The isolation=none fast path: the task runs right here, through the
+/// request-scoped library API, and its result is folded into the exact
+/// same attempt/retry/ledger machinery as a forked worker's. Supervisor
+/// shutdown cancels it cooperatively via the shared token; there is no
+/// per-task deadline (the manifest parser restricts the path to cheap
+/// commands).
+Status Supervisor::RunInProcess(TaskState* state,
+                                std::vector<std::string> args) {
+  ++state->attempts;
+  ++report_.attempts;
+  WorkerOutcome outcome;
+  std::ostringstream task_out, task_err;
+  ApiOptions api;
+  api.cancel = options_.cancel;
+  api.forbid_fork_workers = true;
+  auto begun = std::chrono::steady_clock::now();
+  outcome.exit_code = RunCommand(args, task_out, task_err, api);
+  outcome.duration_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - begun)
+                            .count();
+  outcome.exited = true;
+  outcome.stdout_data = task_out.str();
+  outcome.stderr_tail = task_err.str();
+  const size_t kTailLimit = 4096;
+  if (outcome.stderr_tail.size() > kTailLimit) {
+    outcome.stderr_tail.erase(0, outcome.stderr_tail.size() - kTailLimit);
+  }
+  // A cancellation that raced the run is the supervisor's doing, not the
+  // task's: record it like a stopped worker so no retry budget burns.
+  outcome.stop_requested = options_.cancel.cancelled();
+  return HandleFinished(state, outcome);
+}
+
+Status Supervisor::HandleFinished(TaskState* state,
+                                  const WorkerOutcome& outcome) {
   AttemptRecord attempt = std::move(state->running_attempt);
   attempt.duration_ms = outcome.duration_ms;
   attempt.status_line = ExtractStatusLine(outcome.stdout_data);
@@ -625,7 +665,8 @@ Result<SupervisorReport> Supervisor::Run() {
       state.worker->Pump();
       state.worker->Tick();
       if (state.worker->TryReap()) {
-        TGDKIT_RETURN_IF_ERROR(HandleFinished(&state));
+        std::unique_ptr<WorkerProcess> worker = std::move(state.worker);
+        TGDKIT_RETURN_IF_ERROR(HandleFinished(&state, worker->outcome()));
       }
     }
   }

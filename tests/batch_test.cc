@@ -651,5 +651,66 @@ TEST_F(BatchTest, SupervisorShutdownCancelsWorkersAndStaysResumable) {
   EXPECT_EQ(rerun->completed + rerun->quarantined, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// isolation=none: the in-process fast path
+
+TEST_F(BatchTest, ManifestParsesAndRestrictsIsolationAttribute) {
+  Result<Manifest> parsed = ParseManifest(
+      "task fast isolation=none : lint rules.tgd\n"
+      "task slow isolation=fork : chase rules.tgd seed.inst\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->tasks[0].in_process);
+  EXPECT_FALSE(parsed->tasks[1].in_process);
+
+  // Only cheap, read-only commands may opt out of fault isolation.
+  Result<Manifest> chase =
+      ParseManifest("task t isolation=none : chase d.tgd s.inst\n");
+  ASSERT_FALSE(chase.ok());
+  EXPECT_NE(chase.status().ToString().find("isolation=none"),
+            std::string::npos);
+  // env needs a worker process to scope the variables to.
+  Result<Manifest> env = ParseManifest(
+      "task t isolation=none env A=1 : lint d.tgd\n");
+  ASSERT_FALSE(env.ok());
+  EXPECT_NE(env.status().ToString().find("env"), std::string::npos);
+  // And the value set is closed.
+  EXPECT_FALSE(
+      ParseManifest("task t isolation=maybe : lint d.tgd\n").ok());
+}
+
+TEST_F(BatchTest, InProcessTasksRunWhileForkedCrashStaysContained) {
+  std::string rules = Write("ok.tgd", "p(X) -> q(X) .\n");
+  std::string manifest = Write(
+      "mixed.manifest",
+      "task fast-classify isolation=none : classify " + rules + "\n" +
+          "task fast-lint isolation=none : lint " + rules + "\n" +
+          // A forked worker that dies by SIGSEGV next to the in-process
+          // tasks: the crash must be contained and quarantined without
+          // taking the supervisor (and with it the fast tasks) down.
+          "task boom retries=0 : selftest --die-signal 11\n");
+  BatchRun run = RunBatchCli({"--max-parallel", "3"}, manifest);
+  EXPECT_EQ(run.code, kExitVerdict) << run.out << run.err;
+  EXPECT_NE(run.out.find("# task fast-classify: completed exit=0"),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("# task fast-lint: completed exit=0"),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("# task boom: quarantined"), std::string::npos)
+      << run.out;
+
+  // The ledger records the in-process attempts like any other.
+  std::vector<LedgerRecord> records = MustLoadLedger(manifest);
+  int in_process_ok = 0;
+  for (const LedgerRecord& record : records) {
+    if (record.kind == LedgerRecord::Kind::kAttempt &&
+        record.attempt.outcome == AttemptOutcome::kOk &&
+        record.attempt.task.rfind("fast-", 0) == 0) {
+      ++in_process_ok;
+    }
+  }
+  EXPECT_EQ(in_process_ok, 2);
+}
+
 }  // namespace
 }  // namespace tgdkit

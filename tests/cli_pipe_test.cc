@@ -1,0 +1,80 @@
+// Tests for the CLI's broken-stdout contract (docs/FORMAT.md): when the
+// consumer of `tgdkit ... | head` goes away, the process must exit with
+// the dedicated code 6 (kExitPipe) — distinct from both success and the
+// engine's own failures, so pipelines can tell "the run was fine but
+// the output was not delivered" from everything else. The child is
+// forked so the SIGPIPE/stdout plumbing of the real entry point
+// (CliMain) is what gets exercised.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+namespace tgdkit {
+namespace {
+
+int RunCliMainWithStdout(int stdout_fd,
+                         const std::vector<std::string>& args) {
+  pid_t pid = fork();
+  if (pid == 0) {
+    dup2(stdout_fd, STDOUT_FILENO);
+    close(stdout_fd);
+    _exit(CliMain(args));
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CliPipe, ClosedStdoutPipeExitsWithTheDedicatedCode) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Parent closes both ends before the child writes: the child's stdout
+  // is a broken pipe. SIGPIPE is ignored by CliMain, so the failed
+  // write surfaces as a stream error, not a silent kill.
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    // Enough output to overflow the pipe buffer no matter its size.
+    _exit(CliMain({"selftest", "--stdout-lines", "200000"}));
+  }
+  close(fds[0]);
+  close(fds[1]);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status))
+      << "child was killed by signal " << WTERMSIG(status)
+      << " instead of exiting (SIGPIPE not ignored?)";
+  EXPECT_EQ(WEXITSTATUS(status), kExitPipe);
+}
+
+TEST(CliPipe, HealthyStdoutKeepsTheNormalExitCode) {
+  int devnull = open("/dev/null", O_WRONLY);
+  ASSERT_GE(devnull, 0);
+  EXPECT_EQ(RunCliMainWithStdout(devnull,
+                                 {"selftest", "--stdout-lines", "10"}),
+            kExitOk);
+  close(devnull);
+}
+
+TEST(CliPipe, VerdictExitCodesPassThroughUnchanged) {
+  int devnull = open("/dev/null", O_WRONLY);
+  ASSERT_GE(devnull, 0);
+  // An engine failure must stay distinguishable from a delivery failure.
+  EXPECT_EQ(RunCliMainWithStdout(devnull, {"selftest", "--die-exit", "5"}),
+            kExitInternal);
+  close(devnull);
+}
+
+}  // namespace
+}  // namespace tgdkit

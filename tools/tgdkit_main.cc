@@ -1,19 +1,18 @@
-// The tgdkit command-line tool. All logic lives in src/cli (testable);
-// this file only adapts argv and wires SIGINT/SIGTERM to cooperative
-// cancellation: the first signal asks the engines to stop cleanly
-// (partial output, StopReason::kCancelled, and — with --checkpoint — a
-// final snapshot); a second falls back to the default disposition and
-// kills the process. The same wiring runs in every forked batch worker
+// The tgdkit command-line tool. All logic lives in src/api + src/cli
+// (testable); this file only adapts argv. CliMain wires SIGINT/SIGTERM
+// to cooperative cancellation (first signal asks the engines to stop
+// cleanly; a second falls back to the default disposition and kills the
+// process), ignores SIGPIPE so a closed stdout surfaces as a stream
+// error, and maps an incompletely-delivered stdout to exit code 6. The
+// same signal wiring runs in every forked batch worker
 // (src/supervise/worker.cc), so a supervisor SIGTERM always starts with
 // a graceful stop.
-#include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
 
 int main(int argc, char** argv) {
-  tgdkit::InstallCancellationSignalHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
-  return tgdkit::RunCli(args, std::cout, std::cerr);
+  return tgdkit::CliMain(args);
 }
