@@ -1,0 +1,92 @@
+// The decidability frontier: the triangularly-guarded class and the
+// chase-complexity tiers, beyond the paper's Figure 2.
+//
+//  * a ruleset in NONE of the classic classes (not weakly acyclic, not
+//    weakly guarded, not sticky-join) that the triangular-guardedness
+//    analyzer still certifies decidable — with replayable witnesses for
+//    every failed criterion;
+//  * one ruleset per structural complexity tier (polynomial rank,
+//    exponential, non-elementary), each tier read off the generating
+//    components of the position dependency graph.
+#include <cstdio>
+
+#include "analyze/analysis.h"
+#include "classify/criteria.h"
+#include "parse/parser.h"
+
+int main() {
+  using namespace tgdkit;
+
+  Vocabulary vocab;
+  TermArena arena;
+  Parser parser(&arena, &vocab);
+
+  std::printf("== 1. Beyond Figure 2: the triangular frontier ==\n\n");
+  auto frontier = parser.ParseDependencies(R"(
+    frontier: so exists fv, fp, fq {
+      ga(x, y) -> ga(y, fv(x, y)) ;
+      hub(x) -> link(fp(x), fq(x)) ;
+      link(x, u) & link(u, y) -> out(x, y)
+    } .
+  )");
+  if (!frontier.ok()) {
+    std::fprintf(stderr, "parse error\n");
+    return 1;
+  }
+  ProgramAnalysis analysis = AnalyzeProgram(&arena, &vocab, *frontier);
+  std::printf("memberships: %s\n",
+              ToString(analysis.Membership()).c_str());
+  for (const CriterionVerdict& v : analysis.verdicts) {
+    if (v.holds) continue;
+    std::printf("  not %s: %s\n", CriterionName(v.criterion),
+                WitnessToString(arena, vocab, analysis, v).c_str());
+  }
+  Status replay = ReplayAllWitnesses(arena, analysis);
+  std::printf("witness replay: %s\n",
+              replay.ok() ? "all witnesses re-validate" : "FAILED");
+  std::printf("chase complexity: %s\n\n",
+              ComplexityToString(vocab, analysis).c_str());
+
+  std::printf("== 2. The complexity tiers ==\n\n");
+  struct TierDemo {
+    const char* name;
+    const char* text;
+  };
+  const TierDemo demos[] = {
+      {"polynomial",
+       R"(
+         step1: a(x) -> exists u . b(x, u) .
+         step2: b(x, u) -> exists v . c(u, v) .
+       )"},
+      {"exponential",
+       R"(
+         grow: e(x, y) -> exists z . e(y, z) .
+       )"},
+      {"non-elementary",
+       R"(
+         ploop: p(x, y) -> exists z . p(y, z) .
+         bridge: p(x, y) -> q(x, y) .
+         qloop: q(x, y) -> exists z . q(y, z) .
+       )"},
+  };
+  for (const TierDemo& demo : demos) {
+    Vocabulary v2;
+    TermArena a2;
+    Parser p2(&a2, &v2);
+    auto program = p2.ParseDependencies(demo.text);
+    if (!program.ok()) {
+      std::fprintf(stderr, "parse error in %s\n", demo.name);
+      return 1;
+    }
+    ProgramAnalysis tier = AnalyzeProgram(&a2, &v2, *program);
+    Status tier_replay = ReplayComplexity(tier);
+    std::printf("%-15s -> %s  (replay: %s)\n", demo.name,
+                ComplexityToString(v2, tier).c_str(),
+                tier_replay.ok() ? "ok" : "FAILED");
+  }
+  std::printf("\nThe polynomial tier coincides with weak acyclicity; the\n"
+              "higher tiers bound the chase conditionally on termination\n"
+              "(one generating component: exponential; a generating\n"
+              "component feeding another: non-elementary).\n");
+  return 0;
+}

@@ -328,45 +328,119 @@ CriterionVerdict JudgeWeaklyGuarded(const TermArena& arena,
   return v;
 }
 
+// --- position graph walks ---------------------------------------------------
+
+/// BFS edge path from node `from` to node `to` (empty when from == to).
+/// False when unreachable.
+bool EdgePath(const PositionGraph& graph, uint32_t from, uint32_t to,
+              std::vector<uint32_t>* path) {
+  path->clear();
+  if (from == to) return true;
+  std::vector<int64_t> parent_edge(graph.nodes.size(), -1);
+  std::vector<bool> seen(graph.nodes.size(), false);
+  std::vector<uint32_t> queue{from};
+  seen[from] = true;
+  bool found = false;
+  for (size_t q = 0; q < queue.size() && !found; ++q) {
+    for (uint32_t e : graph.out_edges[queue[q]]) {
+      uint32_t next = graph.edges[e].to;
+      if (seen[next]) continue;
+      seen[next] = true;
+      parent_edge[next] = e;
+      if (next == to) {
+        found = true;
+        break;
+      }
+      queue.push_back(next);
+    }
+  }
+  if (!found) return false;
+  for (uint32_t at = to; at != from;) {
+    uint32_t e = static_cast<uint32_t>(parent_edge[at]);
+    path->push_back(e);
+    at = graph.edges[e].from;
+  }
+  std::reverse(path->begin(), path->end());
+  return true;
+}
+
+/// Closed walk through edge `se` (edge `se` followed by a path back from
+/// its head to its tail), or empty when `se` lies on no cycle.
+std::vector<uint32_t> CloseWalkThrough(const PositionGraph& graph,
+                                       uint32_t se) {
+  std::vector<uint32_t> back;
+  if (!EdgePath(graph, graph.edges[se].to, graph.edges[se].from, &back)) {
+    return {};
+  }
+  std::vector<uint32_t> walk{se};
+  walk.insert(walk.end(), back.begin(), back.end());
+  return walk;
+}
+
+/// Strongly connected components of the position graph (iterative
+/// Tarjan). Returns the component id per node; ids number the components
+/// in reverse topological order (every component only reaches lower ids).
+std::vector<uint32_t> ComputeSccs(const PositionGraph& graph) {
+  uint32_t n = static_cast<uint32_t>(graph.nodes.size());
+  std::vector<uint32_t> scc(n, 0);
+  std::vector<uint32_t> index(n, UINT32_MAX);
+  std::vector<uint32_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+  uint32_t next_scc = 0;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    // Explicit frames (node, next out-edge slot): the graph can be as
+    // deep as the program is long, so no recursion.
+    std::vector<std::pair<uint32_t, size_t>> frames{{root, 0}};
+    while (!frames.empty()) {
+      uint32_t v = frames.back().first;
+      if (frames.back().second == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (frames.back().second < graph.out_edges[v].size()) {
+        uint32_t w = graph.edges[graph.out_edges[v][frames.back().second]].to;
+        ++frames.back().second;
+        if (index[w] == UINT32_MAX) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        for (;;) {
+          uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc[w] = next_scc;
+          if (w == v) break;
+        }
+        ++next_scc;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        uint32_t parent = frames.back().first;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  return scc;
+}
+
 CriterionVerdict JudgeWeaklyAcyclic(const PositionGraph& graph) {
   CriterionVerdict v{Criterion::kWeaklyAcyclic, true, {}};
   for (uint32_t se = 0; se < graph.edges.size(); ++se) {
     if (!graph.edges[se].special) continue;
-    // A special edge (u, v) lies on a cycle iff v reaches u. BFS with
-    // parent edges so the witness is the actual closed walk.
-    uint32_t u = graph.edges[se].from;
-    uint32_t start = graph.edges[se].to;
-    std::vector<int64_t> parent_edge(graph.nodes.size(), -1);
-    std::vector<bool> seen(graph.nodes.size(), false);
-    std::vector<uint32_t> queue{start};
-    seen[start] = true;
-    bool found = (start == u);
-    for (size_t q = 0; q < queue.size() && !found; ++q) {
-      for (uint32_t e : graph.out_edges[queue[q]]) {
-        uint32_t to = graph.edges[e].to;
-        if (seen[to]) continue;
-        seen[to] = true;
-        parent_edge[to] = e;
-        if (to == u) {
-          found = true;
-          break;
-        }
-        queue.push_back(to);
-      }
-    }
-    if (!found) continue;
-    CycleWitness witness;
-    witness.edges.push_back(se);
-    std::vector<uint32_t> path;
-    for (uint32_t at = u; at != start;) {
-      uint32_t e = static_cast<uint32_t>(parent_edge[at]);
-      path.push_back(e);
-      at = graph.edges[e].from;
-    }
-    std::reverse(path.begin(), path.end());
-    witness.edges.insert(witness.edges.end(), path.begin(), path.end());
+    std::vector<uint32_t> walk = CloseWalkThrough(graph, se);
+    if (walk.empty()) continue;
     v.holds = false;
-    v.witness = std::move(witness);
+    v.witness = CycleWitness{std::move(walk)};
     return v;
   }
   return v;
@@ -408,6 +482,179 @@ CriterionVerdict JudgeSticky(const TermArena& arena,
   return v;
 }
 
+/// Triangular guardedness (after Asuncion–Zhang). A triangular component
+/// is an SCC of the position graph containing a special edge — a loop
+/// that keeps re-generating nulls. The criterion holds when every such
+/// component obeys at least one repair discipline:
+///   (b) guarded: every rule with an edge inside the component has one
+///       body atom covering all its component-dangerous variables (body
+///       variables bound only at affected positions, at least one of them
+///       inside the component);
+///   (c) sticky: no marked variable of a component rule joins two
+///       component positions across distinct body atoms.
+/// Weak acyclicity (no triangular components at all), weak guardedness
+/// (the global guard covers every component subset) and sticky-join (no
+/// cross-atom marked join anywhere) each imply it.
+CriterionVerdict JudgeTriangularlyGuarded(
+    const TermArena& arena, const std::vector<AnalyzedRule>& rules,
+    const PositionGraph& graph, const AffectedAnalysis& affected,
+    const StickyMarking& marking) {
+  CriterionVerdict v{Criterion::kTriangularlyGuarded, true, {}};
+  std::vector<uint32_t> scc = ComputeSccs(graph);
+  // Triangular components, each with one witnessing in-component special
+  // edge (the first, for determinism).
+  std::map<uint32_t, uint32_t> components;
+  for (uint32_t e = 0; e < graph.edges.size(); ++e) {
+    const PositionEdge& edge = graph.edges[e];
+    if (edge.special && scc[edge.from] == scc[edge.to]) {
+      components.emplace(scc[edge.from], e);
+    }
+  }
+  for (const auto& [component, special_edge] : components) {
+    std::set<uint32_t> nodes;
+    for (uint32_t node = 0; node < graph.nodes.size(); ++node) {
+      if (scc[node] == component) nodes.insert(node);
+    }
+    auto in_component = [&](const Position& p) {
+      auto it = graph.node_index.find(p);
+      return it != graph.node_index.end() && nodes.count(it->second) != 0;
+    };
+    std::set<uint32_t> touching;  // rules with an edge inside the component
+    for (const PositionEdge& edge : graph.edges) {
+      if (scc[edge.from] == component && scc[edge.to] == component) {
+        touching.insert(edge.rule);
+      }
+    }
+    // Discipline (b): guard the component-dangerous variables.
+    std::optional<GuardWitness> guard_fail;
+    for (uint32_t r : touching) {
+      const SoPart& part = rules[r].part;
+      std::set<VariableId> must_guard;
+      for (const auto& [var, positions] : BodyPositions(arena, part)) {
+        bool all_affected = std::all_of(
+            positions.begin(), positions.end(),
+            [&affected](const Position& p) {
+              return affected.affected.count(p) != 0;
+            });
+        if (!all_affected) continue;
+        bool touches = std::any_of(positions.begin(), positions.end(),
+                                   in_component);
+        if (touches) must_guard.insert(var);
+      }
+      if (must_guard.empty()) continue;
+      std::vector<VariableId> missing;
+      if (FindGuard(arena, part, must_guard, &missing)) continue;
+      guard_fail = GuardWitness{
+          r, {must_guard.begin(), must_guard.end()}, std::move(missing)};
+      break;
+    }
+    if (!guard_fail.has_value()) continue;
+    // Discipline (c): no marked cross-atom join on component positions.
+    std::optional<StickyWitness> join_fail;
+    for (uint32_t r : touching) {
+      const SoPart& part = rules[r].part;
+      for (const auto& [var, occurrences] : BodyOccurrences(arena, part)) {
+        if (occurrences.size() < 2 || !marking.IsMarked(r, var)) continue;
+        for (size_t i = 0; i < occurrences.size() && !join_fail; ++i) {
+          const auto& [a1, g1] = occurrences[i];
+          if (!in_component({part.body[a1].relation, g1})) continue;
+          for (size_t j = i + 1; j < occurrences.size(); ++j) {
+            const auto& [a2, g2] = occurrences[j];
+            if (a2 == a1) continue;
+            if (!in_component({part.body[a2].relation, g2})) continue;
+            join_fail = StickyWitness{r, var, a1, g1, a2, g2};
+            break;
+          }
+        }
+        if (join_fail) break;
+      }
+      if (join_fail) break;
+    }
+    if (!join_fail.has_value()) continue;
+    // Both disciplines fail: the component is an unguarded triangle.
+    TriangleWitness witness;
+    witness.component.assign(nodes.begin(), nodes.end());
+    witness.cycle = CloseWalkThrough(graph, special_edge);
+    witness.guard = std::move(*guard_fail);
+    witness.join = std::move(*join_fail);
+    v.holds = false;
+    v.witness = std::move(witness);
+    return v;
+  }
+  return v;
+}
+
+/// The structural complexity bound. Generating SCC = one containing a
+/// special edge. None: the graph is weakly acyclic, the chase is
+/// polynomial with null depth bounded by the special-edge rank. Some, but
+/// none reaching another: one self-feeding generation stage —
+/// exponential. A generating SCC feeding a second one: stacked generation
+/// stages — non-elementary.
+ComplexityBound BuildComplexity(const PositionGraph& graph) {
+  ComplexityBound out;
+  std::vector<uint32_t> scc = ComputeSccs(graph);
+  std::map<uint32_t, uint32_t> generating;  // scc -> in-component special
+  for (uint32_t e = 0; e < graph.edges.size(); ++e) {
+    const PositionEdge& edge = graph.edges[e];
+    if (edge.special && scc[edge.from] == scc[edge.to]) {
+      generating.emplace(scc[edge.from], e);
+    }
+  }
+  if (generating.empty()) {
+    out.tier = ComplexityTier::kPolynomial;
+    // Rank per SCC: max special edges on any path leaving it. Tarjan ids
+    // are reverse-topological, so every successor SCC is already final
+    // when its predecessors are folded in. Track the realizing edge.
+    uint32_t scc_count = 0;
+    for (uint32_t id : scc) scc_count = std::max(scc_count, id + 1);
+    if (scc_count == 0) return out;
+    std::vector<uint32_t> rank(scc_count, 0);
+    std::vector<int64_t> via_edge(scc_count, -1);
+    for (uint32_t c = 0; c < scc_count; ++c) {
+      for (uint32_t e = 0; e < graph.edges.size(); ++e) {
+        const PositionEdge& edge = graph.edges[e];
+        if (scc[edge.from] != c || scc[edge.to] == c) continue;
+        uint32_t reach = rank[scc[edge.to]] + (edge.special ? 1 : 0);
+        if (reach > rank[c]) {
+          rank[c] = reach;
+          via_edge[c] = e;
+        }
+      }
+    }
+    uint32_t best = 0;
+    for (uint32_t c = 0; c < scc_count; ++c) {
+      if (rank[c] > rank[best]) best = c;
+    }
+    out.rank = rank[best];
+    for (uint32_t c = best; via_edge[c] >= 0;) {
+      uint32_t e = static_cast<uint32_t>(via_edge[c]);
+      if (graph.edges[e].special) out.rank_path.push_back(e);
+      c = scc[graph.edges[e].to];
+    }
+    return out;
+  }
+  // Does any generating SCC feed a different one? (Tarjan ids are
+  // reverse-topological, so reachability is only possible toward lower
+  // ids; the path check settles it either way.)
+  for (const auto& [c1, e1] : generating) {
+    for (const auto& [c2, e2] : generating) {
+      if (c1 == c2) continue;
+      std::vector<uint32_t> link;
+      if (!EdgePath(graph, graph.edges[e1].to, graph.edges[e2].from, &link)) {
+        continue;
+      }
+      out.tier = ComplexityTier::kNonElementary;
+      out.cycle = CloseWalkThrough(graph, e1);
+      out.link = std::move(link);
+      out.cycle2 = CloseWalkThrough(graph, e2);
+      return out;
+    }
+  }
+  out.tier = ComplexityTier::kExponential;
+  out.cycle = CloseWalkThrough(graph, generating.begin()->second);
+  return out;
+}
+
 }  // namespace
 
 const char* CriterionName(Criterion criterion) {
@@ -426,6 +673,8 @@ const char* CriterionName(Criterion criterion) {
       return "sticky";
     case Criterion::kStickyJoin:
       return "sticky-join";
+    case Criterion::kTriangularlyGuarded:
+      return "triangularly-guarded";
   }
   return "?";
 }
@@ -439,6 +688,7 @@ Figure2Membership ProgramAnalysis::Membership() const {
   m.weakly_guarded = verdict(Criterion::kWeaklyGuarded).holds;
   m.sticky = verdict(Criterion::kSticky).holds;
   m.sticky_join = verdict(Criterion::kStickyJoin).holds;
+  m.triangularly_guarded = verdict(Criterion::kTriangularlyGuarded).holds;
   return m;
 }
 
@@ -460,6 +710,10 @@ ProgramAnalysis AnalyzeRules(const TermArena& arena,
       JudgeSticky(arena, analysis.rules, analysis.marking, false));
   analysis.verdicts.push_back(
       JudgeSticky(arena, analysis.rules, analysis.marking, true));
+  analysis.verdicts.push_back(JudgeTriangularlyGuarded(
+      arena, analysis.rules, analysis.graph, analysis.affected,
+      analysis.marking));
+  analysis.complexity = BuildComplexity(analysis.graph);
   return analysis;
 }
 
@@ -676,7 +930,150 @@ Status ReplaySticky(const TermArena& arena, const ProgramAnalysis& analysis,
   return Status::Ok();
 }
 
+Status ReplayTriangle(const TermArena& arena, const ProgramAnalysis& analysis,
+                      const TriangleWitness& w) {
+  const PositionGraph& graph = analysis.graph;
+  if (w.component.empty()) return Fail("empty triangular component");
+  for (uint32_t node : w.component) {
+    if (node >= graph.nodes.size()) return Fail("component node out of range");
+  }
+  // The component must be exactly one strongly connected component.
+  std::vector<uint32_t> scc = ComputeSccs(graph);
+  uint32_t id = scc[w.component.front()];
+  std::set<uint32_t> expected;
+  for (uint32_t node = 0; node < graph.nodes.size(); ++node) {
+    if (scc[node] == id) expected.insert(node);
+  }
+  if (std::set<uint32_t>(w.component.begin(), w.component.end()) != expected) {
+    return Fail("component is not a strongly connected component");
+  }
+  auto in_component = [&](const Position& p) {
+    auto it = graph.node_index.find(p);
+    return it != graph.node_index.end() && scc[it->second] == id;
+  };
+  auto touches = [&](uint32_t rule) {
+    for (const PositionEdge& edge : graph.edges) {
+      if (edge.rule == rule && scc[edge.from] == id && scc[edge.to] == id) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Side 1: a closed walk through a special edge, inside the component.
+  Status cycle_status = ReplayCycle(analysis, CycleWitness{w.cycle});
+  if (!cycle_status.ok()) return cycle_status;
+  for (uint32_t e : w.cycle) {
+    if (scc[graph.edges[e].from] != id || scc[graph.edges[e].to] != id) {
+      return Fail("cycle leaves the component");
+    }
+  }
+  // Side 2: the guard failure, with every required variable dangerous
+  // (affected-only) and touching the component.
+  Status guard_status = ReplayGuard(arena, analysis, w.guard, /*weakly=*/true);
+  if (!guard_status.ok()) return guard_status;
+  if (!touches(w.guard.rule)) {
+    return Fail("guard rule has no edge inside the component");
+  }
+  {
+    auto positions = BodyPositions(arena, analysis.rules[w.guard.rule].part);
+    for (VariableId var : w.guard.required) {
+      bool touching = std::any_of(positions[var].begin(),
+                                  positions[var].end(), in_component);
+      if (!touching) {
+        return Fail("required variable never touches the component");
+      }
+    }
+  }
+  // Side 3: the marked cross-atom join, both ends on component positions.
+  Status join_status =
+      ReplaySticky(arena, analysis, w.join, /*join_only=*/true);
+  if (!join_status.ok()) return join_status;
+  if (!touches(w.join.rule)) {
+    return Fail("join rule has no edge inside the component");
+  }
+  const SoPart& join_part = analysis.rules[w.join.rule].part;
+  if (!in_component({join_part.body[w.join.atom1].relation, w.join.arg1}) ||
+      !in_component({join_part.body[w.join.atom2].relation, w.join.arg2})) {
+    return Fail("join occurrence lies outside the component");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+Status ReplayComplexity(const ProgramAnalysis& analysis) {
+  const PositionGraph& graph = analysis.graph;
+  const ComplexityBound& c = analysis.complexity;
+  ComplexityBound fresh = BuildComplexity(graph);
+  if (fresh.tier != c.tier) return Fail("tier does not match the graph");
+  auto closed_special_walk = [&](const std::vector<uint32_t>& walk) {
+    return ReplayCycle(analysis, CycleWitness{walk});
+  };
+  switch (c.tier) {
+    case ComplexityTier::kPolynomial: {
+      if (fresh.rank != c.rank) return Fail("rank does not match the graph");
+      if (c.rank_path.size() != c.rank) {
+        return Fail("rank path does not realize the rank");
+      }
+      for (size_t i = 0; i < c.rank_path.size(); ++i) {
+        if (c.rank_path[i] >= graph.edges.size()) {
+          return Fail("rank path edge out of range");
+        }
+        if (!graph.edges[c.rank_path[i]].special) {
+          return Fail("rank path cites a non-special edge");
+        }
+        if (i == 0) continue;
+        std::vector<uint32_t> hop;
+        if (!EdgePath(graph, graph.edges[c.rank_path[i - 1]].to,
+                      graph.edges[c.rank_path[i]].from, &hop)) {
+          return Fail("rank path special edges do not chain");
+        }
+      }
+      return Status::Ok();
+    }
+    case ComplexityTier::kExponential:
+      return closed_special_walk(c.cycle);
+    case ComplexityTier::kNonElementary: {
+      Status status = closed_special_walk(c.cycle);
+      if (!status.ok()) return status;
+      status = closed_special_walk(c.cycle2);
+      if (!status.ok()) return status;
+      if (c.link.empty()) return Fail("missing link between the cycles");
+      std::vector<uint32_t> scc = ComputeSccs(graph);
+      uint32_t first = scc[graph.edges[c.cycle.front()].from];
+      uint32_t second = scc[graph.edges[c.cycle2.front()].from];
+      if (first == second) {
+        return Fail("cycles share a strongly connected component");
+      }
+      std::set<uint32_t> on_first, on_second;
+      for (uint32_t e : c.cycle) {
+        on_first.insert(graph.edges[e].from);
+        on_first.insert(graph.edges[e].to);
+      }
+      for (uint32_t e : c.cycle2) {
+        on_second.insert(graph.edges[e].from);
+        on_second.insert(graph.edges[e].to);
+      }
+      for (size_t i = 0; i < c.link.size(); ++i) {
+        if (c.link[i] >= graph.edges.size()) {
+          return Fail("link edge out of range");
+        }
+        if (i > 0 &&
+            graph.edges[c.link[i - 1]].to != graph.edges[c.link[i]].from) {
+          return Fail("link edges do not chain");
+        }
+      }
+      if (!on_first.count(graph.edges[c.link.front()].from)) {
+        return Fail("link does not start on the first cycle");
+      }
+      if (!on_second.count(graph.edges[c.link.back()].to)) {
+        return Fail("link does not land on the second cycle");
+      }
+      return Status::Ok();
+    }
+  }
+  return Fail("unknown complexity tier");
+}
 
 Status ReplayWitness(const TermArena& arena, const ProgramAnalysis& analysis,
                      const CriterionVerdict& verdict) {
@@ -707,6 +1104,9 @@ Status ReplayWitness(const TermArena& arena, const ProgramAnalysis& analysis,
     case Criterion::kStickyJoin:
       return ReplaySticky(arena, analysis,
                           std::get<StickyWitness>(verdict.witness), true);
+    case Criterion::kTriangularlyGuarded:
+      return ReplayTriangle(arena, analysis,
+                            std::get<TriangleWitness>(verdict.witness));
   }
   return Fail("unknown criterion");
 }
@@ -719,6 +1119,10 @@ Status ReplayAllWitnesses(const TermArena& arena,
       return Status::InvalidArgument(
           Cat(CriterionName(verdict.criterion), ": ", status.ToString()));
     }
+  }
+  Status status = ReplayComplexity(analysis);
+  if (!status.ok()) {
+    return Status::InvalidArgument(Cat("complexity: ", status.ToString()));
   }
   return Status::Ok();
 }
@@ -739,6 +1143,19 @@ std::string RuleRef(const ProgramAnalysis& analysis, uint32_t rule) {
                     (rule + 1 < analysis.rules.size() &&
                      analysis.rules[rule + 1].dep_index == r.dep_index);
   if (multi_part) out += Cat("/", r.part_index + 1);
+  return out;
+}
+
+std::string WalkToString(const Vocabulary& vocab,
+                         const ProgramAnalysis& analysis,
+                         const std::vector<uint32_t>& edges) {
+  std::string out;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const PositionEdge& edge = analysis.graph.edges[edges[i]];
+    if (i == 0) out += PositionName(vocab, analysis.graph.nodes[edge.from]);
+    out += edge.special ? " -*-> " : " -> ";
+    out += PositionName(vocab, analysis.graph.nodes[edge.to]);
+  }
   return out;
 }
 
@@ -848,13 +1265,7 @@ std::string WitnessToString(const TermArena& arena, const Vocabulary& vocab,
     return out;
   }
   if (const auto* w = std::get_if<CycleWitness>(&verdict.witness)) {
-    std::string out = "cycle ";
-    for (size_t i = 0; i < w->edges.size(); ++i) {
-      const PositionEdge& edge = analysis.graph.edges[w->edges[i]];
-      if (i == 0) out += PositionName(vocab, analysis.graph.nodes[edge.from]);
-      out += edge.special ? " -*-> " : " -> ";
-      out += PositionName(vocab, analysis.graph.nodes[edge.to]);
-    }
+    std::string out = Cat("cycle ", WalkToString(vocab, analysis, w->edges));
     std::set<std::string> labels;
     for (uint32_t e : w->edges) {
       labels.insert(analysis.rules[analysis.graph.edges[e].rule].label);
@@ -876,7 +1287,47 @@ std::string WitnessToString(const TermArena& arena, const Vocabulary& vocab,
                             {part.body[w->atom2].relation, w->arg2}),
                " (", ExplainMarked(vocab, analysis, w->rule, w->var), ")");
   }
+  if (const auto* w = std::get_if<TriangleWitness>(&verdict.witness)) {
+    std::string nodes = JoinMapped(w->component, ", ", [&](uint32_t n) {
+      return PositionName(vocab, analysis.graph.nodes[n]);
+    });
+    // Render the two discipline failures by reusing the guard and sticky
+    // printers through synthetic negative verdicts.
+    CriterionVerdict guard{Criterion::kWeaklyGuarded, false, w->guard};
+    CriterionVerdict join{Criterion::kStickyJoin, false, w->join};
+    return Cat("triangular component {", nodes, "} with cycle ",
+               WalkToString(vocab, analysis, w->cycle), "; unguarded: ",
+               WitnessToString(arena, vocab, analysis, guard),
+               "; unsticky: ",
+               WitnessToString(arena, vocab, analysis, join));
+  }
   return "";
+}
+
+std::string ComplexityToString(const Vocabulary& vocab,
+                               const ProgramAnalysis& analysis) {
+  const ComplexityBound& c = analysis.complexity;
+  switch (c.tier) {
+    case ComplexityTier::kPolynomial: {
+      if (c.rank_path.empty()) return Cat("polynomial (rank ", c.rank, ")");
+      std::string path = JoinMapped(c.rank_path, " => ", [&](uint32_t e) {
+        const PositionEdge& edge = analysis.graph.edges[e];
+        return Cat(PositionName(vocab, analysis.graph.nodes[edge.from]),
+                   " -*-> ",
+                   PositionName(vocab, analysis.graph.nodes[edge.to]));
+      });
+      return Cat("polynomial (rank ", c.rank, ": ", path, ")");
+    }
+    case ComplexityTier::kExponential:
+      return Cat("exponential (generating cycle ",
+                 WalkToString(vocab, analysis, c.cycle), ")");
+    case ComplexityTier::kNonElementary:
+      return Cat("non-elementary (generating cycle ",
+                 WalkToString(vocab, analysis, c.cycle), " feeds ",
+                 WalkToString(vocab, analysis, c.cycle2), " via ",
+                 WalkToString(vocab, analysis, c.link), ")");
+  }
+  return "?";
 }
 
 }  // namespace tgdkit

@@ -9,7 +9,11 @@
 //     put it there;
 //   * StickyMarking — the Calì–Gottlob–Pieris marking table: per-rule
 //     marked variables plus the global marked-position set driving the
-//     propagation, again with per-entry provenance.
+//     propagation, again with per-entry provenance;
+//   * ComplexityBound — a structural Skolem-chase complexity tier
+//     (polynomial / exponential / non-elementary) read off the generating
+//     strongly connected components of the position graph, after
+//     Hanisch–Krötzsch's chase-termination-complexity criteria.
 //
 // On top of the artifacts, AnalyzeRules renders a verdict for each
 // Figure 2 criterion. A negative verdict is never a bare `false`: it
@@ -186,8 +190,25 @@ struct StickyWitness {
   uint32_t atom2 = 0, arg2 = 0;
 };
 
-using Witness = std::variant<std::monostate, FullWitness, LinearWitness,
-                             GuardWitness, CycleWitness, StickyWitness>;
+/// Not triangularly guarded: an unguarded triangle. `component` is a
+/// triangular component — a strongly connected component of the position
+/// graph containing a special edge — given as sorted node indexes, and
+/// `cycle` is a closed walk inside it through that special edge (side 1
+/// of the triangle). The component satisfies neither repair discipline:
+/// `guard` indicts a component rule whose component-dangerous variables
+/// no body atom covers (side 2), and `join` indicts a marked variable
+/// joining two component positions across distinct atoms of a component
+/// rule (side 3). All three sides replay independently.
+struct TriangleWitness {
+  std::vector<uint32_t> component;  // sorted node indexes
+  std::vector<uint32_t> cycle;      // edge indexes, closes through a special
+  GuardWitness guard;
+  StickyWitness join;
+};
+
+using Witness =
+    std::variant<std::monostate, FullWitness, LinearWitness, GuardWitness,
+                 CycleWitness, StickyWitness, TriangleWitness>;
 
 /// Figure 2 criteria, in ToString(Figure2Membership) order.
 enum class Criterion : uint8_t {
@@ -198,6 +219,7 @@ enum class Criterion : uint8_t {
   kWeaklyGuarded,
   kSticky,
   kStickyJoin,
+  kTriangularlyGuarded,
 };
 
 const char* CriterionName(Criterion criterion);
@@ -206,6 +228,34 @@ struct CriterionVerdict {
   Criterion criterion = Criterion::kFull;
   bool holds = true;
   Witness witness;  // monostate iff holds
+};
+
+// ---------------------------------------------------------------------------
+// Artifact 4: the structural chase-complexity bound
+
+/// A structural upper bound on Skolem-chase cost, derived from the
+/// generating strongly connected components of the position graph (the
+/// SCCs containing a special edge), in the spirit of Hanisch–Krötzsch's
+/// complexity-bounded chase termination criteria. The tier is an upper
+/// bound conditional on termination; for the polynomial tier (no
+/// generating SCC — exactly weak acyclicity) termination itself is
+/// guaranteed. Every claim carries a provenance witness:
+///
+///   * polynomial — `rank` is the maximum number of special edges on any
+///     path, bounding null-nesting depth; `rank_path` lists `rank`
+///     special edges, each reaching the next (a realizing chain).
+///   * exponential — generating SCCs exist but none reaches another;
+///     `cycle` is a closed walk through one in-component special edge.
+///   * non-elementary — a generating SCC feeds a second one: `cycle` and
+///     `cycle2` are closed special walks in two distinct SCCs and `link`
+///     is an edge path from the first onto the second.
+struct ComplexityBound {
+  ComplexityTier tier = ComplexityTier::kPolynomial;
+  uint32_t rank = 0;                 // polynomial tier only
+  std::vector<uint32_t> rank_path;   // special edge indexes, `rank` of them
+  std::vector<uint32_t> cycle;       // exponential and above
+  std::vector<uint32_t> link;        // non-elementary only
+  std::vector<uint32_t> cycle2;      // non-elementary only
 };
 
 // ---------------------------------------------------------------------------
@@ -218,6 +268,7 @@ struct ProgramAnalysis {
   PositionGraph graph;
   AffectedAnalysis affected;
   StickyMarking marking;
+  ComplexityBound complexity;
   std::vector<CriterionVerdict> verdicts;  // one per Criterion, in order
 
   const CriterionVerdict& verdict(Criterion criterion) const {
@@ -255,7 +306,14 @@ ProgramAnalysis AnalyzeProgram(TermArena* arena, Vocabulary* vocab,
 Status ReplayWitness(const TermArena& arena, const ProgramAnalysis& analysis,
                      const CriterionVerdict& verdict);
 
-/// Replays every verdict; first failure wins.
+/// Re-validates the complexity bound: the tier must match a recomputation
+/// from the graph and the witness walks must chain, close and reach as
+/// claimed (rank_path edges special and pairwise reaching, cycles closed
+/// through a special edge, the link landing on the second cycle, the two
+/// cycles in distinct SCCs). InvalidArgument when tampered.
+Status ReplayComplexity(const ProgramAnalysis& analysis);
+
+/// Replays every verdict plus the complexity bound; first failure wins.
 Status ReplayAllWitnesses(const TermArena& arena,
                           const ProgramAnalysis& analysis);
 
@@ -268,6 +326,12 @@ Status ReplayAllWitnesses(const TermArena& arena,
 std::string WitnessToString(const TermArena& arena, const Vocabulary& vocab,
                             const ProgramAnalysis& analysis,
                             const CriterionVerdict& verdict);
+
+/// Renders the complexity bound with its witness, e.g.
+///   "polynomial (rank 2: A.0 -*-> B.1 => B.0 -*-> C.1)" or
+///   "exponential (generating cycle E.0 -*-> E.1 -> E.0)".
+std::string ComplexityToString(const Vocabulary& vocab,
+                               const ProgramAnalysis& analysis);
 
 /// Renders the derivation chain of an affected position, innermost first.
 std::string ExplainAffected(const Vocabulary& vocab,

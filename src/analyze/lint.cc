@@ -228,9 +228,11 @@ void CheckDecidableClass(const TermArena& arena, const Vocabulary& vocab,
   const CriterionVerdict& wa = analysis.verdict(Criterion::kWeaklyAcyclic);
   const CriterionVerdict& wg = analysis.verdict(Criterion::kWeaklyGuarded);
   const CriterionVerdict& sj = analysis.verdict(Criterion::kStickyJoin);
+  const CriterionVerdict& tg =
+      analysis.verdict(Criterion::kTriangularlyGuarded);
   if (wa.holds || wg.holds || sj.holds) return;
   std::string message =
-      "no decidable Figure 2 class applies: "
+      "no classic Figure 2 class applies: "
       "not weakly acyclic (";
   message += WitnessToString(arena, vocab, analysis, wa);
   message += "); not weakly guarded (";
@@ -245,8 +247,43 @@ void CheckDecidableClass(const TermArena& arena, const Vocabulary& vocab,
     line = analysis.rules[w->rule].line;
     column = analysis.rules[w->rule].column;
   }
+  if (tg.holds) {
+    // Triangular guardedness rescues decidability: downgrade to a note.
+    message +=
+        "; still decidable: every triangular component is guarded or "
+        "sticky (triangularly-guarded)";
+    out->push_back({LintSeverity::kNote, "no-decidable-class",
+                    std::move(message), line, column});
+    return;
+  }
+  message += "; not triangularly guarded (";
+  message += WitnessToString(arena, vocab, analysis, tg);
+  message += ")";
   out->push_back({LintSeverity::kWarning, "no-decidable-class",
                   std::move(message), line, column});
+}
+
+void CheckChaseComplexity(const Vocabulary& vocab,
+                          const ProgramAnalysis& analysis,
+                          std::vector<LintDiagnostic>* out) {
+  // Only worth a note when the program mints nulls at all: a program
+  // without special edges chases in one round per fact and should stay
+  // diagnostic-free.
+  const PositionGraph& graph = analysis.graph;
+  const PositionEdge* special = nullptr;
+  for (const PositionEdge& edge : graph.edges) {
+    if (edge.special) {
+      special = &edge;
+      break;
+    }
+  }
+  if (special == nullptr) return;
+  // Pin to the rule owning the first special edge — the first null mint.
+  out->push_back({LintSeverity::kNote, "chase-complexity",
+                  Cat("Skolem chase complexity: ",
+                      ComplexityToString(vocab, analysis)),
+                  analysis.rules[special->rule].line,
+                  analysis.rules[special->rule].column});
 }
 
 }  // namespace
@@ -290,6 +327,7 @@ LintReport LintProgram(TermArena* arena, Vocabulary* vocab,
   CheckValidity(*arena, *vocab, program, report.analysis,
                 &report.diagnostics);
   CheckDecidableClass(*arena, *vocab, report.analysis, &report.diagnostics);
+  CheckChaseComplexity(*vocab, report.analysis, &report.diagnostics);
   CheckSharedSkolems(*arena, *vocab, program, &report.diagnostics);
   CheckUnusedAndDuplicates(*arena, *vocab, program, &report.diagnostics);
   std::sort(report.diagnostics.begin(), report.diagnostics.end(),

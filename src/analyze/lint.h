@@ -8,9 +8,15 @@
 //   error   non-range-restricted-head  head variable missing from the body
 //   warning no-decidable-class         not weakly acyclic, weakly guarded
 //                                      or sticky-join — with one witness
-//                                      per failed criterion
+//                                      per failed criterion; DOWNGRADED to
+//                                      a note when triangular guardedness
+//                                      still certifies decidability
 //   warning shared-skolem-function     a function symbol existentially
 //                                      quantified by two statements
+//   note    chase-complexity           structural Skolem-chase tier
+//                                      (polynomial rank / exponential /
+//                                      non-elementary); only emitted when
+//                                      the program mints nulls
 //   note    unused-body-variable       variable occurs once, only in the
 //                                      body (often a typo)
 //   note    duplicate-atom             the same atom twice in a body/head

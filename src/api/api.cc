@@ -36,7 +36,8 @@ constexpr const char* kUsage =
     "usage: tgdkit COMMAND ARGS...\n"
     "  classify  DEPS                 Figure 1 + Figure 2 membership\n"
     "                                 (+ one '# witness:' line per\n"
-    "                                 failed Figure 2 criterion)\n"
+    "                                 failed Figure 2 criterion, + a\n"
+    "                                 '# complexity:' chase tier line)\n"
     "  lint      DEPS                 static analysis diagnostics\n"
     "                                 (--format=text|json|sarif,\n"
     "                                 --fail-on=note|warning|error)\n"
@@ -44,7 +45,8 @@ constexpr const char* kUsage =
     "  check     DEPS INSTANCE        model-check each dependency\n"
     "  certain   DEPS INSTANCE QUERY  certain answers to a query\n"
     "  normalize DEPS                 nested-to-so / nested-to-henkin\n"
-    "  dot       DEPS                 GraphViz position/quantifier graphs\n"
+    "  dot       DEPS                 GraphViz position/quantifier/Hasse\n"
+    "                                 graphs\n"
     "  explain   DEPS INSTANCE        chase + provenance of every null\n"
     "  compose   DEPS12 DEPS23 [...]  compose s-t tgd mappings -> SO tgd\n"
     "  solve     DEPS INSTANCE        data exchange: universal + core\n"
@@ -354,6 +356,8 @@ int CmdClassify(CliContext* ctx, std::ostream& out, std::ostream& err) {
           << WitnessToString(ctx->arena, ctx->vocab, analysis, verdict)
           << "\n";
     }
+    out << "  # complexity: " << ComplexityToString(ctx->vocab, analysis)
+        << "\n";
   }
   // Whole-program termination check via the critical instance.
   SoTgd rules = ProgramRules(ctx, *program);
@@ -373,6 +377,10 @@ int CmdClassify(CliContext* ctx, std::ostream& out, std::ostream& err) {
                             : "no fixpoint within budget")
       << " (" << report.rounds << " rounds, " << report.facts
       << " facts)\n";
+  // Structural bound on the chase cost for the merged program
+  // (Hanisch–Krötzsch-style tiering over generating components).
+  out << "chase complexity (structural): "
+      << ComplexityToString(ctx->vocab, AnalyzeSo(ctx->arena, rules)) << "\n";
   // The termination probe is expected to hit its budget on
   // non-terminating programs; its verdict is in-band, not an exit code.
   return kExitOk;
@@ -768,10 +776,14 @@ int CmdDot(CliContext* ctx, std::ostream& out, std::ostream& err) {
   SoTgd rules = ProgramRules(ctx, *program);
   out << "// position dependency graph (dashed = special edges)\n";
   out << PositionGraphDot(ctx->arena, ctx->vocab, rules);
+  ProgramAnalysis analysis =
+      AnalyzeProgram(&ctx->arena, &ctx->vocab, *program);
   out << "// analysis graph (edges labeled rule/variable; affected "
-         "shaded, marked bold; witness cycle red)\n";
-  out << AnalysisDot(ctx->vocab,
-                     AnalyzeProgram(&ctx->arena, &ctx->vocab, *program));
+         "shaded, marked bold; witness cycle and unguarded triangle "
+         "red)\n";
+  out << AnalysisDot(ctx->vocab, analysis);
+  out << "// Figure 2 Hasse diagram (members filled)\n";
+  out << Figure2HasseDot(analysis.Membership());
   for (size_t i = 0; i < program->dependencies.size(); ++i) {
     const ParsedDependency& dep = program->dependencies[i];
     if (dep.kind == ParsedDependency::Kind::kHenkin) {

@@ -43,6 +43,26 @@ bool IsStickyJoin(const TermArena& arena, const SoTgd& so) {
   return AnalyzeSo(arena, so).verdict(Criterion::kStickyJoin).holds;
 }
 
+bool IsTriangularlyGuarded(const TermArena& arena, const SoTgd& so) {
+  return AnalyzeSo(arena, so).verdict(Criterion::kTriangularlyGuarded).holds;
+}
+
+const char* ComplexityTierName(ComplexityTier tier) {
+  switch (tier) {
+    case ComplexityTier::kPolynomial:
+      return "polynomial";
+    case ComplexityTier::kExponential:
+      return "exponential";
+    case ComplexityTier::kNonElementary:
+      return "non-elementary";
+  }
+  return "?";
+}
+
+ComplexityTier ChaseComplexityTier(const TermArena& arena, const SoTgd& so) {
+  return AnalyzeSo(arena, so).complexity.tier;
+}
+
 CriticalInstanceReport TerminatesOnCriticalInstance(
     TermArena* arena, Vocabulary* vocab, const SoTgd& so,
     std::span<const RelationId> relations, ChaseLimits limits) {
@@ -78,6 +98,7 @@ std::string ToString(const Figure2Membership& m) {
   add(m.weakly_guarded, "weakly-guarded");
   add(m.sticky, "sticky");
   add(m.sticky_join, "sticky-join");
+  add(m.triangularly_guarded, "triangularly-guarded");
   return out;
 }
 

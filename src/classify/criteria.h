@@ -69,6 +69,37 @@ bool IsSticky(const TermArena& arena, const SoTgd& so);
 /// both sticky ⊂ sticky-join and linear ⊂ sticky-join.
 bool IsStickyJoin(const TermArena& arena, const SoTgd& so);
 
+/// Triangularly guarded (after Asuncion–Zhang): every triangular
+/// component — a strongly connected component of the position dependency
+/// graph containing a special edge, i.e. a null-generating loop — obeys
+/// one of two repair disciplines: every rule with an edge inside the
+/// component guards its component-dangerous variables (the body variables
+/// bound only at affected positions that touch the component) with a
+/// single body atom, OR no marked variable of such a rule joins two
+/// component positions across distinct atoms. Strictly subsumes
+/// weakly-acyclic (no triangular components), weakly-guarded (the global
+/// guard covers every component-dangerous subset) and sticky-join (no
+/// cross-atom marked join anywhere), unifying Figure 2's three maximal
+/// decidable fragments.
+bool IsTriangularlyGuarded(const TermArena& arena, const SoTgd& so);
+
+/// Structural Skolem-chase complexity tiers (Hanisch–Krötzsch-style):
+/// upper bounds on chase cost read off the generating strongly connected
+/// components of the position dependency graph. kPolynomial coincides
+/// with weak acyclicity (termination guaranteed, null depth bounded by
+/// the rank); the higher tiers are bounds conditional on termination.
+enum class ComplexityTier : uint8_t {
+  kPolynomial,
+  kExponential,
+  kNonElementary,
+};
+
+/// "polynomial" / "exponential" / "non-elementary".
+const char* ComplexityTierName(ComplexityTier tier);
+
+/// The structural complexity tier of a rule set.
+ComplexityTier ChaseComplexityTier(const TermArena& arena, const SoTgd& so);
+
 /// Empirical termination check via the critical instance (Marnette 2009):
 /// the Skolem chase terminates on EVERY instance iff it terminates on the
 /// critical instance (one constant ⋆, every relation holding the all-⋆
@@ -86,7 +117,8 @@ CriticalInstanceReport TerminatesOnCriticalInstance(
     TermArena* arena, Vocabulary* vocab, const SoTgd& so,
     std::span<const RelationId> relations, ChaseLimits limits = {});
 
-/// Full membership row for Figure 2.
+/// Full membership row for Figure 2. `triangularly_guarded` rides at the
+/// end so the rendered row stays a byte-stable extension of the old one.
 struct Figure2Membership {
   bool full = false;
   bool weakly_acyclic = false;
@@ -95,11 +127,14 @@ struct Figure2Membership {
   bool weakly_guarded = false;
   bool sticky = false;
   bool sticky_join = false;
+  bool triangularly_guarded = false;
 };
 
 Figure2Membership ClassifyFigure2(const TermArena& arena, const SoTgd& so);
 
-/// Renders a membership row, e.g. "linear,guarded,sticky".
+/// Renders a membership row, e.g. "linear,guarded,sticky". Class names
+/// appear in declaration order; new classes only ever append, so any
+/// membership row is a prefix-stable extension of its pre-extension form.
 std::string ToString(const Figure2Membership& membership);
 
 }  // namespace tgdkit

@@ -38,14 +38,27 @@ std::string AnalysisDot(const Vocabulary& vocab,
   if (const auto* w = std::get_if<CycleWitness>(&wa.witness)) {
     cycle_edges.insert(w->edges.begin(), w->edges.end());
   }
+  // A failed triangular-guardedness verdict pins an unguarded triangle:
+  // its witness cycle joins the red edge set and the component's nodes
+  // get a red border.
+  std::set<uint32_t> triangle_nodes;
+  const CriterionVerdict& tg =
+      analysis.verdict(Criterion::kTriangularlyGuarded);
+  if (const auto* w = std::get_if<TriangleWitness>(&tg.witness)) {
+    cycle_edges.insert(w->cycle.begin(), w->cycle.end());
+    triangle_nodes.insert(w->component.begin(), w->component.end());
+  }
   std::string out = "digraph analysis {\n  rankdir=LR;\n";
-  for (const Position& p : graph.nodes) {
+  for (uint32_t n = 0; n < graph.nodes.size(); ++n) {
+    const Position& p = graph.nodes[n];
     out += Cat("  \"", PositionName(vocab, p), "\"");
     std::vector<std::string> attrs;
     if (analysis.affected.affected.count(p)) {
       attrs.push_back("style=filled, fillcolor=lightgray");
     }
-    if (analysis.marking.marked_positions.count(p)) {
+    if (triangle_nodes.count(n)) {
+      attrs.push_back("penwidth=2, color=red");
+    } else if (analysis.marking.marked_positions.count(p)) {
       attrs.push_back("penwidth=2, color=blue");
     }
     if (!attrs.empty()) out += Cat(" [", Join(attrs, ", "), "]");
@@ -60,6 +73,40 @@ std::string AnalysisDot(const Vocabulary& vocab,
     if (edge.special) out += ", style=dashed";
     if (cycle_edges.count(e)) out += ", color=red, penwidth=2";
     out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Figure2HasseDot(const Figure2Membership& m) {
+  std::string out = "digraph hasse {\n  rankdir=BT;\n";
+  auto node = [&](const char* name, bool member) {
+    out += Cat("  \"", name, "\"");
+    if (member) out += " [style=filled, fillcolor=lightgreen]";
+    out += ";\n";
+  };
+  node("full", m.full);
+  node("weakly-acyclic", m.weakly_acyclic);
+  node("linear", m.linear);
+  node("guarded", m.guarded);
+  node("weakly-guarded", m.weakly_guarded);
+  node("sticky", m.sticky);
+  node("sticky-join", m.sticky_join);
+  node("triangularly-guarded", m.triangularly_guarded);
+  // An edge a -> b reads "a is subsumed by b"; rankdir=BT draws the
+  // larger class above, Hasse style.
+  const char* edges[][2] = {
+      {"full", "weakly-acyclic"},
+      {"linear", "guarded"},
+      {"guarded", "weakly-guarded"},
+      {"sticky", "sticky-join"},
+      {"linear", "sticky-join"},
+      {"weakly-acyclic", "triangularly-guarded"},
+      {"weakly-guarded", "triangularly-guarded"},
+      {"sticky-join", "triangularly-guarded"},
+  };
+  for (const auto& edge : edges) {
+    out += Cat("  \"", edge[0], "\" -> \"", edge[1], "\";\n");
   }
   out += "}\n";
   return out;

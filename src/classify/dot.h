@@ -16,9 +16,18 @@ namespace tgdkit {
 /// are relation positions (affected ones shaded, sticky-marked ones with
 /// a bold border), edges carry "rule label / variable" labels, special
 /// edges are dashed, and — when the weak-acyclicity verdict failed — the
-/// witness cycle is drawn in red.
+/// witness cycle is drawn in red. A failed triangular-guardedness
+/// verdict additionally draws its witness triangle in red: the unguarded
+/// component's nodes get a red border and its cycle joins the red edges.
 std::string AnalysisDot(const Vocabulary& vocab,
                         const ProgramAnalysis& analysis);
+
+/// The Hasse diagram of the Figure 2 class landscape, membership-colored:
+/// one node per class (members filled green), one edge per direct
+/// subsumption — full ⊂ weakly-acyclic, linear ⊂ guarded ⊂
+/// weakly-guarded, sticky ⊂ sticky-join ⊃ linear, and triangularly-
+/// guarded above weakly-acyclic, weakly-guarded and sticky-join.
+std::string Figure2HasseDot(const Figure2Membership& membership);
 
 /// The position dependency graph of `so`: nodes are relation positions,
 /// solid edges are regular, dashed edges are special (they introduce

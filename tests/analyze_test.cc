@@ -5,6 +5,8 @@
 // positive termination verdicts against the critical-instance chase.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analyze/analysis.h"
 #include "base/rng.h"
 #include "classify/dot.h"
@@ -216,6 +218,130 @@ TEST_F(AnalyzeTest, TamperedWitnessesFailReplay) {
   EXPECT_FALSE(ReplayWitness(ws_.arena, b, bad_full).ok());
 }
 
+// The decidability-frontier program: triangularly guarded but in no
+// other Figure 2 class. Part 1 is a special cycle (breaks weak
+// acyclicity) whose component is guarded by ga(x, y); part 2 makes both
+// link positions affected; part 3 joins two link atoms on a dangerous
+// variable and drops it from the head (breaking weakly-guarded, sticky
+// and sticky-join) — but never touches the triangular component.
+constexpr const char* kFrontierProgram =
+    "frontier: so exists fv, fp, fq {"
+    " ga(x, y) -> ga(y, fv(x, y)) ;"
+    " hub(x) -> link(fp(x), fq(x)) ;"
+    " link(x, u) & link(u, y) -> out(x, y) } .";
+
+TEST_F(AnalyzeTest, TriangularGuardednessCertifiesTheFrontierProgram) {
+  ProgramAnalysis a = Analyze(kFrontierProgram);
+  EXPECT_TRUE(a.verdict(Criterion::kTriangularlyGuarded).holds);
+  EXPECT_FALSE(a.verdict(Criterion::kWeaklyAcyclic).holds);
+  EXPECT_FALSE(a.verdict(Criterion::kWeaklyGuarded).holds);
+  EXPECT_FALSE(a.verdict(Criterion::kStickyJoin).holds);
+  // One generating component that feeds no second one: exponential tier.
+  EXPECT_EQ(a.complexity.tier, ComplexityTier::kExponential);
+  EXPECT_TRUE(ReplayAllWitnesses(ws_.arena, a).ok());
+}
+
+TEST_F(AnalyzeTest, TriangleWitnessPinsComponentCycleAndBothDisciplines) {
+  ProgramAnalysis a = Analyze("bad : E(x, y) & E(y, z) -> exists w . E(z, w) .");
+  const CriterionVerdict& v = a.verdict(Criterion::kTriangularlyGuarded);
+  ASSERT_FALSE(v.holds);
+  const auto& w = std::get<TriangleWitness>(v.witness);
+  // The component is exactly {E.0, E.1}, sorted.
+  ASSERT_EQ(w.component.size(), 2u);
+  EXPECT_EQ(a.graph.nodes[w.component[0]], Pos("E", 0));
+  EXPECT_EQ(a.graph.nodes[w.component[1]], Pos("E", 1));
+  // Both repair disciplines failed on the single rule.
+  EXPECT_EQ(w.guard.rule, 0u);
+  EXPECT_EQ(w.join.rule, 0u);
+  EXPECT_NE(w.join.atom1, w.join.atom2);
+  EXPECT_TRUE(ReplayWitness(ws_.arena, a, v).ok());
+  // The rendering names the component and both failures, and the witness
+  // pins to the statement's label and span through the indicted rules.
+  std::string text = WitnessToString(ws_.arena, ws_.vocab, a, v);
+  EXPECT_NE(text.find("triangular component"), std::string::npos) << text;
+  EXPECT_NE(text.find("unguarded"), std::string::npos) << text;
+  EXPECT_NE(text.find("unsticky"), std::string::npos) << text;
+  EXPECT_EQ(a.rules[w.guard.rule].label, "bad");
+  EXPECT_EQ(a.rules[w.guard.rule].line, 1u);
+}
+
+TEST_F(AnalyzeTest, TamperedTriangleWitnessFailsReplay) {
+  ProgramAnalysis a = Analyze("E(x, y) & E(y, z) -> exists w . E(z, w) .");
+  const CriterionVerdict& good =
+      a.verdict(Criterion::kTriangularlyGuarded);
+  ASSERT_FALSE(good.holds);
+  // Dropping a node leaves a strict subset of the component.
+  CriterionVerdict bad = good;
+  std::get<TriangleWitness>(bad.witness).component.pop_back();
+  EXPECT_FALSE(ReplayWitness(ws_.arena, a, bad).ok());
+  // A cycle that no longer chains.
+  bad = good;
+  auto& cycle = std::get<TriangleWitness>(bad.witness).cycle;
+  std::reverse(cycle.begin(), cycle.end());
+  cycle.push_back(cycle.front());
+  EXPECT_FALSE(ReplayWitness(ws_.arena, a, bad).ok());
+  // A guard failure citing a variable the atom does contain.
+  bad = good;
+  std::get<TriangleWitness>(bad.witness).guard.missing[0] =
+      ws_.vocab.InternVariable("x");  // E(x, y) contains x
+  EXPECT_FALSE(ReplayWitness(ws_.arena, a, bad).ok());
+  // A join citing an unmarked variable.
+  bad = good;
+  std::get<TriangleWitness>(bad.witness).join.var =
+      ws_.vocab.InternVariable("phantom");
+  EXPECT_FALSE(ReplayWitness(ws_.arena, a, bad).ok());
+}
+
+TEST_F(AnalyzeTest, ComplexityTiersMatchTheGeneratingComponents) {
+  // No special cycle, two chained special edges: polynomial of rank 2.
+  ProgramAnalysis poly = Analyze(
+      "a(x) -> exists u . b(x, u) .\n"
+      "b(x, u) -> exists v . c(u, v) .");
+  EXPECT_EQ(poly.complexity.tier, ComplexityTier::kPolynomial);
+  EXPECT_EQ(poly.complexity.rank, 2u);
+  ASSERT_EQ(poly.complexity.rank_path.size(), 2u);
+  EXPECT_TRUE(ReplayComplexity(poly).ok());
+  // One generating component: exponential, witnessed by its cycle.
+  ProgramAnalysis expo = Analyze("e(x, y) -> exists z . e(y, z) .");
+  EXPECT_EQ(expo.complexity.tier, ComplexityTier::kExponential);
+  EXPECT_FALSE(expo.complexity.cycle.empty());
+  EXPECT_TRUE(ReplayComplexity(expo).ok());
+  // A generating component reaching a second one: non-elementary.
+  ProgramAnalysis tower = Analyze(
+      "p(x, y) -> exists z . p(y, z) .\n"
+      "p(x, y) -> q(x, y) .\n"
+      "q(x, y) -> exists z . q(y, z) .");
+  EXPECT_EQ(tower.complexity.tier, ComplexityTier::kNonElementary);
+  EXPECT_FALSE(tower.complexity.cycle.empty());
+  EXPECT_FALSE(tower.complexity.link.empty());
+  EXPECT_FALSE(tower.complexity.cycle2.empty());
+  EXPECT_TRUE(ReplayComplexity(tower).ok());
+  // Rendering carries the tier and the provenance walks.
+  EXPECT_NE(ComplexityToString(ws_.vocab, tower).find("non-elementary"),
+            std::string::npos);
+}
+
+TEST_F(AnalyzeTest, TamperedComplexityBoundFailsReplay) {
+  ProgramAnalysis a = Analyze("e(x, y) -> exists z . e(y, z) .");
+  ASSERT_EQ(a.complexity.tier, ComplexityTier::kExponential);
+  // A downgraded tier disagrees with the graph.
+  ProgramAnalysis tampered = a;
+  tampered.complexity.tier = ComplexityTier::kPolynomial;
+  tampered.complexity.rank = 0;
+  tampered.complexity.cycle.clear();
+  EXPECT_FALSE(ReplayComplexity(tampered).ok());
+  // A witness cycle missing its closing edge.
+  tampered = a;
+  tampered.complexity.cycle.pop_back();
+  EXPECT_FALSE(ReplayComplexity(tampered).ok());
+  // An inflated polynomial rank.
+  ProgramAnalysis poly = Analyze("a(x) -> exists u . b(x, u) .");
+  ASSERT_EQ(poly.complexity.tier, ComplexityTier::kPolynomial);
+  tampered = poly;
+  tampered.complexity.rank += 1;
+  EXPECT_FALSE(ReplayComplexity(tampered).ok());
+}
+
 TEST_F(AnalyzeTest, PositiveVerdictsCarryNoWitness) {
   ProgramAnalysis a = Analyze("E(x, y) & E(y, z) -> E(x, z) .");
   EXPECT_TRUE(a.verdict(Criterion::kFull).holds);
@@ -289,6 +415,65 @@ TEST_P(AnalyzeDifferentialTest, WeaklyAcyclicVerdictImpliesChaseFixpoint) {
   EXPECT_TRUE(report.terminated)
       << "analyzer says weakly acyclic but the critical-instance chase "
          "found no fixpoint";
+}
+
+TEST_P(AnalyzeDifferentialTest, TriangularGuardednessSubsumesEveryClass) {
+  // TG must hold whenever any of the three maximal classic classes does
+  // (weakly acyclic: no triangular components; weakly guarded: the global
+  // guard covers every component-dangerous subset; sticky-join: no
+  // cross-atom marked join at all). A single disagreement on a random
+  // ruleset falsifies the construction.
+  TestWorkspace ws;
+  Rng rng(GetParam() * 57 + 5);
+  std::vector<RelationId> relations =
+      GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+  std::vector<Tgd> tgds;
+  for (int i = 0; i < 3; ++i) {
+    tgds.push_back(
+        GenerateTgd(&ws.arena, &ws.vocab, &rng, relations, TgdConfig{}));
+  }
+  SoTgd so = TgdsToSo(&ws.arena, &ws.vocab, tgds);
+  ProgramAnalysis analysis = AnalyzeSo(ws.arena, so);
+  bool tg = analysis.verdict(Criterion::kTriangularlyGuarded).holds;
+  if (analysis.verdict(Criterion::kWeaklyAcyclic).holds ||
+      analysis.verdict(Criterion::kWeaklyGuarded).holds ||
+      analysis.verdict(Criterion::kStickyJoin).holds) {
+    EXPECT_TRUE(tg) << "a classic class holds but TG disagrees";
+  }
+  // The complexity artifact must agree with the weak-acyclicity verdict
+  // (polynomial ⟺ no generating component ⟺ weakly acyclic), and its
+  // provenance must replay.
+  EXPECT_EQ(analysis.complexity.tier == ComplexityTier::kPolynomial,
+            analysis.verdict(Criterion::kWeaklyAcyclic).holds);
+  Status replay = ReplayComplexity(analysis);
+  EXPECT_TRUE(replay.ok()) << replay.ToString();
+}
+
+TEST_P(AnalyzeDifferentialTest, PolynomialTierImpliesChaseFixpoint) {
+  // The polynomial tier coincides with weak acyclicity, so it is a sound
+  // termination certificate: cross-check against the critical-instance
+  // semi-decision oracle (Marnette 2009).
+  TestWorkspace ws;
+  Rng rng(GetParam() * 91 + 17);
+  std::vector<RelationId> relations =
+      GenerateSchema(&ws.vocab, &rng, SchemaConfig{});
+  std::vector<Tgd> tgds;
+  for (int i = 0; i < 3; ++i) {
+    tgds.push_back(
+        GenerateTgd(&ws.arena, &ws.vocab, &rng, relations, TgdConfig{}));
+  }
+  SoTgd so = TgdsToSo(&ws.arena, &ws.vocab, tgds);
+  ProgramAnalysis analysis = AnalyzeSo(ws.arena, so);
+  if (analysis.complexity.tier != ComplexityTier::kPolynomial) return;
+  ChaseLimits limits;
+  limits.max_rounds = 100000;
+  limits.max_facts = 500000;
+  limits.max_term_depth = 10000;
+  CriticalInstanceReport report = TerminatesOnCriticalInstance(
+      &ws.arena, &ws.vocab, so, relations, limits);
+  EXPECT_TRUE(report.terminated)
+      << "polynomial tier but the critical-instance chase found no "
+         "fixpoint";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzeDifferentialTest,

@@ -71,6 +71,63 @@ TEST(CliTest, ClassifyReportsBothFigures) {
             std::string::npos);
 }
 
+TEST(CliTest, ClassifyMembershipRowsArePrefixStableByteForByte) {
+  // The membership row only ever APPENDS new classes: adding
+  // triangularly-guarded must leave the pre-extension row a byte-exact
+  // prefix of the new one. Pin the full rows for the old corpus shapes.
+  TempFile deps("rows",
+                "mine: Emp(e, d) -> exists m . Mgr(e, m) .\n"
+                "full: E(x, y) & E(y, z) -> E(x, z) .\n"
+                "none: E(x, y) & E(y, z) -> exists w . E(z, w) .\n");
+  CliRun run = RunTool({"classify", deps.path()});
+  EXPECT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("  figure-2: weakly-acyclic,linear,guarded,"
+                         "weakly-guarded,sticky,sticky-join,"
+                         "triangularly-guarded\n"),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("  figure-2: full,weakly-acyclic,weakly-guarded,"
+                         "triangularly-guarded\n"),
+            std::string::npos)
+      << run.out;
+  // A member of nothing renders an empty row, exactly as before.
+  EXPECT_NE(run.out.find("  figure-2: \n"), std::string::npos) << run.out;
+  // Per-statement complexity lines ride along as '#' annotations.
+  EXPECT_NE(run.out.find("  # complexity: polynomial (rank 1:"),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("  # complexity: exponential (generating cycle "
+                         "E.0 -*-> E.1 -> E.0)"),
+            std::string::npos)
+      << run.out;
+  // ... and the merged program gets a structural complexity line.
+  EXPECT_NE(run.out.find("chase complexity (structural): "),
+            std::string::npos)
+      << run.out;
+}
+
+TEST(CliTest, ClassifyCertifiesTheTriangularFrontierEndToEnd) {
+  // Formerly "no decidable class": every classic criterion fails, the
+  // row holds exactly the new class, and each failure still carries a
+  // replayable witness line.
+  TempFile deps("frontier",
+                "frontier: so exists fv, fp, fq {"
+                " ga(x, y) -> ga(y, fv(x, y)) ;"
+                " hub(x) -> link(fp(x), fq(x)) ;"
+                " link(x, u) & link(u, y) -> out(x, y) } .\n");
+  CliRun run = RunTool({"classify", deps.path()});
+  EXPECT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("  figure-2: triangularly-guarded\n"),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("# witness: not weakly-acyclic:"),
+            std::string::npos);
+  EXPECT_NE(run.out.find("# witness: not weakly-guarded:"),
+            std::string::npos);
+  EXPECT_NE(run.out.find("# witness: not sticky-join:"), std::string::npos);
+  EXPECT_NE(run.out.find("# complexity: exponential"), std::string::npos);
+}
+
 TEST(CliTest, ClassifyFlagsNonTerminatingRules) {
   TempFile deps("diverge", "so exists f { P(x) -> P(f(x)) } .\n");
   CliRun run = RunTool({"classify", deps.path()});

@@ -39,7 +39,11 @@ INSTANTIATE_TEST_SUITE_P(Files, CorpusTest,
                                            "paper_selfmgr.tgd",
                                            "paper_tau.tgd",
                                            "paper_theorem41.tgd",
-                                           "university.tgd"));
+                                           "university.tgd",
+                                           "triangular_frontier.tgd",
+                                           "tier_polynomial.tgd",
+                                           "tier_exponential.tgd",
+                                           "tier_nonelementary.tgd"));
 
 TEST_P(CorpusTest, ParsesClassifiesAndSkolemizes) {
   TestWorkspace ws;
@@ -149,6 +153,42 @@ TEST(CorpusTheorem41Test, MatchesBuiltInWitness) {
   EXPECT_EQ(model.instance.NumTuples(ws.vocab.FindRelation("R")), 4u);
   EXPECT_EQ(model.instance.NumTuples(ws.vocab.FindRelation("Q")), 2u);
   EXPECT_EQ(model.instance.NumTuples(ws.vocab.FindRelation("S")), 2u);
+}
+
+TEST(CorpusFrontierTest, TriangularFrontierHasExactlyTheNewClass) {
+  // The expected-verdict gate for the flagship corpus program: TG and
+  // nothing else — the ruleset CI formerly flagged "no decidable class".
+  TestWorkspace ws;
+  Parser parser(&ws.arena, &ws.vocab);
+  auto program = parser.ParseDependencies(
+      ReadAll(CorpusPath("triangular_frontier.tgd")));
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->Sos().size(), 1u);
+  Figure2Membership m = ClassifyFigure2(ws.arena, program->Sos()[0]);
+  EXPECT_EQ(ToString(m), "triangularly-guarded");
+  EXPECT_EQ(ChaseComplexityTier(ws.arena, program->Sos()[0]),
+            ComplexityTier::kExponential);
+}
+
+TEST(CorpusFrontierTest, TierFilesLandOnTheirAdvertisedTier) {
+  struct Expected {
+    const char* file;
+    ComplexityTier tier;
+  };
+  const Expected cases[] = {
+      {"tier_polynomial.tgd", ComplexityTier::kPolynomial},
+      {"tier_exponential.tgd", ComplexityTier::kExponential},
+      {"tier_nonelementary.tgd", ComplexityTier::kNonElementary},
+  };
+  for (const Expected& c : cases) {
+    TestWorkspace ws;
+    Parser parser(&ws.arena, &ws.vocab);
+    auto program = parser.ParseDependencies(ReadAll(CorpusPath(c.file)));
+    ASSERT_TRUE(program.ok()) << c.file;
+    std::vector<Tgd> tgds = program->Tgds();
+    SoTgd rules = TgdsToSo(&ws.arena, &ws.vocab, tgds);
+    EXPECT_EQ(ChaseComplexityTier(ws.arena, rules), c.tier) << c.file;
+  }
 }
 
 }  // namespace

@@ -215,7 +215,70 @@ TEST_F(CriteriaTest, MembershipToString) {
   SoTgd so = ParseSo("Emp(e, d) -> exists m . Mgr(e, m) .");
   Figure2Membership m = ClassifyFigure2(ws_.arena, so);
   EXPECT_EQ(ToString(m),
-            "weakly-acyclic,linear,guarded,weakly-guarded,sticky,sticky-join");
+            "weakly-acyclic,linear,guarded,weakly-guarded,sticky,sticky-join,"
+            "triangularly-guarded");
+}
+
+TEST_F(CriteriaTest, TriangularGuardednessSubsumptions) {
+  // Each of the three maximal classic classes is contained in TG:
+  // weakly acyclic (full transitivity), weakly guarded (a guarded loop),
+  // sticky-join (a cross-join with everything kept in the head).
+  SoTgd wa = ParseSo("E(x, y) & E(y, z) -> E(x, z) .");
+  EXPECT_TRUE(IsWeaklyAcyclic(ws_.arena, wa));
+  EXPECT_TRUE(IsTriangularlyGuarded(ws_.arena, wa));
+  SoTgd wg = ParseSo("G(x, y) -> exists z . G(y, z) .");
+  EXPECT_TRUE(IsWeaklyGuarded(ws_.arena, wg));
+  EXPECT_FALSE(IsWeaklyAcyclic(ws_.arena, wg));
+  EXPECT_TRUE(IsTriangularlyGuarded(ws_.arena, wg));
+  SoTgd sj = ParseSo(
+      "A(x) -> exists u . B(x, u) .\n"
+      "B(x, u) & C(u, y) -> B(y, u) .");
+  EXPECT_TRUE(IsStickyJoin(ws_.arena, sj));
+  EXPECT_TRUE(IsTriangularlyGuarded(ws_.arena, sj));
+}
+
+TEST_F(CriteriaTest, TriangularlyGuardedBeyondEveryClassicClass) {
+  // The frontier program: the only triangular component {ga.0, ga.1} is
+  // guarded by its single rule's body atom, while the link-join rule —
+  // which breaks weakly-guarded, sticky and sticky-join — never touches
+  // the component.
+  SoTgd so = ParseSo(
+      "frontier: so exists fv, fp, fq {"
+      " ga(x, y) -> ga(y, fv(x, y)) ;"
+      " hub(x) -> link(fp(x), fq(x)) ;"
+      " link(x, u) & link(u, y) -> out(x, y) } .");
+  Figure2Membership m = ClassifyFigure2(ws_.arena, so);
+  EXPECT_FALSE(m.weakly_acyclic);
+  EXPECT_FALSE(m.weakly_guarded);
+  EXPECT_FALSE(m.sticky_join);
+  EXPECT_TRUE(m.triangularly_guarded);
+  EXPECT_EQ(ToString(m), "triangularly-guarded");
+}
+
+TEST_F(CriteriaTest, NotTriangularlyGuarded) {
+  // The component {E.0, E.1} is neither guarded (x, y, z are dangerous,
+  // no covering atom) nor sticky (y is marked and joins across atoms).
+  SoTgd so = ParseSo("E(x, y) & E(y, z) -> exists w . E(z, w) .");
+  EXPECT_FALSE(IsTriangularlyGuarded(ws_.arena, so));
+}
+
+TEST_F(CriteriaTest, ChaseComplexityTiers) {
+  EXPECT_EQ(ChaseComplexityTier(
+                ws_.arena, ParseSo("Emp(e, d) -> exists m . Mgr(e, m) .")),
+            ComplexityTier::kPolynomial);
+  EXPECT_EQ(
+      ChaseComplexityTier(ws_.arena,
+                          ParseSo("e(x, y) -> exists z . e(y, z) .")),
+      ComplexityTier::kExponential);
+  EXPECT_EQ(ChaseComplexityTier(
+                ws_.arena, ParseSo("p(x, y) -> exists z . p(y, z) .\n"
+                                   "p(x, y) -> q(x, y) .\n"
+                                   "q(x, y) -> exists z . q(y, z) .")),
+            ComplexityTier::kNonElementary);
+  EXPECT_STREQ(ComplexityTierName(ComplexityTier::kPolynomial),
+               "polynomial");
+  EXPECT_STREQ(ComplexityTierName(ComplexityTier::kNonElementary),
+               "non-elementary");
 }
 
 TEST_F(CriteriaTest, AffectedPositionsPropagate) {

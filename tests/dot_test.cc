@@ -78,6 +78,52 @@ TEST_F(DotTest, PcpPositionGraphHasSpecialCycle) {
   EXPECT_NE(dot.find("\"R.2\" [style=filled"), std::string::npos);
 }
 
+TEST_F(DotTest, HasseDiagramColorsMembersAndDrawsSubsumptions) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program =
+      p.ParseDependencies("Emp(e, d) -> exists m . Mgr(e, m) .");
+  ASSERT_TRUE(program.ok());
+  SoTgd so = program->Sos().empty()
+                 ? TgdsToSo(&ws_.arena, &ws_.vocab, program->Tgds())
+                 : program->Sos()[0];
+  std::string dot = Figure2HasseDot(ClassifyFigure2(ws_.arena, so));
+  EXPECT_NE(dot.find("digraph hasse"), std::string::npos);
+  // Members are filled; full (a non-member here) is not.
+  EXPECT_NE(dot.find("\"linear\" [style=filled"), std::string::npos);
+  EXPECT_NE(dot.find("\"triangularly-guarded\" [style=filled"),
+            std::string::npos);
+  EXPECT_EQ(dot.find("\"full\" [style=filled"), std::string::npos);
+  // The new class sits above all three maximal classic classes.
+  EXPECT_NE(dot.find("\"weakly-acyclic\" -> \"triangularly-guarded\";"),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"weakly-guarded\" -> \"triangularly-guarded\";"),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"sticky-join\" -> \"triangularly-guarded\";"),
+            std::string::npos);
+}
+
+TEST_F(DotTest, AnalysisGraphRendersTheWitnessTriangleRed) {
+  Parser p(&ws_.arena, &ws_.vocab);
+  auto program = p.ParseDependencies(
+      "bad : E(x, y) & E(y, z) -> exists w . E(z, w) .");
+  ASSERT_TRUE(program.ok());
+  ProgramAnalysis analysis =
+      AnalyzeProgram(&ws_.arena, &ws_.vocab, *program);
+  ASSERT_FALSE(analysis.verdict(Criterion::kTriangularlyGuarded).holds);
+  std::string dot = AnalysisDot(ws_.vocab, analysis);
+  // The unguarded component's nodes carry a red border...
+  EXPECT_NE(dot.find("\"E.0\" [style=filled, fillcolor=lightgray, "
+                     "penwidth=2, color=red]"),
+            std::string::npos)
+      << dot;
+  EXPECT_NE(dot.find("\"E.1\" [style=filled, fillcolor=lightgray, "
+                     "penwidth=2, color=red]"),
+            std::string::npos)
+      << dot;
+  // ... and its witness cycle edges are red too.
+  EXPECT_NE(dot.find("color=red, penwidth=2"), std::string::npos) << dot;
+}
+
 TEST_F(DotTest, CliDotCommand) {
   std::string path = testing::TempDir() + "/dot_cli_deps.tgd";
   {
@@ -92,6 +138,7 @@ TEST_F(DotTest, CliDotCommand) {
   EXPECT_NE(out.str().find("digraph positions"), std::string::npos);
   EXPECT_NE(out.str().find("digraph quantifier"), std::string::npos);
   EXPECT_NE(out.str().find("digraph nesting"), std::string::npos);
+  EXPECT_NE(out.str().find("digraph hasse"), std::string::npos);
 }
 
 }  // namespace

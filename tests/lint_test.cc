@@ -68,6 +68,52 @@ TEST_F(LintTest, NoDecidableClassWarningEmbedsAllThreeWitnesses) {
       << d->message;
 }
 
+TEST_F(LintTest, TriangularGuardednessDowngradesTheWarningToANote) {
+  // Every classic class fails, but TG certifies decidability: the
+  // diagnostic survives (with all three witnesses) at note severity.
+  LintReport report = Lint(
+      "frontier: so exists fv, fp, fq {"
+      " ga(x, y) -> ga(y, fv(x, y)) ;"
+      " hub(x) -> link(fp(x), fq(x)) ;"
+      " link(x, u) & link(u, y) -> out(x, y) } .");
+  const LintDiagnostic* d = Find(report, "no-decidable-class");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, LintSeverity::kNote);
+  EXPECT_NE(d->message.find("still decidable"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("triangularly-guarded"), std::string::npos)
+      << d->message;
+  EXPECT_FALSE(report.HasAtLeast(LintSeverity::kWarning));
+}
+
+TEST_F(LintTest, UndecidableProgramsAlsoCarryTheTriangleWitness) {
+  LintReport report =
+      Lint("bad : E(x, y) & E(y, z) -> exists w . E(z, w) .");
+  const LintDiagnostic* d = Find(report, "no-decidable-class");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, LintSeverity::kWarning);
+  EXPECT_NE(d->message.find("not triangularly guarded"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("triangular component"), std::string::npos)
+      << d->message;
+}
+
+TEST_F(LintTest, ChaseComplexityNoteOnlyWhenNullsAreMinted) {
+  // A null-minting program gets the tier note, pinned to the rule that
+  // owns the first special edge.
+  LintReport report = Lint("grow : e(x, y) -> exists z . e(y, z) .");
+  const LintDiagnostic* d = Find(report, "chase-complexity");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, LintSeverity::kNote);
+  EXPECT_EQ(d->line, 1u);
+  EXPECT_NE(d->message.find("exponential"), std::string::npos)
+      << d->message;
+  // A full program never mints nulls: no note (and no diagnostics at all
+  // — pinned by CleanProgramHasNoDiagnostics above).
+  LintReport full = Lint("E(x, y) & E(y, z) -> E(x, z) .");
+  EXPECT_EQ(Find(full, "chase-complexity"), nullptr);
+}
+
 TEST_F(LintTest, DecidableProgramsDoNotWarn) {
   // Not weakly acyclic, but weakly guarded — one decidable class suffices.
   LintReport report = Lint("P(x) -> exists y . P(y) & R(x, y) .");

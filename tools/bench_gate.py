@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for the chase/matcher/serve benchmarks.
+"""Benchmark regression gate for the chase/matcher/serve/analyze lanes.
 
 Compares a fresh Google Benchmark JSON report (--benchmark_format=json)
-against the committed baseline (BENCH_chase.json, BENCH_spill.json or
-BENCH_serve.json). Fails (exit 1) when any gated benchmark — one whose
-name contains "chase", "matcher" or "serve", case-insensitively —
-regressed by more than the threshold in real_time.
+against the committed baseline (BENCH_chase.json, BENCH_spill.json,
+BENCH_serve.json or BENCH_analyze.json). Fails (exit 1) when any gated
+benchmark — one whose name contains "chase", "matcher", "serve" or
+"analyze", case-insensitively — regressed by more than the threshold in
+real_time.
 
 Also prints the parallel speedup table for benchmarks that carry a
 threads argument (name suffix "/1" vs "/4"), since that is the number
@@ -50,7 +51,7 @@ def load_benchmarks(path):
 def gated(name):
     lowered = name.lower()
     return ("chase" in lowered or "matcher" in lowered
-            or "serve" in lowered)
+            or "serve" in lowered or "analyze" in lowered)
 
 
 def speedup_table(current):
