@@ -1,10 +1,13 @@
 #include "api/api.h"
 
 #include <csignal>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -21,6 +24,9 @@
 #include "dep/syntactic.h"
 #include "mc/model_check.h"
 #include "exchange/exchange.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/shrink.h"
 #include "parse/parser.h"
 #include "query/query.h"
 #include "supervise/manifest.h"
@@ -59,11 +65,22 @@ constexpr const char* kUsage =
     "                                 socket, warm caches, admission\n"
     "                                 control and graceful drain\n"
     "                                 (docs/SERVE.md)\n"
+    "  fuzz      [--seeds N]          adversarial chaos fuzzing: per-seed\n"
+    "                                 scenario + fault schedule, invariant\n"
+    "                                 cross-checks, delta-debugging\n"
+    "                                 shrinking, reproducer corpus;\n"
+    "                                 --replay FILE|DIR re-runs\n"
+    "                                 reproducers as a regression gate\n"
+    "                                 (docs/FUZZING.md)\n"
     "exit codes (docs/FORMAT.md): 0 ok, 1 usage, 2 input, 3 negative\n"
     "verdict, 4 resource-stopped (partial result), 5 internal\n"
     "options: --max-rounds N  --max-facts N  --max-depth N\n"
     "         --max-steps N  --deadline-ms N  --max-memory-mb N\n"
     "         --seed N\n"
+    "         --auto-budget  fill unset --max-steps/--deadline-ms from\n"
+    "                        the structural chase-complexity tier\n"
+    "                        (docs/BUDGETS.md); the choice is echoed on\n"
+    "                        the '# status:' line\n"
     "         --threads N   chase staging lanes (0 = all hardware\n"
     "                       threads); output is byte-identical for every\n"
     "                       N (see docs/PARALLELISM.md)\n"
@@ -86,7 +103,22 @@ constexpr const char* kUsage =
     "                            of in-process forks\n"
     "         --max-parallel N  --retries N  --backoff-ms N\n"
     "         --backoff-cap-ms N  --grace-ms N  --task-deadline-ms N\n"
-    "         --escalate-factor N  --accept-resource\n";
+    "         --escalate-factor N  --accept-resource\n"
+    "fuzzing (see docs/FUZZING.md):\n"
+    "         --seeds N  --seed-start N   campaign size and first seed\n"
+    "         --shape NAME       one family only: skolem-tower,\n"
+    "                            pcp-near-divergent, high-fanout-join,\n"
+    "                            wide-guard, triangular-frontier\n"
+    "                            (default: rotate over all)\n"
+    "         --no-faults        skip fork-based crash/ENOSPC injection\n"
+    "         --corpus-dir DIR   write shrunk reproducers here\n"
+    "         --scratch-dir DIR  workspace (default: a temp dir)\n"
+    "         --shrink-rounds N  shrinker re-execution cap\n"
+    "         --inject-bug NAME  seed a known defect (tamper-witness,\n"
+    "                            torn-checkpoint) to exercise the\n"
+    "                            catch -> shrink -> reproduce loop\n"
+    "         --replay FILE|DIR  re-run reproducers; exit 3 when any\n"
+    "                            still fails\n";
 
 struct CliContext {
   /// The request's execution context (cancellation, virtual files).
@@ -101,6 +133,9 @@ struct CliContext {
   std::string resume_path;
   std::string lint_format = "text";
   LintSeverity fail_on = LintSeverity::kError;
+  bool auto_budget = false;
+  /// Extra tokens for '# status:' lines (e.g. the --auto-budget echo).
+  std::string status_suffix;
   std::vector<std::string> positional;
 };
 
@@ -181,6 +216,8 @@ bool ParseOptions(const std::vector<std::string>& args, CliContext* ctx,
       ctx->limits.budget.max_memory_bytes = mb * 1024 * 1024;
     } else if (arg == "--seed") {
       if (!numeric(&ctx->seed)) return false;
+    } else if (arg == "--auto-budget") {
+      ctx->auto_budget = true;
     } else if (arg == "--threads") {
       uint64_t threads = 0;
       if (!numeric(&threads)) return false;
@@ -286,6 +323,44 @@ SoTgd ProgramRules(CliContext* ctx, const DependencyProgram& program) {
     pieces.push_back(so);
   }
   return MergeSo(pieces);
+}
+
+/// --auto-budget: fills the still-unset step/deadline budgets from the
+/// structural chase-complexity tier (docs/BUDGETS.md) and records the
+/// '# status:' echo token. Explicit flags always win — only zero-valued
+/// budget fields are filled — and without the flag this is a no-op, so
+/// default output stays byte-identical.
+void ApplyAutoBudget(CliContext* ctx, const SoTgd& rules) {
+  if (!ctx->auto_budget) return;
+  ComplexityTier tier = ChaseComplexityTier(ctx->arena, rules);
+  uint64_t steps = 0, deadline_ms = 0;
+  switch (tier) {
+    case ComplexityTier::kPolynomial: {
+      // Terminating by construction: scale the step budget with the
+      // proven null-nesting rank and allow a generous deadline.
+      uint64_t rank = AnalyzeSo(ctx->arena, rules).complexity.rank;
+      steps = (rank + 1) * 2000000;
+      deadline_ms = 120000;
+      break;
+    }
+    case ComplexityTier::kExponential:
+      steps = 1000000;
+      deadline_ms = 30000;
+      break;
+    case ComplexityTier::kNonElementary:
+      steps = 250000;
+      deadline_ms = 10000;
+      break;
+  }
+  if (ctx->limits.budget.max_steps == 0) {
+    ctx->limits.budget.max_steps = steps;
+  }
+  if (ctx->limits.budget.deadline_ms == 0) {
+    ctx->limits.budget.deadline_ms = deadline_ms;
+  }
+  ctx->status_suffix = Cat(" auto_budget=", ComplexityTierName(tier),
+                           ":max-steps=", ctx->limits.budget.max_steps,
+                           ":deadline-ms=", ctx->limits.budget.deadline_ms);
 }
 
 std::string LabelOf(const ParsedDependency& dep, size_t index) {
@@ -419,7 +494,8 @@ int RunChaseEngine(CliContext* ctx, ChaseEngine* engine,
       << " facts created\n";
   out << "# status: "
       << StopReasonToStatus(engine->stop_reason(), "chase").ToString()
-      << " seed=" << seed << " threads=" << engine->threads();
+      << " seed=" << seed << " threads=" << engine->threads()
+      << ctx->status_suffix;
   if (engine->instance().spill_enabled()) {
     // Only the content-derived fields go to stdout: they are identical
     // after a kill-and-resume, so stdout stays byte-reproducible. The
@@ -459,6 +535,7 @@ int CmdChaseResume(CliContext* ctx, std::ostream& out, std::ostream& err) {
     return kExitInput;
   }
   ChaseSnapshot snap = std::move(*loaded);
+  ApplyAutoBudget(ctx, snap.rules);
   ChaseEngine engine(snap.arena.get(), snap.vocab.get(), snap.rules,
                      std::move(*snap.state), ctx->limits);
   Rng rng(snap.seed);
@@ -478,6 +555,7 @@ int CmdChase(CliContext* ctx, std::ostream& out, std::ostream& err) {
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
   if (!instance.has_value()) return kExitInput;
   SoTgd rules = ProgramRules(ctx, *program);
+  ApplyAutoBudget(ctx, rules);
   ChaseEngine engine(&ctx->arena, &ctx->vocab, rules, *instance,
                      ctx->limits);
   Rng rng(ctx->seed);
@@ -588,13 +666,14 @@ int CmdCertain(CliContext* ctx, std::ostream& out, std::ostream& err) {
     return kExitInput;
   }
   SoTgd rules = ProgramRules(ctx, *program);
+  ApplyAutoBudget(ctx, rules);
   CertainAnswers answers = ComputeCertainAnswers(
       &ctx->arena, &ctx->vocab, rules, *instance, *query, ctx->limits);
   out << "# " << (answers.Complete() ? "complete" : "TRUNCATED")
       << " (chase " << answers.chase_rounds << " rounds)\n";
   out << "# status: "
       << StopReasonToStatus(answers.chase_stop, "certain").ToString()
-      << "\n";
+      << ctx->status_suffix << "\n";
   if (query->IsBoolean()) {
     out << (answers.answers.empty() ? "false" : "true") << "\n";
   } else {
@@ -649,13 +728,14 @@ int CmdExplain(CliContext* ctx, std::ostream& out, std::ostream& err) {
   auto instance = LoadInstance(ctx, ctx->positional[1], err);
   if (!instance.has_value()) return kExitInput;
   SoTgd rules = ProgramRules(ctx, *program);
+  ApplyAutoBudget(ctx, rules);
   ChaseResult result =
       Chase(&ctx->arena, &ctx->vocab, rules, *instance, ctx->limits);
   out << "# chase " << ToString(result.stop_reason) << "; "
       << result.instance.num_nulls() << " nulls\n";
   out << "# status: "
       << StopReasonToStatus(result.stop_reason, "explain").ToString()
-      << "\n";
+      << ctx->status_suffix << "\n";
   for (uint32_t i = 0; i < result.instance.num_nulls(); ++i) {
     Value null = Value::Null(i);
     out << result.instance.ValueToString(null) << " = "
@@ -1002,6 +1082,217 @@ int CmdBatch(const std::vector<std::string>& args, const ApiOptions& api,
   return report->ExitCode();
 }
 
+uint64_t CountStatements(const std::string& text) {
+  uint64_t count = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++count;
+  }
+  return count;
+}
+
+std::string OneLine(std::string text) {
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  return text;
+}
+
+/// `tgdkit fuzz --replay FILE|DIR`: re-runs reproducers as a regression
+/// gate. A missing or empty corpus directory passes (nothing regressed);
+/// a named file that does not exist or does not parse is an input error.
+int FuzzReplay(const std::string& path, const FuzzOptions& options,
+               std::ostream& out, std::ostream& err) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    files = ListReproducers(path);
+  } else if (fs::exists(path, ec)) {
+    files.push_back(path);
+  } else if (fs::path(path).extension() == ".repro") {
+    err << "tgdkit: fuzz: cannot open reproducer '" << path << "'\n";
+    return kExitInput;
+  }
+  if (files.empty()) {
+    out << "# fuzz replay: no reproducers under " << path << "\n";
+    out << "# status: OK\n";
+    return kExitOk;
+  }
+  uint64_t failing = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string invariant;
+    Result<FuzzScenario> scenario = ParseReproducer(buffer.str(), &invariant);
+    if (!scenario.ok()) {
+      err << "tgdkit: fuzz: " << file << ": "
+          << scenario.status().ToString() << "\n";
+      return kExitInput;
+    }
+    ScenarioVerdict verdict = RunScenario(*scenario, options, invariant);
+    out << "# fuzz replay " << file;
+    if (verdict.violation) {
+      ++failing;
+      out << " verdict=FAIL invariant=" << verdict.violation->invariant
+          << " detail=\"" << OneLine(verdict.violation->detail) << "\"\n";
+    } else {
+      out << " verdict=ok\n";
+    }
+  }
+  out << "# fuzz replay summary files=" << files.size()
+      << " failing=" << failing << "\n";
+  out << "# status: OK\n";
+  return failing != 0 ? kExitVerdict : kExitOk;
+}
+
+/// `tgdkit fuzz`: the chaos-fuzzing campaign driver (docs/FUZZING.md).
+/// Parses its own flag set — the engine options of the runs it launches
+/// are fixed by the campaign so the verdict log is deterministic per
+/// seed.
+int CmdFuzz(const std::vector<std::string>& args, const ApiOptions& api,
+            std::ostream& out, std::ostream& err) {
+  namespace fs = std::filesystem;
+  FuzzOptions options;
+  std::string replay_path;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto numeric = [&](uint64_t* slot) {
+      if (i + 1 >= args.size()) {
+        err << "tgdkit: missing value for " << arg << "\n";
+        return false;
+      }
+      const std::string& value = args[++i];
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        err << "tgdkit: invalid value '" << value << "' for " << arg
+            << "\n";
+        return false;
+      }
+      *slot = std::strtoull(value.c_str(), nullptr, 10);
+      return true;
+    };
+    auto pathval = [&](std::string* slot) {
+      if (i + 1 >= args.size()) {
+        err << "tgdkit: missing value for " << arg << "\n";
+        return false;
+      }
+      *slot = args[++i];
+      return !slot->empty();
+    };
+    if (arg == "--seeds") {
+      if (!numeric(&options.seeds)) return kExitUsage;
+    } else if (arg == "--seed-start") {
+      if (!numeric(&options.seed_start)) return kExitUsage;
+    } else if (arg == "--shape") {
+      std::string name;
+      if (!pathval(&name)) return kExitUsage;
+      AdversarialShape shape;
+      if (!ParseAdversarialShapeName(name, &shape)) {
+        err << "tgdkit: fuzz: unknown shape '" << name << "'\n";
+        return kExitUsage;
+      }
+      options.shape = shape;
+    } else if (arg == "--no-faults") {
+      options.fork_faults = false;
+    } else if (arg == "--corpus-dir") {
+      if (!pathval(&options.corpus_dir)) return kExitUsage;
+    } else if (arg == "--scratch-dir") {
+      if (!pathval(&options.scratch_dir)) return kExitUsage;
+    } else if (arg == "--shrink-rounds") {
+      uint64_t rounds = 0;
+      if (!numeric(&rounds)) return kExitUsage;
+      options.shrink_attempts = static_cast<uint32_t>(rounds);
+    } else if (arg == "--inject-bug") {
+      if (!pathval(&options.inject_bug)) return kExitUsage;
+      if (options.inject_bug != "tamper-witness" &&
+          options.inject_bug != "torn-checkpoint") {
+        err << "tgdkit: fuzz: --inject-bug must be tamper-witness or "
+               "torn-checkpoint\n";
+        return kExitUsage;
+      }
+    } else if (arg == "--replay") {
+      if (!pathval(&replay_path)) return kExitUsage;
+    } else {
+      err << "tgdkit: fuzz: unknown argument " << arg << "\n";
+      return kExitUsage;
+    }
+  }
+  if (api.forbid_fork_workers && options.fork_faults) {
+    // fork() from a multithreaded daemon can deadlock in the child;
+    // crash/ENOSPC injection is only available from the one-shot CLI.
+    options.fork_faults = false;
+    err << "tgdkit: fuzz: fault forks are unavailable in this context; "
+           "running without crash injection\n";
+  }
+  options.run_cli = [&api](const std::vector<std::string>& cli_args,
+                           std::ostream& cli_out, std::ostream& cli_err) {
+    return RunCommand(cli_args, cli_out, cli_err, api);
+  };
+  bool scratch_is_temp = false;
+  if (options.scratch_dir.empty()) {
+    std::error_code ec;
+    fs::path base = fs::temp_directory_path(ec);
+    if (!ec) {
+      options.scratch_dir =
+          (base / Cat("tgdkit-fuzz-", static_cast<uint64_t>(getpid())))
+              .string();
+      scratch_is_temp = true;
+    }
+  }
+  if (!options.scratch_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options.scratch_dir, ec);
+    if (ec) options.scratch_dir.clear();  // CLI invariants degrade away
+  }
+  int code;
+  if (!replay_path.empty()) {
+    code = FuzzReplay(replay_path, options, out, err);
+  } else {
+    uint64_t violations = 0;
+    for (uint64_t i = 0; i < options.seeds; ++i) {
+      uint64_t seed = options.seed_start + i;
+      FuzzScenario scenario = MakeScenario(seed, options);
+      ScenarioVerdict verdict = RunScenario(scenario, options);
+      out << "# fuzz seed=" << seed
+          << " shape=" << AdversarialShapeName(scenario.shape)
+          << " fault=\"" << ToString(scenario.fault) << "\"";
+      if (!verdict.violation) {
+        out << " verdict=ok\n";
+        continue;
+      }
+      ++violations;
+      out << " verdict=FAIL invariant=" << verdict.violation->invariant
+          << " detail=\"" << OneLine(verdict.violation->detail) << "\"\n";
+      ShrinkOutcome shrunk =
+          ShrinkScenario(scenario, verdict.violation->invariant, options);
+      out << "# fuzz shrunk seed=" << seed
+          << " statements=" << CountStatements(shrunk.scenario.program)
+          << " facts=" << CountStatements(shrunk.scenario.instance)
+          << " attempts=" << shrunk.attempts << "\n";
+      if (!options.corpus_dir.empty()) {
+        std::string path;
+        Status written = WriteReproducer(options.corpus_dir, shrunk.scenario,
+                                         *verdict.violation, &path);
+        if (written.ok()) {
+          out << "# fuzz reproducer: " << path << "\n";
+        } else {
+          err << "tgdkit: fuzz: " << written.ToString() << "\n";
+        }
+      }
+    }
+    out << "# fuzz summary seeds=" << options.seeds
+        << " violations=" << violations << "\n";
+    out << "# status: OK\n";
+    code = violations != 0 ? kExitVerdict : kExitOk;
+  }
+  if (scratch_is_temp) {
+    std::error_code ec;
+    fs::remove_all(options.scratch_dir, ec);
+  }
+  return code;
+}
+
 }  // namespace
 
 int ExitCodeForStop(StopReason stop) {
@@ -1037,6 +1328,7 @@ int RunCommand(const std::vector<std::string>& args, std::ostream& out,
   // must pass through to the worker untouched).
   if (args[0] == "batch") return CmdBatch(args, options, out, err);
   if (args[0] == "selftest") return CmdSelftest(args, options, out, err);
+  if (args[0] == "fuzz") return CmdFuzz(args, options, out, err);
   CliContext ctx;
   ctx.api = &options;
   ctx.limits.budget.cancel = options.cancel;

@@ -1,0 +1,147 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace tgdkit {
+
+namespace fs = std::filesystem;
+
+std::string RenderReproducer(const FuzzScenario& scenario,
+                             const Violation& violation) {
+  std::string out;
+  out += "# tgdkit fuzz reproducer\n";
+  out += "# reproduce: tgdkit fuzz --replay <this file>\n";
+  out += Cat("# seed: ", scenario.seed, "\n");
+  out += Cat("# shape: ", AdversarialShapeName(scenario.shape), "\n");
+  out += Cat("# invariant: ", violation.invariant, "\n");
+  // Keep the detail single-line so the header stays line-oriented.
+  std::string detail = violation.detail;
+  std::replace(detail.begin(), detail.end(), '\n', ' ');
+  out += Cat("# detail: ", detail, "\n");
+  out += Cat("# fault: ", ToString(scenario.fault), "\n");
+  if (!scenario.inject_bug.empty()) {
+    out += Cat("# inject-bug: ", scenario.inject_bug, "\n");
+  }
+  out += "[program]\n";
+  out += scenario.program;
+  if (!scenario.program.empty() && scenario.program.back() != '\n') out += '\n';
+  out += "[instance]\n";
+  out += scenario.instance;
+  if (!scenario.instance.empty() && scenario.instance.back() != '\n') {
+    out += '\n';
+  }
+  if (!scenario.query.empty()) {
+    out += "[query]\n";
+    out += scenario.query;
+    if (scenario.query.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+Result<FuzzScenario> ParseReproducer(const std::string& text,
+                                     std::string* invariant) {
+  FuzzScenario scenario;
+  invariant->clear();
+  std::string* section = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  auto header_value = [&line](const char* key) {
+    return line.substr(line.find(key) + std::string(key).size());
+  };
+  while (std::getline(in, line)) {
+    if (line == "[program]") {
+      section = &scenario.program;
+      continue;
+    }
+    if (line == "[instance]") {
+      section = &scenario.instance;
+      continue;
+    }
+    if (line == "[query]") {
+      section = &scenario.query;
+      continue;
+    }
+    if (section) {
+      *section += line;
+      *section += '\n';
+      continue;
+    }
+    if (line.rfind("# tgdkit fuzz reproducer", 0) == 0) {
+      saw_header = true;
+    } else if (line.rfind("# seed: ", 0) == 0) {
+      scenario.seed = std::strtoull(header_value("# seed: ").c_str(),
+                                    nullptr, 10);
+    } else if (line.rfind("# shape: ", 0) == 0) {
+      if (!ParseAdversarialShapeName(header_value("# shape: "),
+                                     &scenario.shape)) {
+        return Status::InvalidArgument(
+            Cat("reproducer: unknown shape in '", line, "'"));
+      }
+    } else if (line.rfind("# invariant: ", 0) == 0) {
+      *invariant = header_value("# invariant: ");
+    } else if (line.rfind("# fault: ", 0) == 0) {
+      if (!ParseFaultSchedule(header_value("# fault: "), &scenario.fault)) {
+        return Status::InvalidArgument(
+            Cat("reproducer: bad fault schedule in '", line, "'"));
+      }
+    } else if (line.rfind("# inject-bug: ", 0) == 0) {
+      scenario.inject_bug = header_value("# inject-bug: ");
+    }
+    // other comment lines (reproduce:, detail:) are provenance only
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument(
+        "reproducer: missing '# tgdkit fuzz reproducer' header");
+  }
+  if (invariant->empty()) {
+    return Status::InvalidArgument("reproducer: missing '# invariant:' line");
+  }
+  // An empty [program] is legal: defects like a tampered complexity bound
+  // minimize all the way down to the empty rule set.
+  return scenario;
+}
+
+Status WriteReproducer(const std::string& dir, const FuzzScenario& scenario,
+                       const Violation& violation, std::string* path) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal(Cat("cannot create corpus dir ", dir, ": ",
+                                ec.message()));
+  }
+  fs::path file =
+      fs::path(dir) /
+      Cat("seed", scenario.seed, "-", violation.invariant, ".repro");
+  std::ofstream out(file);
+  if (!out) {
+    return Status::Internal(Cat("cannot write reproducer ", file.string()));
+  }
+  out << RenderReproducer(scenario, violation);
+  out.close();
+  if (!out) {
+    return Status::Internal(Cat("short write on reproducer ", file.string()));
+  }
+  *path = file.string();
+  return Status::Ok();
+}
+
+std::vector<std::string> ListReproducers(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".repro") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tgdkit

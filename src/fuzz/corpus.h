@@ -1,0 +1,36 @@
+// Self-contained fuzz reproducers (docs/FUZZING.md).
+//
+// A reproducer is one text file carrying everything needed to re-run a
+// minimized failing scenario: provenance header (seed, shape, invariant,
+// fault schedule, seeded defect), then [program] / [instance] / [query]
+// sections. `tgdkit fuzz --replay <file|dir>` re-runs them as a CI gate;
+// corpus/regressions/ is the checked-in corpus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "fuzz/fuzz.h"
+
+namespace tgdkit {
+
+/// Renders `scenario` + `violation` as a reproducer file.
+std::string RenderReproducer(const FuzzScenario& scenario,
+                             const Violation& violation);
+
+/// Parses a reproducer. On success fills `*invariant` with the recorded
+/// failing invariant name.
+Result<FuzzScenario> ParseReproducer(const std::string& text,
+                                     std::string* invariant);
+
+/// Writes the reproducer into `dir` as seed<N>-<invariant>.repro,
+/// creating the directory if needed. Fills `*path` with the file written.
+Status WriteReproducer(const std::string& dir, const FuzzScenario& scenario,
+                       const Violation& violation, std::string* path);
+
+/// Lists *.repro files under `dir`, sorted by name. Empty when the
+/// directory does not exist.
+std::vector<std::string> ListReproducers(const std::string& dir);
+
+}  // namespace tgdkit

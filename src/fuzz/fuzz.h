@@ -1,0 +1,129 @@
+// Pipeline-wide chaos fuzzing (docs/FUZZING.md).
+//
+// Per seed the campaign generates an adversarial scenario (src/gen), runs
+// parse → lint → classify → chase (Skolem + restricted, in-core + spill,
+// 1..N threads) → certain answers, and cross-checks the system's promises
+// as machine-checkable invariants: witness/complexity replay accepts,
+// polynomial tier ⇒ chase fixpoint, thread-count and spill byte-identity,
+// kill-and-resume convergence under randomized TGDKIT_CRASH_AT /
+// TGDKIT_FAIL_WRITE_AT / SIGKILL / budget-exhaustion fault schedules, and
+// Skolem-vs-restricted agreement on certain answers.
+//
+// On a violation, src/fuzz/shrink.h minimizes the (ruleset, instance,
+// fault schedule) triple and src/fuzz/corpus.h writes a self-contained
+// reproducer into corpus/regressions/ that `tgdkit fuzz --replay` re-runs
+// as a CI gate.
+//
+// The driver is CLI-agnostic: callers (src/api) inject a `run_cli`
+// callback, so the end-to-end invariants compare the system's actual
+// stdout contract without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+
+namespace tgdkit {
+
+/// One injected fault for a scenario run. Crash and fail-write faults
+/// arm the src/base/fileio.h hooks inside a forked child; the step
+/// budget runs in-process.
+struct FaultSchedule {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kCrashAt,      // TGDKIT_CRASH_AT=<value>, SIGKILL at a durable write
+    kFailWriteAt,  // TGDKIT_FAIL_WRITE_AT=<value>, simulated ENOSPC
+    kStepBudget,   // --max-steps <value>, then resume
+  };
+  Kind kind = Kind::kNone;
+  uint64_t value = 0;  // write ordinal or step cap
+  std::string phase;   // crash phase: begin|mid|commit (kCrashAt only)
+};
+
+/// Renders e.g. "none", "crash-at 2 mid", "fail-write-at 3",
+/// "step-budget 5". ParseFaultSchedule is the exact inverse.
+std::string ToString(const FaultSchedule& fault);
+bool ParseFaultSchedule(const std::string& text, FaultSchedule* out);
+
+/// The minimizable (ruleset, instance, fault schedule) triple plus its
+/// provenance. `inject_bug` deliberately seeds a defect so the
+/// catch→shrink→reproduce loop can be tested end to end:
+///   "tamper-witness"   — corrupt the complexity bound before replay;
+///   "torn-checkpoint"  — tear the checkpoint file after the run, as if
+///                        the writer had skipped the fsync+rename step.
+struct FuzzScenario {
+  uint64_t seed = 0;
+  AdversarialShape shape = AdversarialShape::kSkolemTower;
+  std::string program;
+  std::string instance;
+  std::string query;
+  bool may_diverge = false;
+  FaultSchedule fault;
+  std::string inject_bug;
+};
+
+/// A failed invariant: a stable machine name plus a human detail.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// Campaign configuration. The chase caps apply to every engine run in
+/// the battery; they use steps/rounds/facts only (never wall-clock), so
+/// the verdict log is deterministic for a given seed.
+struct FuzzOptions {
+  uint64_t seeds = 8;
+  uint64_t seed_start = 1;
+  std::optional<AdversarialShape> shape;  // unset: rotate over families
+  AdversarialConfig gen;
+
+  /// Fork-based fault injection allowed (must be false in shared
+  /// processes, e.g. under `tgdkit serve`).
+  bool fork_faults = true;
+  /// Workspace for scenario files, checkpoints and spill dirs. CLI-level
+  /// invariants are skipped when empty.
+  std::string scratch_dir;
+  /// Where reproducers land ("" = don't write).
+  std::string corpus_dir;
+  /// Cap on shrinker re-executions per violation.
+  uint32_t shrink_attempts = 256;
+  /// Seeded defect (see FuzzScenario::inject_bug).
+  std::string inject_bug;
+
+  uint64_t max_rounds = 40;
+  uint64_t max_facts = 20000;
+  uint64_t max_steps = 200000;
+  uint32_t threads = 3;
+
+  /// Runs one CLI command; injected by src/api (RunCommand). When null,
+  /// the CLI-level invariants are skipped.
+  std::function<int(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err)>
+      run_cli;
+};
+
+/// The outcome of one scenario: which invariants ran, and the first
+/// violation if any.
+struct ScenarioVerdict {
+  FuzzScenario scenario;
+  std::vector<std::string> invariants;
+  std::optional<Violation> violation;
+};
+
+/// Deterministically derives the scenario (shape, program, instance,
+/// query, fault schedule) for `seed`.
+FuzzScenario MakeScenario(uint64_t seed, const FuzzOptions& options);
+
+/// Runs the invariant battery over one scenario, stopping at the first
+/// violation. When `only_invariant` is non-empty, runs just that
+/// invariant (the shrinker's mode).
+ScenarioVerdict RunScenario(const FuzzScenario& scenario,
+                            const FuzzOptions& options,
+                            const std::string& only_invariant = "");
+
+}  // namespace tgdkit

@@ -1,0 +1,131 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace tgdkit {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const FuzzScenario& failing, const std::string& invariant,
+           const FuzzOptions& options)
+      : invariant_(invariant), options_(options), best_(failing) {}
+
+  ShrinkOutcome Run() {
+    DdminField(&FuzzScenario::program);
+    DdminField(&FuzzScenario::instance);
+    SimplifyFault();
+    DropQuery();
+    return {best_, attempts_};
+  }
+
+ private:
+  bool StillFails(const FuzzScenario& candidate) {
+    if (attempts_ >= options_.shrink_attempts) return false;
+    ++attempts_;
+    ScenarioVerdict verdict = RunScenario(candidate, options_, invariant_);
+    return verdict.violation && verdict.violation->invariant == invariant_;
+  }
+
+  /// Classic ddmin over the non-empty lines of one text field: try
+  /// removing chunks of size n/2, n/4, ... 1, restarting whenever a
+  /// removal sticks.
+  void DdminField(std::string FuzzScenario::* field) {
+    std::vector<std::string> lines = SplitLines(best_.*field);
+    if (lines.empty()) return;
+    size_t chunk = std::max<size_t>(1, lines.size() / 2);
+    while (chunk >= 1 && attempts_ < options_.shrink_attempts) {
+      bool removed_any = false;
+      for (size_t start = 0; start < lines.size();) {
+        size_t len = std::min(chunk, lines.size() - start);
+        std::vector<std::string> candidate_lines;
+        candidate_lines.reserve(lines.size() - len);
+        candidate_lines.insert(candidate_lines.end(), lines.begin(),
+                               lines.begin() + start);
+        candidate_lines.insert(candidate_lines.end(),
+                               lines.begin() + start + len, lines.end());
+        FuzzScenario candidate = best_;
+        candidate.*field = JoinLines(candidate_lines);
+        if (StillFails(candidate)) {
+          best_ = std::move(candidate);
+          lines = std::move(candidate_lines);
+          removed_any = true;
+          // keep `start`: the next chunk slid into this slot
+        } else {
+          start += len;
+        }
+      }
+      if (!removed_any || chunk == 1) {
+        if (chunk == 1) break;
+        chunk = std::max<size_t>(1, chunk / 2);
+      }
+    }
+  }
+
+  void SimplifyFault() {
+    if (best_.fault.kind != FaultSchedule::Kind::kNone) {
+      FuzzScenario candidate = best_;
+      candidate.fault = FaultSchedule{};
+      if (StillFails(candidate)) {
+        best_ = std::move(candidate);
+        return;
+      }
+    }
+    if (best_.fault.value > 1) {
+      FuzzScenario candidate = best_;
+      candidate.fault.value = 1;
+      if (StillFails(candidate)) best_ = std::move(candidate);
+    }
+    if (best_.fault.kind == FaultSchedule::Kind::kCrashAt &&
+        best_.fault.phase != "begin") {
+      FuzzScenario candidate = best_;
+      candidate.fault.phase = "begin";
+      if (StillFails(candidate)) best_ = std::move(candidate);
+    }
+  }
+
+  void DropQuery() {
+    if (best_.query.empty()) return;
+    FuzzScenario candidate = best_;
+    candidate.query.clear();
+    if (StillFails(candidate)) best_ = std::move(candidate);
+  }
+
+  const std::string& invariant_;
+  const FuzzOptions& options_;
+  FuzzScenario best_;
+  uint32_t attempts_ = 0;
+};
+
+}  // namespace
+
+ShrinkOutcome ShrinkScenario(const FuzzScenario& failing,
+                             const std::string& invariant,
+                             const FuzzOptions& options) {
+  Shrinker shrinker(failing, invariant, options);
+  return shrinker.Run();
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,29 @@
+// Delta-debugging shrinker for fuzz violations (docs/FUZZING.md).
+//
+// Given a scenario that fails an invariant, ShrinkScenario minimizes the
+// (ruleset, instance, fault schedule) triple while preserving the failure:
+// ddmin over program statements, then over instance facts, then fault
+// simplification, then dropping the query. Every candidate is re-executed
+// with RunScenario(candidate, options, invariant); a candidate is kept
+// only when the SAME invariant still fails.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/fuzz.h"
+
+namespace tgdkit {
+
+struct ShrinkOutcome {
+  FuzzScenario scenario;  // the minimized failing scenario
+  uint32_t attempts = 0;  // RunScenario executions spent
+};
+
+/// Minimizes `failing`, which must violate `invariant` under `options`.
+/// Bounded by options.shrink_attempts re-executions; always returns a
+/// scenario that still fails (the input itself in the worst case).
+ShrinkOutcome ShrinkScenario(const FuzzScenario& failing,
+                             const std::string& invariant,
+                             const FuzzOptions& options);
+
+}  // namespace tgdkit

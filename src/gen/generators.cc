@@ -282,6 +282,251 @@ Qbf GenerateQbf(Rng* rng, uint32_t num_pairs, uint32_t num_clauses) {
   return qbf;
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial scenario generators (docs/FUZZING.md)
+
+const char* AdversarialShapeName(AdversarialShape shape) {
+  switch (shape) {
+    case AdversarialShape::kSkolemTower:
+      return "skolem-tower";
+    case AdversarialShape::kPcpNearDivergent:
+      return "pcp-near-divergent";
+    case AdversarialShape::kHighFanoutJoin:
+      return "high-fanout-join";
+    case AdversarialShape::kWideGuard:
+      return "wide-guard";
+    case AdversarialShape::kTriangularFrontier:
+      return "triangular-frontier";
+  }
+  return "?";
+}
+
+bool ParseAdversarialShapeName(const std::string& name,
+                               AdversarialShape* out) {
+  for (uint32_t i = 0; i < kNumAdversarialShapes; ++i) {
+    AdversarialShape shape = static_cast<AdversarialShape>(i);
+    if (name == AdversarialShapeName(shape)) {
+      *out = shape;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// One random constant name from the scenario domain d0..d<n-1>.
+std::string Dom(Rng* rng, uint32_t domain_size) {
+  return Cat("d", rng->Below(std::max<uint32_t>(domain_size, 1)));
+}
+
+/// Deep Skolem towers: a chain t_i: T_i(x, y) -> exists u . T_{i+1}(y, u)
+/// stacks one Skolem level per relation. The divergent mutation feeds the
+/// top back into the bottom, closing a cycle through the special edges.
+AdversarialScenario TowerScenario(Rng* rng, const AdversarialConfig& c) {
+  AdversarialScenario s;
+  s.shape = AdversarialShape::kSkolemTower;
+  uint32_t depth = static_cast<uint32_t>(
+      rng->Range(2, std::max<uint32_t>(c.max_tower_depth, 2)));
+  s.program += "t0: T0(x) -> exists u . T1(x, u) .\n";
+  for (uint32_t i = 1; i < depth; ++i) {
+    s.program += Cat("t", i, ": T", i, "(x, y) -> exists u . T", i + 1,
+                     "(y, u) .\n");
+  }
+  s.program += Cat("collect: T", depth, "(x, y) -> Top(x) .\n");
+  if (rng->Chance(c.divergent_percent)) {
+    s.program += Cat("back: T", depth, "(x, y) -> T1(y, x) .\n");
+    s.may_diverge = true;
+  }
+  uint32_t facts = std::max<uint32_t>(c.instance_facts, 2);
+  for (uint32_t i = 0; i < facts; ++i) {
+    if (rng->Chance(70)) {
+      s.instance += Cat("T0(", Dom(rng, c.domain_size), ") .\n");
+    } else {
+      s.instance += Cat("T1(", Dom(rng, c.domain_size), ", ",
+                        Dom(rng, c.domain_size), ") .\n");
+    }
+  }
+  s.query = "ans(x) :- Top(x).";
+  return s;
+}
+
+/// PCP-style near-divergence: word-building rules whose Skolem terms grow
+/// one letter per counter step; the finite Cnt chain makes the chase
+/// terminate even though the position graph has a special self-loop (the
+/// analyzer tier is exponential, not polynomial). The divergent mutation
+/// makes the counter cyclic.
+AdversarialScenario PcpScenario(Rng* rng, const AdversarialConfig& c) {
+  AdversarialScenario s;
+  s.shape = AdversarialShape::kPcpNearDivergent;
+  uint32_t chain = static_cast<uint32_t>(
+      rng->Range(3, std::max<uint32_t>(c.max_chain_length, 3)));
+  s.program +=
+      "build: so exists fa, fb {"
+      " Cnt(x, y) & A(x) & Str(x, s) -> Str(y, fa(s)) ;"
+      " Cnt(x, y) & B(x) & Str(x, s) -> Str(y, fb(s)) } .\n";
+  s.program += "seen: Str(x, s) -> Seen(x) .\n";
+  if (rng->Chance(c.divergent_percent)) {
+    s.program += "loop: Cnt(x, y) -> Cnt(y, x) .\n";
+    s.may_diverge = true;
+  }
+  for (uint32_t i = 0; i < chain; ++i) {
+    s.instance += Cat("Cnt(k", i, ", k", i + 1, ") .\n");
+    s.instance += Cat(rng->Chance(50) ? "A" : "B", "(k", i, ") .\n");
+  }
+  s.instance += "Str(k0, word0) .\n";
+  if (rng->Chance(40)) s.instance += "Str(k1, word1) .\n";
+  s.query = "ans(x) :- Seen(x).";
+  return s;
+}
+
+/// High-fanout joins: transitive closure plus a 3-way chain join over a
+/// dense edge relation; an existential rule mints one null per (J, E)
+/// match. The divergent mutation feeds the nulls back into the edge
+/// relation.
+AdversarialScenario FanoutScenario(Rng* rng, const AdversarialConfig& c) {
+  AdversarialScenario s;
+  s.shape = AdversarialShape::kHighFanoutJoin;
+  s.program += "tc: E(x, y) & E(y, z) -> E(x, z) .\n";
+  s.program += "j3: E(x0, x1) & E(x1, x2) & E(x2, x3) -> J(x0, x3) .\n";
+  s.program += "mk: J(x, y) & E(y, z) -> exists w . P(x, w) .\n";
+  if (rng->Chance(c.divergent_percent)) {
+    s.program += "fb: P(x, w) -> exists v . E(w, v) .\n";
+    s.may_diverge = true;
+  }
+  uint32_t dom = std::max<uint32_t>(c.domain_size, 4);
+  // A guaranteed 4-node chain so J (and mk's nulls) are non-empty ...
+  for (uint32_t i = 0; i + 1 < 4; ++i) {
+    s.instance += Cat("E(d", i, ", d", i + 1, ") .\n");
+  }
+  // ... plus random fanout edges.
+  uint32_t facts = std::max<uint32_t>(c.instance_facts, 3);
+  for (uint32_t i = 0; i < facts; ++i) {
+    s.instance += Cat("E(", Dom(rng, dom), ", ", Dom(rng, dom), ") .\n");
+  }
+  s.query = "ans(x, y) :- J(x, y).";
+  return s;
+}
+
+/// Wide guards: every rule's join variables are covered by one wide G
+/// atom. The divergent mutation recycles the minted null into the guard's
+/// first position, closing a special cycle G.0 -> H.1 -> G.0.
+AdversarialScenario WideGuardScenario(Rng* rng, const AdversarialConfig& c) {
+  AdversarialScenario s;
+  s.shape = AdversarialShape::kWideGuard;
+  uint32_t arity = static_cast<uint32_t>(
+      rng->Range(3, std::max<uint32_t>(c.max_guard_arity, 3)));
+  std::string g_vars;  // "x0, x1, ..."
+  for (uint32_t i = 0; i < arity; ++i) {
+    if (i) g_vars += ", ";
+    g_vars += Cat("x", i);
+  }
+  s.program += Cat("w1: G(", g_vars, ") -> exists u . H(x0, u) .\n");
+  s.program += Cat("w2: G(", g_vars, ") & H(x0, u) -> D(u, x1) .\n");
+  s.program += "w3: D(u, x) -> K(x) .\n";
+  if (rng->Chance(c.divergent_percent)) {
+    std::string tail;  // "x1, ..., x<arity-1>"
+    for (uint32_t i = 1; i < arity; ++i) {
+      tail += ", ";
+      tail += Cat("x", i);
+    }
+    s.program += Cat("w4: G(", g_vars, ") & H(x0, u) -> G(u", tail, ") .\n");
+    s.may_diverge = true;
+  }
+  uint32_t facts = std::max<uint32_t>(c.instance_facts / 2, 2);
+  for (uint32_t i = 0; i < facts; ++i) {
+    std::string args;
+    for (uint32_t j = 0; j < arity; ++j) {
+      if (j) args += ", ";
+      args += Dom(rng, c.domain_size);
+    }
+    s.instance += Cat("G(", args, ") .\n");
+  }
+  s.instance += Cat("H(", Dom(rng, c.domain_size), ", ",
+                    Dom(rng, c.domain_size), ") .\n");
+  s.query = "ans(x) :- K(x).";
+  return s;
+}
+
+/// The triangular-guardedness frontier (corpus/triangular_frontier.tgd):
+/// the base variant is a member of ONLY the triangularly-guarded class;
+/// the mutation joins two marked component positions in the generating
+/// rule, so neither per-component discipline holds and TG fails too.
+AdversarialScenario FrontierScenario(Rng* rng, const AdversarialConfig& c) {
+  AdversarialScenario s;
+  s.shape = AdversarialShape::kTriangularFrontier;
+  bool broken = rng->Chance(c.divergent_percent);
+  s.program += Cat(
+      "frontier: so exists fv, fp, fq { ",
+      broken ? "ga(x, y) & ga(y, z) -> ga(z, fv(x, y))"
+             : "ga(x, y) -> ga(y, fv(x, y))",
+      " ; hub(x) -> link(fp(x), fq(x))"
+      " ; link(x, u) & link(u, y) -> out(x, y) } .\n");
+  if (rng->Chance(50)) s.program += "echo: out(x, y) -> Seen(x) .\n";
+  uint32_t hubs = 1 + static_cast<uint32_t>(rng->Below(4));
+  for (uint32_t i = 0; i < hubs; ++i) {
+    s.instance += Cat("hub(", Dom(rng, c.domain_size), ") .\n");
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    s.instance += Cat("link(", Dom(rng, c.domain_size), ", ",
+                      Dom(rng, c.domain_size), ") .\n");
+  }
+  if (rng->Chance(50)) {
+    // Any ga fact makes the generating loop run away: divergent.
+    s.instance += Cat("ga(", Dom(rng, c.domain_size), ", ",
+                      Dom(rng, c.domain_size), ") .\n");
+    if (broken) {
+      s.instance += Cat("ga(", Dom(rng, c.domain_size), ", ",
+                        Dom(rng, c.domain_size), ") .\n");
+    }
+    s.may_diverge = true;
+  }
+  s.query = "ans(x, y) :- out(x, y).";
+  return s;
+}
+
+}  // namespace
+
+AdversarialScenario GenerateAdversarialScenario(
+    Rng* rng, AdversarialShape shape, const AdversarialConfig& config) {
+  switch (shape) {
+    case AdversarialShape::kSkolemTower:
+      return TowerScenario(rng, config);
+    case AdversarialShape::kPcpNearDivergent:
+      return PcpScenario(rng, config);
+    case AdversarialShape::kHighFanoutJoin:
+      return FanoutScenario(rng, config);
+    case AdversarialShape::kWideGuard:
+      return WideGuardScenario(rng, config);
+    case AdversarialShape::kTriangularFrontier:
+      return FrontierScenario(rng, config);
+  }
+  return TowerScenario(rng, config);
+}
+
+AdversarialScenario GenerateAdversarialScenario(
+    Rng* rng, const AdversarialConfig& config) {
+  AdversarialShape shape = static_cast<AdversarialShape>(
+      rng->Below(kNumAdversarialShapes));
+  return GenerateAdversarialScenario(rng, shape, config);
+}
+
+void AppendScaledFactsText(Rng* rng, const std::string& relation,
+                           uint32_t arity, uint64_t num_facts,
+                           uint32_t domain_size, std::string* out) {
+  uint32_t dom = std::max<uint32_t>(domain_size, 1);
+  out->reserve(out->size() + num_facts * (relation.size() + 8ull * arity + 4));
+  for (uint64_t i = 0; i < num_facts; ++i) {
+    *out += relation;
+    *out += '(';
+    for (uint32_t j = 0; j < arity; ++j) {
+      if (j) *out += ", ";
+      *out += Cat("d", rng->Below(dom));
+    }
+    *out += ") .\n";
+  }
+}
+
 PcpInstance GeneratePcp(Rng* rng, uint32_t alphabet_size, uint32_t num_pairs,
                         uint32_t max_word_length) {
   PcpInstance pcp;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/rng.h"
@@ -86,5 +87,71 @@ Qbf GenerateQbf(Rng* rng, uint32_t num_pairs, uint32_t num_clauses);
 /// ≤ max_word_length over an alphabet of `alphabet_size` symbols.
 PcpInstance GeneratePcp(Rng* rng, uint32_t alphabet_size, uint32_t num_pairs,
                         uint32_t max_word_length);
+
+// ---------------------------------------------------------------------------
+// Adversarial scenario generators (the fuzz corpus; see docs/FUZZING.md).
+
+/// Shape families designed to stress a different part of the pipeline
+/// each: Skolem-term depth, near-divergent recursion, join fanout, guard
+/// width, and the triangular-guardedness frontier.
+enum class AdversarialShape : uint8_t {
+  kSkolemTower = 0,      // chain of existential rules stacking Skolem terms
+  kPcpNearDivergent,     // PCP-style word builder driven by a finite counter
+  kHighFanoutJoin,       // transitive closure + 3-way joins over a dense graph
+  kWideGuard,            // wide guard atom covering many join variables
+  kTriangularFrontier,   // randomized variants of the triangular frontier
+};
+
+inline constexpr uint32_t kNumAdversarialShapes = 5;
+
+/// Stable kebab-case name, e.g. "skolem-tower".
+const char* AdversarialShapeName(AdversarialShape shape);
+
+/// Inverse of AdversarialShapeName. False on an unknown name.
+bool ParseAdversarialShapeName(const std::string& name, AdversarialShape* out);
+
+/// Size knobs for generated scenarios. Defaults keep a single scenario's
+/// chase small enough to run the whole invariant battery per seed.
+struct AdversarialConfig {
+  uint32_t max_tower_depth = 6;    // kSkolemTower
+  uint32_t max_chain_length = 6;   // kPcpNearDivergent counter chain
+  uint32_t max_guard_arity = 6;    // kWideGuard
+  uint32_t domain_size = 6;        // constants d0..d<n-1>
+  uint32_t instance_facts = 18;
+  /// Percent chance a scenario is mutated into a (possibly) divergent
+  /// variant: feedback edge, cyclic counter, broken frontier guard.
+  uint32_t divergent_percent = 30;
+};
+
+/// A self-contained generated workload in the text grammar the CLI
+/// parses. One statement (or fact) per line, so a line-oriented shrinker
+/// can minimize it; symbol names are derived from the shape alone (no
+/// process-global counters), so the same Rng state always yields the
+/// same bytes.
+struct AdversarialScenario {
+  AdversarialShape shape = AdversarialShape::kSkolemTower;
+  std::string program;   // dependency statements, one per line
+  std::string instance;  // facts, one per line
+  std::string query;     // conjunctive query, single line
+  /// True when the Skolem chase may not reach a fixpoint; run under caps.
+  bool may_diverge = false;
+};
+
+/// Generates one scenario of the given shape.
+AdversarialScenario GenerateAdversarialScenario(Rng* rng,
+                                                AdversarialShape shape,
+                                                const AdversarialConfig& config);
+
+/// Generates one scenario of a shape drawn uniformly from the families.
+AdversarialScenario GenerateAdversarialScenario(Rng* rng,
+                                                const AdversarialConfig& config);
+
+/// Appends `num_facts` facts over `relation` (arity `arity`, constants
+/// d0..d<domain_size-1>), one per line, to `*out`. Text-only (~20 bytes a
+/// fact), so load-test instances scale to millions of facts without
+/// building an Instance first.
+void AppendScaledFactsText(Rng* rng, const std::string& relation,
+                           uint32_t arity, uint64_t num_facts,
+                           uint32_t domain_size, std::string* out);
 
 }  // namespace tgdkit

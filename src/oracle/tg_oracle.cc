@@ -1,0 +1,295 @@
+#include "oracle/tg_oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace tgdkit {
+
+namespace {
+
+using Pos = std::pair<RelationId, uint32_t>;
+
+/// Does term `t` mention variable `v` anywhere (including under nesting)?
+bool Mentions(const TermArena& arena, TermId t, VariableId v) {
+  std::vector<VariableId> vars;
+  arena.CollectVariables(t, &vars);
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+/// Top-level body positions per variable of one part.
+std::map<VariableId, std::set<Pos>> TopLevelBodyPositions(
+    const TermArena& arena, const SoPart& part) {
+  std::map<VariableId, std::set<Pos>> out;
+  for (const Atom& atom : part.body) {
+    for (uint32_t i = 0; i < atom.args.size(); ++i) {
+      if (arena.IsVariable(atom.args[i])) {
+        out[arena.symbol(atom.args[i])].insert({atom.relation, i});
+      }
+    }
+  }
+  return out;
+}
+
+bool OccursTopLevel(const TermArena& arena, VariableId var, const Atom& atom) {
+  for (TermId t : atom.args) {
+    if (arena.IsVariable(t) && arena.symbol(t) == var) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BruteForceTriangularlyGuarded(const TermArena& arena, const SoTgd& so) {
+  const std::vector<SoPart>& rules = so.parts;
+
+  // Every position mentioned by any atom.
+  std::set<Pos> position_set;
+  for (const SoPart& part : rules) {
+    for (const Atom& atom : part.body) {
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        position_set.insert({atom.relation, i});
+      }
+    }
+    for (const Atom& atom : part.head) {
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        position_set.insert({atom.relation, i});
+      }
+    }
+  }
+  std::vector<Pos> nodes(position_set.begin(), position_set.end());
+  auto index_of = [&nodes](const Pos& p) {
+    return static_cast<size_t>(
+        std::lower_bound(nodes.begin(), nodes.end(), p) - nodes.begin());
+  };
+  size_t n = nodes.size();
+
+  // Dependency edges: from each top-level body position of a variable to
+  // each head argument using it — regular when the argument IS the
+  // variable, special when it is a functional term mentioning it.
+  struct Edge {
+    size_t from, to;
+    bool special;
+    uint32_t rule;
+  };
+  std::vector<Edge> edges;
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const SoPart& part = rules[r];
+    for (const auto& [var, froms] : TopLevelBodyPositions(arena, part)) {
+      for (const Pos& from : froms) {
+        for (const Atom& atom : part.head) {
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            TermId t = atom.args[i];
+            if (arena.IsVariable(t) && arena.symbol(t) == var) {
+              edges.push_back(
+                  {index_of(from), index_of({atom.relation, i}), false, r});
+            } else if (arena.IsFunction(t) && Mentions(arena, t, var)) {
+              edges.push_back(
+                  {index_of(from), index_of({atom.relation, i}), true, r});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Reachability by naive closure; two nodes share an SCC when they reach
+  // each other (or are equal).
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (const Edge& e : edges) reach[e.from][e.to] = true;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  auto same_scc = [&reach](size_t a, size_t b) {
+    return a == b || (reach[a][b] && reach[b][a]);
+  };
+
+  // Affected positions: functional head arguments, then propagation
+  // through variables bound only at affected positions.
+  std::set<Pos> affected;
+  for (const SoPart& part : rules) {
+    for (const Atom& atom : part.head) {
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        if (arena.IsFunction(atom.args[i])) {
+          affected.insert({atom.relation, i});
+        }
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const SoPart& part : rules) {
+      for (const auto& [var, froms] : TopLevelBodyPositions(arena, part)) {
+        bool all_affected = true;
+        for (const Pos& p : froms) {
+          if (!affected.count(p)) {
+            all_affected = false;
+            break;
+          }
+        }
+        if (!all_affected) continue;
+        for (const Atom& atom : part.head) {
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            TermId t = atom.args[i];
+            if (!arena.IsVariable(t) || arena.symbol(t) != var) continue;
+            if (affected.insert({atom.relation, i}).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Sticky marking: a rule variable is marked when some head atom drops
+  // it (top level), or when it flows into a head position holding a
+  // marked body occurrence somewhere in the rule set.
+  std::vector<std::set<VariableId>> marked(rules.size());
+  std::set<Pos> marked_positions;
+  auto mark = [&](uint32_t r, VariableId var) {
+    if (!marked[r].insert(var).second) return false;
+    auto froms = TopLevelBodyPositions(arena, rules[r]);
+    marked_positions.insert(froms[var].begin(), froms[var].end());
+    return true;
+  };
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const SoPart& part = rules[r];
+    for (const auto& [var, froms] : TopLevelBodyPositions(arena, part)) {
+      for (const Atom& atom : part.head) {
+        if (!OccursTopLevel(arena, var, atom)) {
+          mark(r, var);
+          break;
+        }
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      const SoPart& part = rules[r];
+      for (const auto& [var, froms] : TopLevelBodyPositions(arena, part)) {
+        if (marked[r].count(var)) continue;
+        bool hits_marked = false;
+        for (const Atom& atom : part.head) {
+          for (uint32_t i = 0; i < atom.args.size(); ++i) {
+            TermId t = atom.args[i];
+            if (arena.IsVariable(t) && arena.symbol(t) == var &&
+                marked_positions.count({atom.relation, i})) {
+              hits_marked = true;
+              break;
+            }
+          }
+          if (hits_marked) break;
+        }
+        if (hits_marked && mark(r, var)) changed = true;
+      }
+    }
+  }
+
+  // Triangular components: SCCs with an internal special edge, each
+  // represented by its smallest member node.
+  std::set<size_t> components;
+  for (const Edge& e : edges) {
+    if (!e.special || !same_scc(e.from, e.to)) continue;
+    size_t canon = e.from;
+    for (size_t b = 0; b < canon; ++b) {
+      if (same_scc(e.from, b)) {
+        canon = b;
+        break;
+      }
+    }
+    components.insert(canon);
+  }
+
+  for (size_t comp : components) {
+    auto in_component = [&](const Pos& p) {
+      if (!position_set.count(p)) return false;
+      return same_scc(index_of(p), comp);
+    };
+    std::set<uint32_t> touching;
+    for (const Edge& e : edges) {
+      if (same_scc(e.from, comp) && same_scc(e.to, comp)) {
+        touching.insert(e.rule);
+      }
+    }
+    // Discipline (b): one body atom covers every component-dangerous
+    // variable of each touching rule.
+    bool guard_ok = true;
+    for (uint32_t r : touching) {
+      const SoPart& part = rules[r];
+      std::set<VariableId> must_guard;
+      for (const auto& [var, froms] : TopLevelBodyPositions(arena, part)) {
+        bool all_affected = true, touches = false;
+        for (const Pos& p : froms) {
+          if (!affected.count(p)) all_affected = false;
+          if (in_component(p)) touches = true;
+        }
+        if (all_affected && touches) must_guard.insert(var);
+      }
+      if (must_guard.empty()) continue;
+      bool guarded = false;
+      for (const Atom& atom : part.body) {
+        std::set<VariableId> atom_vars;
+        for (TermId t : atom.args) {
+          std::vector<VariableId> vs;
+          arena.CollectVariables(t, &vs);
+          atom_vars.insert(vs.begin(), vs.end());
+        }
+        bool covers = true;
+        for (VariableId v : must_guard) {
+          if (!atom_vars.count(v)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          guarded = true;
+          break;
+        }
+      }
+      if (!guarded) {
+        guard_ok = false;
+        break;
+      }
+    }
+    if (guard_ok) continue;
+    // Discipline (c): no marked variable of a touching rule joins two
+    // component positions across distinct body atoms.
+    bool join_ok = true;
+    for (uint32_t r : touching) {
+      const SoPart& part = rules[r];
+      for (uint32_t a1 = 0; a1 < part.body.size() && join_ok; ++a1) {
+        const Atom& atom1 = part.body[a1];
+        for (uint32_t g1 = 0; g1 < atom1.args.size() && join_ok; ++g1) {
+          TermId t1 = atom1.args[g1];
+          if (!arena.IsVariable(t1)) continue;
+          VariableId var = arena.symbol(t1);
+          if (!marked[r].count(var)) continue;
+          if (!in_component({atom1.relation, g1})) continue;
+          for (uint32_t a2 = a1 + 1; a2 < part.body.size() && join_ok; ++a2) {
+            const Atom& atom2 = part.body[a2];
+            for (uint32_t g2 = 0; g2 < atom2.args.size(); ++g2) {
+              TermId t2 = atom2.args[g2];
+              if (!arena.IsVariable(t2) || arena.symbol(t2) != var) continue;
+              if (in_component({atom2.relation, g2})) {
+                join_ok = false;
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (!join_ok) break;
+    }
+    if (join_ok) continue;
+    return false;  // both disciplines fail: an unguarded triangle
+  }
+  return true;
+}
+
+}  // namespace tgdkit

@@ -1,0 +1,20 @@
+// Brute-force triangular-guardedness oracle (after Asuncion–Zhang,
+// arXiv:1804.05997). A deliberately naive reimplementation of the
+// definition — quadratic reachability instead of Tarjan, direct fixpoints
+// for affected positions and sticky marking, per-component discipline
+// checks by enumeration — sharing no code with src/analyze, so the
+// randomized differential suite can cross-check IsTriangularlyGuarded
+// against an independent decision procedure on small vocabularies.
+#pragma once
+
+#include "dep/dependency.h"
+#include "term/term.h"
+
+namespace tgdkit {
+
+/// True iff `so` is triangularly guarded: every SCC of the position
+/// graph that contains an internal special edge satisfies the guard
+/// discipline (b) or the sticky discipline (c).
+bool BruteForceTriangularlyGuarded(const TermArena& arena, const SoTgd& so);
+
+}  // namespace tgdkit

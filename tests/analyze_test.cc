@@ -12,6 +12,7 @@
 #include "classify/dot.h"
 #include "dep/skolem.h"
 #include "gen/generators.h"
+#include "oracle/tg_oracle.h"
 #include "parse/parser.h"
 #include "tests/test_util.h"
 
@@ -440,6 +441,12 @@ TEST_P(AnalyzeDifferentialTest, TriangularGuardednessSubsumesEveryClass) {
       analysis.verdict(Criterion::kStickyJoin).holds) {
     EXPECT_TRUE(tg) << "a classic class holds but TG disagrees";
   }
+  // Exact cross-check against the brute-force oracle, both polarities:
+  // subsumption alone can only catch false negatives on rulesets that
+  // happen to be in a classic class; the naive reimplementation of the
+  // TG definition agrees or disagrees on every ruleset.
+  EXPECT_EQ(tg, BruteForceTriangularlyGuarded(ws.arena, so))
+      << "analyzer and brute-force TG oracle disagree";
   // The complexity artifact must agree with the weak-acyclicity verdict
   // (polynomial ⟺ no generating component ⟺ weakly acyclic), and its
   // provenance must replay.

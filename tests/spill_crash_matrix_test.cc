@@ -1,0 +1,171 @@
+// Combined fault matrix: the chase running with the spill backend AND
+// multiple threads AND periodic checkpointing, SIGKILLed at randomized
+// durable-write ordinals across all three crash phases, must resume to
+// output byte-identical to a clean in-core serial run (modulo the
+// process-local spill/thread status tokens, which are normalized away).
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+namespace tgdkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kRules[] =
+    "t: E(x, y) & E(y, z) -> E(x, z) .\n"
+    "m: E(x, y) -> exists w . M(x, w) .\n";
+
+/// Blanks the thread/spill-specific tokens of '# status:' lines, the only
+/// part of chase stdout that may differ between execution modes.
+std::string Normalize(const std::string& text) {
+  std::string out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# status:", 0) == 0) {
+      std::istringstream tokens(line);
+      std::string token, rebuilt;
+      while (tokens >> token) {
+        if (token.rfind("threads=", 0) == 0) token = "threads=*";
+        if (token.rfind("spill_segments=", 0) == 0 ||
+            token.rfind("spill_bytes=", 0) == 0) {
+          continue;
+        }
+        if (!rebuilt.empty()) rebuilt += ' ';
+        rebuilt += token;
+      }
+      line = rebuilt;
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+class SpillCrashMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/tgdkit_spill_crash_" +
+           std::to_string(getpid());
+    fs::create_directories(dir_);
+    rules_path_ = dir_ + "/rules.tgd";
+    inst_path_ = dir_ + "/input.inst";
+    snap_path_ = dir_ + "/ckpt.snap";
+    spill_dir_ = dir_ + "/spill";
+    std::ofstream(rules_path_) << kRules;
+    std::string facts;
+    for (int i = 0; i + 1 < 14; ++i) {
+      facts += "E(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+               ") .\n";
+    }
+    std::ofstream(inst_path_) << facts;
+
+    // The reference: clean, in-core, serial.
+    std::ostringstream out, err;
+    int code = RunCli({"chase", rules_path_, inst_path_, "--seed", "7"},
+                      out, err);
+    ASSERT_EQ(code, 0) << err.str();
+    golden_ = Normalize(out.str());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::vector<std::string> MatrixArgs() const {
+    return {"chase",     rules_path_, inst_path_,
+            "--seed",    "7",         "--threads",
+            "3",         "--spill-dir", spill_dir_,
+            "--spill-segment-kb", "4"};
+  }
+
+  /// Runs the spill+threads chase with checkpointing in a forked child,
+  /// armed to die at durable write `crash_at` in `phase`. True if killed.
+  bool RunChildToDeath(uint64_t crash_at, const char* phase) {
+    std::error_code ec;
+    fs::remove(snap_path_, ec);
+    fs::remove(snap_path_ + ".tmp", ec);
+    fs::remove_all(spill_dir_, ec);
+    fs::create_directories(spill_dir_, ec);
+    pid_t pid = fork();
+    if (pid == 0) {
+      setenv("TGDKIT_CRASH_AT", std::to_string(crash_at).c_str(), 1);
+      setenv("TGDKIT_CRASH_PHASE", phase, 1);
+      std::vector<std::string> args = MatrixArgs();
+      args.insert(args.end(), {"--checkpoint", snap_path_,
+                               "--checkpoint-every-steps", "1"});
+      std::ostringstream out, err;
+      RunCli(args, out, err);
+      _exit(0);
+    }
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    if (WIFSIGNALED(status)) {
+      EXPECT_EQ(WTERMSIG(status), SIGKILL);
+      return true;
+    }
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    return false;
+  }
+
+  void ResumeAndCompare(const std::string& label) {
+    // Resume stays in spill mode with multiple threads: the full matrix.
+    std::ostringstream out, err;
+    int code = RunCli({"chase", "--resume", snap_path_, "--threads", "3",
+                       "--spill-dir", spill_dir_, "--spill-segment-kb", "4"},
+                      out, err);
+    ASSERT_EQ(code, 0) << label << ": " << err.str();
+    EXPECT_EQ(Normalize(out.str()), golden_) << label;
+  }
+
+  std::string dir_, rules_path_, inst_path_, snap_path_, spill_dir_, golden_;
+};
+
+TEST_F(SpillCrashMatrixTest, CleanMatrixRunMatchesInCoreSerialGolden) {
+  std::ostringstream out, err;
+  int code = RunCli(MatrixArgs(), out, err);
+  ASSERT_EQ(code, 0) << err.str();
+  EXPECT_EQ(Normalize(out.str()), golden_);
+}
+
+TEST_F(SpillCrashMatrixTest, KillAndResumeAcrossThePhaseMatrix) {
+  // Fixed crash ordinals crossed with all three phases: every kill that
+  // leaves a checkpoint must resume — still spilled, still threaded — to
+  // the in-core serial golden output.
+  const char* phases[] = {"begin", "mid", "commit"};
+  int resumed = 0;
+  for (uint64_t crash_at : {2ull, 3ull, 5ull}) {
+    for (const char* phase : phases) {
+      std::string label = "crash_at=" + std::to_string(crash_at) +
+                          " phase=" + phase;
+      bool killed = RunChildToDeath(crash_at, phase);
+      std::ifstream snap(snap_path_, std::ios::binary);
+      if (!snap.good()) {
+        // Died before the first commit: nothing to resume is legal only
+        // for early kills.
+        EXPECT_TRUE(killed) << label;
+        EXPECT_LE(crash_at, 2u) << label;
+        continue;
+      }
+      ++resumed;
+      ResumeAndCompare(label);
+    }
+  }
+  EXPECT_GE(resumed, 6) << "the matrix must actually exercise resume";
+}
+
+}  // namespace
+}  // namespace tgdkit

@@ -26,6 +26,7 @@ assertion held.
 import argparse
 import json
 import os
+import random
 import signal
 import socket
 import subprocess
@@ -34,6 +35,9 @@ import threading
 import time
 
 DEPS = "every: Emp(e) -> exists m . Mgr(e, m) .\n"
+
+MAX_SHED_RETRIES = 6
+DEFAULT_RETRY_AFTER_MS = 50
 
 
 def fail(message):
@@ -44,6 +48,8 @@ def fail(message):
 def start_daemon(args, extra=None):
     cmd = [args.binary, "serve", "--socket", args.socket,
            "--ledger", args.ledger, "--serve-threads", str(args.threads)]
+    if args.max_inflight:
+        cmd += ["--max-inflight", str(args.max_inflight)]
     cmd += extra or []
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
                             stderr=subprocess.PIPE)
@@ -102,35 +108,99 @@ def make_request(rid, shared):
             "file_names": ["deps.tgd"], "file_contents": [ruleset]}
 
 
-def replay_batch(args, prefix, count, results, errors):
-    """Replays `count` requests per worker thread; collects answered ids."""
+class ShedStats:
+    """Thread-safe tally of overload sheds and the retry pacing audit.
+
+    Every shed reply carries a `retry_after_ms` hint; the client must not
+    come back sooner.  Each retry records (hint_ms, actual_wait_ms) so the
+    caller can assert the busy-loop never happened: an actual wait below
+    the hint means the backoff is broken and the client is hammering an
+    overloaded daemon.
+    """
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.sheds = 0
+        self.retries = 0
+        self.exhausted = 0
+        self.early = []  # (rid, hint_ms, actual_ms) retries that jumped the gun
+
+    def record_wait(self, rid, hint_ms, actual_ms):
+        with self.lock:
+            self.sheds += 1
+            self.retries += 1
+            if actual_ms < hint_ms:
+                self.early.append((rid, hint_ms, actual_ms))
+
+    def record_exhausted(self):
+        with self.lock:
+            self.sheds += 1
+            self.exhausted += 1
+
+    def assert_no_busy_loop(self):
+        if self.early:
+            rid, hint, actual = self.early[0]
+            fail(f"busy-loop: {len(self.early)} retries fired before the "
+                 f"retry_after_ms hint, first {rid}: waited {actual:.1f}ms "
+                 f"< hinted {hint}ms")
+
+    def summary(self):
+        return (f"{self.sheds} sheds, {self.retries} retries, "
+                f"{self.exhausted} given up")
+
+
+def replay_batch(args, prefix, count, results, errors, sheds=None):
+    """Replays `count` requests per worker thread; collects answered ids.
+
+    An "overloaded" shed is retried with the SAME request id — the daemon
+    never admitted it, so the ledger's answered-once audit still holds —
+    sleeping at least the daemon's `retry_after_ms` hint plus jitter, at
+    most MAX_SHED_RETRIES times before giving up on that id.
+    """
+    stats = sheds if sheds is not None else ShedStats()
+    jitter = random.Random(0xC0FFEE)  # seeded: runs stay reproducible
+
     def worker(t):
         for r in range(count):
             rid = f"{prefix}-{t}-{r}"
             frame = json.dumps(make_request(rid, shared=(r % 3 == 0)))
-            try:
-                reply = call(args.socket, frame.encode() + b"\n")
-            except OSError as exc:
-                errors.append(f"{rid}: {exc}")
-                return
-            if not reply:
-                errors.append(f"{rid}: connection closed without reply")
-                continue
-            try:
-                response = json.loads(reply)
-            except ValueError:
-                errors.append(f"{rid}: unparseable reply {reply!r}")
-                continue
-            status = response.get("status")
-            if status == "overloaded":
-                continue  # legitimate shed; the id was never admitted
-            if status != "ok" or response.get("id") != rid:
-                errors.append(f"{rid}: unexpected reply {reply!r}")
-                continue
-            if "figure-1" not in response.get("stdout", ""):
-                errors.append(f"{rid}: wrong classify output")
-                continue
-            results.append(rid)
+            for attempt in range(1 + MAX_SHED_RETRIES):
+                try:
+                    reply = call(args.socket, frame.encode() + b"\n")
+                except OSError as exc:
+                    errors.append(f"{rid}: {exc}")
+                    return
+                if not reply:
+                    errors.append(f"{rid}: connection closed without reply")
+                    break
+                try:
+                    response = json.loads(reply)
+                except ValueError:
+                    errors.append(f"{rid}: unparseable reply {reply!r}")
+                    break
+                status = response.get("status")
+                if status == "overloaded":
+                    if attempt == MAX_SHED_RETRIES:
+                        stats.record_exhausted()
+                        break
+                    hint_ms = response.get("retry_after_ms",
+                                           DEFAULT_RETRY_AFTER_MS)
+                    # Sleep >= the hint; the jitter factor in [1, 1.5)
+                    # de-synchronizes the retrying clients.
+                    shed_at = time.monotonic()
+                    time.sleep(hint_ms / 1000.0 *
+                               (1.0 + 0.5 * jitter.random()))
+                    waited_ms = (time.monotonic() - shed_at) * 1000.0
+                    stats.record_wait(rid, hint_ms, waited_ms)
+                    continue
+                if status != "ok" or response.get("id") != rid:
+                    errors.append(f"{rid}: unexpected reply {reply!r}")
+                    break
+                if "figure-1" not in response.get("stdout", ""):
+                    errors.append(f"{rid}: wrong classify output")
+                    break
+                results.append(rid)
+                break
 
     threads = [threading.Thread(target=worker, args=(t,))
                for t in range(args.clients)]
@@ -138,6 +208,7 @@ def replay_batch(args, prefix, count, results, errors):
         thread.start()
     for thread in threads:
         thread.join()
+    return stats
 
 
 def audit_ledger(path, expect_drain):
@@ -170,12 +241,13 @@ def audit_ledger(path, expect_drain):
 def mode_load(args):
     proc = start_daemon(args)
     results, errors = [], []
-    replay_batch(args, "load", args.requests, results, errors)
+    sheds = replay_batch(args, "load", args.requests, results, errors)
     out, _ = stop_daemon(proc)
     if errors:
         fail(f"{len(errors)} bad replies, first: {errors[0]}")
     if len(results) < args.clients * args.requests // 2:
         fail(f"only {len(results)} requests answered ok")
+    sheds.assert_no_busy_loop()
     answered = audit_ledger(args.ledger, expect_drain=True)
     missing = set(results) - answered
     if missing:
@@ -184,7 +256,7 @@ def mode_load(args):
     if "drained" not in out:
         fail(f"no drain summary on stdout: {out!r}")
     print(f"serve_replay: load ok — {len(results)} answered, "
-          f"{len(answered)} ledgered")
+          f"{len(answered)} ledgered, {sheds.summary()}")
 
 
 def mode_kill_restart(args):
@@ -201,19 +273,21 @@ def mode_kill_restart(args):
     # NOT happen is a double answer, which the combined ledger proves.
     proc = start_daemon(args)
     results2, errors2 = [], []
-    replay_batch(args, "k2", args.requests, results2, errors2)
+    sheds = replay_batch(args, "k2", args.requests, results2, errors2)
     stop_daemon(proc)
     if errors2:
         fail(f"post-restart replies broken, first: {errors2[0]}")
     if not results2:
         fail("restarted daemon answered nothing")
+    sheds.assert_no_busy_loop()
     answered = audit_ledger(args.ledger, expect_drain=True)
     missing = set(results2) - answered
     if missing:
         fail(f"post-restart answers missing from ledger: "
              f"{sorted(missing)[:5]}")
     print(f"serve_replay: kill-restart ok — {len(results)} pre-kill, "
-          f"{len(results2)} post-restart, {len(answered)} unique ledgered")
+          f"{len(results2)} post-restart, {len(answered)} unique ledgered, "
+          f"{sheds.summary()}")
 
 
 CHAOS_FRAMES = [
@@ -272,6 +346,10 @@ def main():
                         help="requests per client thread")
     parser.add_argument("--kill-after", type=float, default=0.3,
                         help="seconds before SIGKILL in kill-restart mode")
+    parser.add_argument("--max-inflight", type=int, default=0,
+                        help="cap the daemon's admission window (0 = its "
+                             "default); low values force overload sheds so "
+                             "the retry/backoff path is actually exercised")
     args = parser.parse_args()
     {"load": mode_load, "kill-restart": mode_kill_restart,
      "chaos": mode_chaos}[args.mode](args)
